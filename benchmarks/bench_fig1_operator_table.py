@@ -1,0 +1,58 @@
+"""F1/F2 — Fig. 1 (composition operators) and Fig. 2 (operator dimensions).
+
+Regenerates the operator inventory: name, set-oriented symbol,
+instance-oriented symbol, priority level and design dimension — and checks it
+against the paper's table.  The benchmark measures parsing a representative
+expression with every operator, which is the operation the table governs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core import OPERATOR_TABLE, parse_expression
+from repro.core.expressions import Dimension
+
+
+EVERY_OPERATOR_EXPRESSION = (
+    "modify(show.quantity) + -("
+    "(create(stockOrder) < modify(stockOrder.delquantity)) , "
+    "(create(stock) += (-=delete(stock) ,= (modify(stock.minquantity) <= modify(stock.quantity)))))"
+)
+
+
+def operator_rows() -> list[list[str]]:
+    return [
+        [info.name, info.set_symbol, info.instance_symbol, str(info.priority), info.dimension.value]
+        for info in OPERATOR_TABLE
+    ]
+
+
+def test_fig1_fig2_operator_table(benchmark):
+    parsed = benchmark(parse_expression, EVERY_OPERATOR_EXPRESSION)
+
+    rows = operator_rows()
+    print()
+    print(
+        render_table(
+            ["operator", "set-oriented", "instance-oriented", "priority", "dimension"],
+            rows,
+            title="Fig. 1 / Fig. 2 — composition operators and their dimensions",
+        )
+    )
+
+    # Fig. 1: four operators, listed in decreasing priority, instance symbols
+    # are the set symbols suffixed with '='.
+    assert [row[0] for row in rows] == ["negation", "conjunction", "precedence", "disjunction"]
+    assert [row[1] for row in rows] == ["-", "+", "<", ","]
+    assert [row[2] for row in rows] == ["-=", "+=", "<=", ",="]
+    priorities = [int(row[3]) for row in rows]
+    assert priorities == sorted(priorities, reverse=True)
+    # Fig. 2: precedence is the temporal dimension, the rest are boolean.
+    dimensions = {info.name: info.dimension for info in OPERATOR_TABLE}
+    assert dimensions["precedence"] is Dimension.TEMPORAL
+    assert all(
+        dimensions[name] is Dimension.BOOLEAN
+        for name in ("negation", "conjunction", "disjunction")
+    )
+    # The expression exercising every operator parses and round-trips.
+    assert parse_expression(str(parsed)) == parsed

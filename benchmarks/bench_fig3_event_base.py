@@ -1,0 +1,61 @@
+"""F3/F4 — Fig. 3 (the example Event Base) and Fig. 4 (event attribute functions).
+
+Rebuilds the paper's seven-row EB and re-evaluates the accessor functions
+``type(e) / obj(e) / timestamp(e) / event_on_class(e)`` on the same EIDs the
+paper uses as examples.  The benchmark measures the replay plus the accessor
+look-ups.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.events.event_base import EventBase
+from repro.workloads.stock import FIGURE3_ROWS, build_figure3_event_base
+
+
+def replay_and_probe() -> EventBase:
+    event_base = build_figure3_event_base()
+    for eid in range(1, 8):
+        event_base.type_of(eid)
+        event_base.obj(eid)
+        event_base.timestamp(eid)
+        event_base.event_on_class(eid)
+    return event_base
+
+
+def test_fig3_event_base_and_fig4_accessors(benchmark):
+    event_base = benchmark(replay_and_probe)
+
+    rows = [
+        [f"e{occ.eid}", str(occ.event_type), str(occ.oid), f"t{occ.timestamp}"]
+        for occ in event_base.occurrences
+    ]
+    print()
+    print(render_table(["EID", "event type", "OID", "time stamp"], rows,
+                       title="Fig. 3 — example Event Base"))
+
+    fig4_rows = [
+        ["type(e1)", str(event_base.type_of(1))],
+        ["obj(e3)", str(event_base.obj(3))],
+        ["type(e5)", str(event_base.type_of(5))],
+        ["obj(e5)", str(event_base.obj(5))],
+        ["timestamp(e5)", f"t{event_base.timestamp(5)}"],
+        ["event_on_class(e1)", event_base.event_on_class(1)],
+        ["type(e7)", str(event_base.type_of(7))],
+        ["obj(e7)", str(event_base.obj(7))],
+        ["timestamp(e7)", f"t{event_base.timestamp(7)}"],
+        ["event_on_class(e7)", event_base.event_on_class(7)],
+    ]
+    print(render_table(["function", "value"], fig4_rows,
+                       title="Fig. 4 — event attribute functions over the Fig. 3 EB"))
+
+    # The replay matches the paper's rows exactly.
+    assert len(event_base) == len(FIGURE3_ROWS) == 7
+    assert str(event_base.type_of(1)) == "create(stock)"
+    assert event_base.obj(3) == "o3"
+    assert str(event_base.type_of(5)) == "modify(stock.quantity)"
+    assert event_base.obj(5) == "o1"
+    assert event_base.event_on_class(4) == "notFilledOrder"
+    assert str(event_base.type_of(7)) == "delete(stock)"
+    # e3 and e4 share their time stamp (same block), as in the paper.
+    assert event_base.timestamp(3) == event_base.timestamp(4)

@@ -1,0 +1,74 @@
+"""F5 — Fig. 5: ts traces showing De Morgan's rule with time stamps.
+
+The paper's Fig. 5 plots, over a history of A/B/C occurrences, the functions
+ts(A), ts(-A), ts(B), ts(A , B), ts(-(A , B)) and ts(-A + -B), observing that
+the last two coincide everywhere.  This bench regenerates those series as a
+text table and asserts the identity at every sampled instant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_traces, ts_trace
+from repro.core import parse_expression, ts
+from repro.events.event import EventOccurrence, EventType, Operation
+from repro.events.event_base import EventWindow
+
+A = EventType(Operation.CREATE, "A")
+B = EventType(Operation.CREATE, "B")
+C = EventType(Operation.CREATE, "C")
+
+
+@pytest.fixture(scope="module")
+def window() -> EventWindow:
+    """A history interleaving occurrences of types A, B and C (C is a bystander)."""
+    return EventWindow.of(
+        [
+            EventOccurrence(1, C, "o1", 1),
+            EventOccurrence(2, A, "o1", 2),
+            EventOccurrence(3, C, "o2", 4),
+            EventOccurrence(4, B, "o2", 5),
+            EventOccurrence(5, A, "o3", 7),
+            EventOccurrence(6, B, "o1", 8),
+            EventOccurrence(7, C, "o3", 9),
+        ]
+    )
+
+
+SERIES = [
+    ("create(A)", "ts(A)"),
+    ("-create(A)", "ts(-A)"),
+    ("create(B)", "ts(B)"),
+    ("create(A) , create(B)", "ts(A , B)"),
+    ("-(create(A) , create(B))", "ts(-(A , B))"),
+    ("-create(A) + -create(B)", "ts(-A + -B)"),
+]
+
+INSTANTS = list(range(1, 11))
+
+
+def sample_series(window: EventWindow) -> dict[str, list[int]]:
+    return {
+        label: [ts(parse_expression(text), window, instant) for instant in INSTANTS]
+        for text, label in SERIES
+    }
+
+
+def test_fig5_de_morgan_traces(benchmark, window):
+    sampled = benchmark(sample_series, window)
+
+    traces = [
+        ts_trace(parse_expression(text), window, instants=INSTANTS, label=label)
+        for text, label in SERIES
+    ]
+    print()
+    print(render_traces(traces, title="Fig. 5 — ts traces and the De Morgan identity"))
+
+    # The identity the figure demonstrates: -(A , B) == (-A + -B) everywhere.
+    assert sampled["ts(-(A , B))"] == sampled["ts(-A + -B)"]
+    # Negation is the mirror image of its operand.
+    assert sampled["ts(-A)"] == [-value for value in sampled["ts(A)"]]
+    # The disjunction follows the most recent active component.
+    assert sampled["ts(A , B)"][4] == 5  # right after B's first occurrence at t5
+    assert sampled["ts(A , B)"][9] == 8  # B's latest occurrence wins at the end

@@ -1,0 +1,75 @@
+"""F6/F7 — Fig. 6 derivation rules and Fig. 7 simplification rules.
+
+Regenerates the §5.1 worked example: the derivation of the variation set for a
+composite expression over three primitive event types A, B, C, followed by the
+Fig. 7 simplification, which must produce the paper's final result
+``{ΔA, ΔB, Δ+C}``.  The benchmark measures the static analysis itself (the
+analysis runs once per rule definition in the real system).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core import parse_expression
+from repro.core.optimization import (
+    Scope,
+    Sign,
+    Variation,
+    derive_variations,
+    format_variations,
+    simplify_variations,
+    variation_set,
+)
+from repro.events.event import EventType, Operation
+
+A = EventType(Operation.CREATE, "A")
+B = EventType(Operation.CREATE, "B")
+C = EventType(Operation.CREATE, "C")
+
+#: The §5.1 example expression (reconstructed — see DESIGN.md): three disjuncts
+#: in which A appears both positively and negatively, B positively at the set
+#: level and negatively at the object level, and C only positively.
+EXAMPLE_EXPRESSION = (
+    "(create(A) + create(B)) , (create(C) + -create(A)) , "
+    "((create(A) += create(C)) + -=(create(B) += create(A)))"
+)
+
+
+def run_static_analysis():
+    expression = parse_expression(EXAMPLE_EXPRESSION)
+    derived = derive_variations(expression)
+    simplified = simplify_variations(derived)
+    return expression, derived, simplified
+
+
+def test_fig6_fig7_variation_set(benchmark):
+    expression, derived, simplified = benchmark(run_static_analysis)
+
+    print()
+    print(f"E = {expression}")
+    rows = [[str(variation)] for variation in sorted(derived, key=str)]
+    print(render_table(["derived variations (Fig. 6)"], rows))
+    rows = [[str(variation)] for variation in sorted(simplified, key=str)]
+    print(render_table(["simplified V(E) (Fig. 7)"], rows))
+    print(f"V(E) = {format_variations(simplified)}")
+
+    # Fig. 6: the derivation produces eight variations, including the
+    # object-scoped ones coming from the instance-oriented sub-expressions.
+    assert derived == {
+        Variation(A, Sign.POSITIVE, Scope.SET),
+        Variation(B, Sign.POSITIVE, Scope.SET),
+        Variation(C, Sign.POSITIVE, Scope.SET),
+        Variation(A, Sign.NEGATIVE, Scope.SET),
+        Variation(A, Sign.POSITIVE, Scope.OBJECT),
+        Variation(C, Sign.POSITIVE, Scope.OBJECT),
+        Variation(B, Sign.NEGATIVE, Scope.OBJECT),
+        Variation(A, Sign.NEGATIVE, Scope.OBJECT),
+    }
+    # Fig. 7: simplification yields the paper's V(E) = {ΔA, ΔB, Δ+C}.
+    assert simplified == {
+        Variation(A, Sign.BOTH, Scope.SET),
+        Variation(B, Sign.BOTH, Scope.SET),
+        Variation(C, Sign.POSITIVE, Scope.SET),
+    }
+    assert variation_set(parse_expression(EXAMPLE_EXPRESSION)) == simplified
+    assert format_variations(simplified) == "{Δ+create(C), Δcreate(A), Δcreate(B)}"

@@ -1,0 +1,90 @@
+"""E1 — the §3.1 worked timelines of the set-oriented operators.
+
+For each of the paper's §3.1 examples (disjunction, conjunction, negation and
+precedence over ``create(stock)`` / ``modify(stock.quantity)``), the bench
+re-evaluates the activation status and activation time stamp at every probe
+instant and checks them against the values the paper derives in prose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_traces, ts_trace
+from repro.core import parse_expression, ts
+from repro.events.event import EventType, Operation
+from repro.events.event_base import EventWindow
+from repro.events.event import EventOccurrence
+
+CREATE_STOCK = EventType(Operation.CREATE, "stock")
+MODIFY_QTY = EventType(Operation.MODIFY, "stock", "quantity")
+
+
+def section_31_history() -> EventWindow:
+    """create(stock) at t1 and t2, modify(stock.quantity) at t3."""
+    return EventWindow.of(
+        [
+            EventOccurrence(1, CREATE_STOCK, "o1", 1),
+            EventOccurrence(2, CREATE_STOCK, "o2", 2),
+            EventOccurrence(3, MODIFY_QTY, "o1", 3),
+        ]
+    )
+
+
+#: (expression, {instant: expected ts value}) — straight from the §3.1 prose.
+PAPER_TIMELINES = [
+    (
+        "create(stock) , modify(stock.quantity)",
+        {1: 1, 2: 2, 3: 3, 4: 3},
+    ),
+    (
+        "create(stock) + modify(stock.quantity)",
+        {1: -1, 2: -2, 3: 3, 4: 3},
+    ),
+    (
+        "create(stock) < modify(stock.quantity)",
+        {1: -1, 2: -2, 3: 3, 4: 3},
+    ),
+    (
+        "-create(stock)",
+        {1: -1, 2: -2, 3: -2, 4: -2},
+    ),
+    (
+        "-create(stockOrder)",
+        {1: 1, 2: 2, 3: 3, 4: 4},
+    ),
+]
+
+
+def evaluate_all(window: EventWindow) -> dict[str, list[int]]:
+    results: dict[str, list[int]] = {}
+    for text, expectations in PAPER_TIMELINES:
+        expression = parse_expression(text)
+        results[text] = [ts(expression, window, instant) for instant in sorted(expectations)]
+    return results
+
+
+@pytest.fixture(scope="module")
+def window() -> EventWindow:
+    return section_31_history()
+
+
+def test_sec31_set_oriented_timelines(benchmark, window):
+    results = benchmark(evaluate_all, window)
+
+    traces = [
+        ts_trace(parse_expression(text), window, instants=sorted(expectations), label=text)
+        for text, expectations in PAPER_TIMELINES
+    ]
+    print()
+    print(
+        render_traces(
+            traces,
+            title="§3.1 — set-oriented operator timelines "
+            "(history: create@t1, create@t2, modify@t3)",
+        )
+    )
+
+    for text, expectations in PAPER_TIMELINES:
+        expected = [expectations[instant] for instant in sorted(expectations)]
+        assert results[text] == expected, text

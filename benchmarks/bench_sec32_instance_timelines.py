@@ -1,0 +1,94 @@
+"""E2 — the §3.2 worked timelines of the instance-oriented operators.
+
+Re-evaluates the per-object activation traces of the paper's §3.2 examples
+(primitive per object, instance conjunction, instance disjunction, instance
+negation, instance precedence) and the set-level behaviour of instance
+expressions embedded in set-oriented contexts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ots_trace, render_traces
+from repro.core import ots, parse_expression, ts
+from repro.events.event import EventOccurrence, EventType, Operation
+from repro.events.event_base import EventWindow
+
+CREATE_STOCK = EventType(Operation.CREATE, "stock")
+MODIFY_QTY = EventType(Operation.MODIFY, "stock", "quantity")
+MODIFY_MIN = EventType(Operation.MODIFY, "stock", "minquantity")
+MODIFY_SHOW = EventType(Operation.MODIFY, "show", "quantity")
+
+
+@pytest.fixture(scope="module")
+def window() -> EventWindow:
+    """§3.2 history: creations on o1/o2, quantity updates on o1/o3, min update on o1."""
+    return EventWindow.of(
+        [
+            EventOccurrence(1, CREATE_STOCK, "o1", 1),
+            EventOccurrence(2, CREATE_STOCK, "o2", 2),
+            EventOccurrence(3, MODIFY_MIN, "o1", 3),
+            EventOccurrence(4, MODIFY_QTY, "o1", 4),
+            EventOccurrence(5, MODIFY_QTY, "o3", 4),
+            EventOccurrence(6, MODIFY_SHOW, "p1", 5),
+        ]
+    )
+
+
+CASES = [
+    # (expression, oid, {instant: expected ots})
+    ("create(stock)", "o1", {1: 1, 2: 1, 5: 1}),
+    ("create(stock)", "o2", {1: -1, 2: 2, 5: 2}),
+    ("create(stock) += modify(stock.quantity)", "o1", {2: -2, 4: 4, 6: 4}),
+    ("create(stock) += modify(stock.quantity)", "o2", {4: -4, 6: -6}),
+    ("create(stock) ,= modify(stock.quantity)", "o3", {2: -2, 4: 4, 6: 4}),
+    ("-=create(stock)", "o3", {2: 2, 6: 6}),
+    ("-=create(stock)", "o1", {2: -1, 6: -1}),
+    ("modify(stock.minquantity) <= modify(stock.quantity)", "o1", {3: -3, 4: 4, 6: 4}),
+    ("modify(stock.minquantity) <= modify(stock.quantity)", "o3", {6: -6}),
+]
+
+SET_LEVEL_CASES = [
+    # instance expressions used inside set-oriented contexts (§3.2 examples)
+    ("modify(show.quantity) + (create(stock) <= modify(stock.quantity))", 6, True),
+    ("modify(show.quantity) + (create(stock) += modify(stock.quantity))", 6, True),
+    ("modify(show.quantity) + -=(create(stock) += modify(stock.quantity))", 6, False),
+]
+
+
+def evaluate_cases(window: EventWindow) -> list[int]:
+    values: list[int] = []
+    for text, oid, expectations in CASES:
+        expression = parse_expression(text)
+        for instant in sorted(expectations):
+            values.append(ots(expression, window, instant, oid))
+    return values
+
+
+def test_sec32_instance_oriented_timelines(benchmark, window):
+    values = benchmark(evaluate_cases, window)
+
+    index = 0
+    for text, oid, expectations in CASES:
+        for instant in sorted(expectations):
+            assert values[index] == expectations[instant], (text, oid, instant)
+            index += 1
+
+    probe_instants = [1, 2, 3, 4, 5, 6]
+    traces = [
+        ots_trace(
+            parse_expression("create(stock) += modify(stock.quantity)"),
+            window,
+            oid,
+            instants=probe_instants,
+            label=f"(create += modify) on {oid}",
+        )
+        for oid in ("o1", "o2", "o3")
+    ]
+    print()
+    print(render_traces(traces, title="§3.2 — instance conjunction per object"))
+
+    for text, instant, expected_active in SET_LEVEL_CASES:
+        value = ts(parse_expression(text), window, instant)
+        assert (value > 0) is expected_active, text

@@ -1,0 +1,94 @@
+"""X2 — detector styles on the shared fragment (ts calculus vs. related work).
+
+The related-work section of the paper contrasts Chimera's recomputation-based
+calculus with Ode's automaton detection and Snoop's occurrence trees.  On the
+fragment all three share (negation-free, set-oriented conjunction /
+disjunction / sequence), this bench feeds the same synthetic stream to:
+
+* the ts-calculus detector with the V(E) filter (this paper),
+* the Ode-style incremental automaton baseline,
+* the Snoop-style occurrence-tree baseline,
+
+checks that they agree on the number of detections, and reports their relative
+throughput (events per second).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import (
+    AutomatonDetector,
+    FilteredDetector,
+    SnoopTreeDetector,
+    Subscription,
+)
+from repro.workloads.generator import EventStreamGenerator, ExpressionGenerator
+
+SUBSCRIPTIONS = 12
+BLOCKS = 200
+
+
+@pytest.fixture(scope="module")
+def workload():
+    expressions = ExpressionGenerator(
+        seed=21, allow_negation=False, instance_probability=0.0, precedence_weight=0.7
+    ).expressions(SUBSCRIPTIONS, operators=3)
+    stream = EventStreamGenerator(seed=22, events_per_block=3).blocks(BLOCKS)
+    return expressions, stream
+
+
+def build_detectors(expressions):
+    named = [(f"r{i}", expression) for i, expression in enumerate(expressions)]
+    return {
+        "ts calculus + V(E)": FilteredDetector(
+            [Subscription(name, expression) for name, expression in named]
+        ),
+        "automaton (Ode-style)": AutomatonDetector(named),
+        "occurrence tree (Snoop-style)": SnoopTreeDetector(named),
+    }
+
+
+def test_x2_detector_comparison(benchmark, workload):
+    expressions, stream = workload
+    total_events = sum(len(block) for block in stream)
+
+    results = {}
+    for name, detector in build_detectors(expressions).items():
+        start = time.perf_counter()
+        report = detector.feed_stream(stream)
+        elapsed = time.perf_counter() - start
+        results[name] = (report.triggerings, elapsed)
+
+    calculus_detector = build_detectors(expressions)["ts calculus + V(E)"]
+
+    def run_calculus():
+        calculus_detector.reset()
+        return calculus_detector.feed_stream(stream).triggerings
+
+    benchmark(run_calculus)
+
+    rows = [
+        [
+            name,
+            triggerings,
+            f"{elapsed * 1000:.1f} ms",
+            f"{total_events / elapsed:,.0f} ev/s",
+        ]
+        for name, (triggerings, elapsed) in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["detector", "detections", "wall clock", "throughput"],
+            rows,
+            title=f"X2 — {SUBSCRIPTIONS} subscriptions over {total_events} events",
+        )
+    )
+
+    detections = {triggerings for triggerings, _ in results.values()}
+    assert len(detections) == 1, f"detectors disagree: {results}"
+    assert detections.pop() > 0

@@ -1,0 +1,115 @@
+"""X3 — evaluation cost as a function of expression shape.
+
+The calculus evaluates an expression by recursive descent over its AST, with
+primitive look-ups at the leaves and (for instance-oriented sub-expressions) a
+lift over the affected objects.  This bench characterizes how the cost of one
+``ts`` evaluation grows with:
+
+* the number of operators in a set-oriented expression;
+* the operator mix (pure boolean vs. precedence-heavy vs. negation-heavy);
+* the granularity (set-oriented vs. instance-oriented sub-expressions).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import EvaluationStats, ts
+from repro.events.event_base import EventWindow
+from repro.workloads.generator import EventStreamGenerator, ExpressionGenerator
+
+SIZES = [1, 2, 4, 8, 16]
+MIXES = {
+    "boolean (conj/disj)": dict(precedence_weight=0.0, negation_weight=0.0),
+    "precedence-heavy": dict(precedence_weight=3.0, negation_weight=0.0),
+    "negation-heavy": dict(precedence_weight=0.5, negation_weight=3.0),
+    "instance-heavy": dict(precedence_weight=0.5, negation_weight=0.5),
+}
+EXPRESSIONS_PER_CELL = 10
+EVALUATIONS_PER_EXPRESSION = 50
+
+
+@pytest.fixture(scope="module")
+def window() -> EventWindow:
+    blocks = EventStreamGenerator(seed=33, events_per_block=3).blocks(80)
+    return EventWindow.of([occurrence for block in blocks for occurrence in block])
+
+
+def build_expressions(mix_name: str, operators: int):
+    options = dict(MIXES[mix_name])
+    instance_probability = 0.6 if mix_name == "instance-heavy" else 0.0
+    generator = ExpressionGenerator(
+        seed=hash((mix_name, operators)) % 10_000,
+        instance_probability=instance_probability,
+        allow_negation=options.get("negation_weight", 0) > 0,
+        precedence_weight=options.get("precedence_weight", 1.0),
+        negation_weight=options.get("negation_weight", 0.5),
+    )
+    return generator.expressions(EXPRESSIONS_PER_CELL, operators=operators)
+
+
+def measure_cell(window: EventWindow, mix_name: str, operators: int) -> dict[str, float]:
+    expressions = build_expressions(mix_name, operators)
+    latest = window.latest_timestamp() or 1
+    stats = EvaluationStats()
+    start = time.perf_counter()
+    for expression in expressions:
+        for step in range(EVALUATIONS_PER_EXPRESSION):
+            instant = 1 + (step * 7) % latest
+            ts(expression, window, instant, stats=stats)
+    elapsed = time.perf_counter() - start
+    evaluations = len(expressions) * EVALUATIONS_PER_EXPRESSION
+    return {
+        "microseconds_per_eval": 1e6 * elapsed / evaluations,
+        "lookups_per_eval": stats.primitive_lookups / evaluations,
+        "nodes_per_eval": stats.node_visits / evaluations,
+    }
+
+
+def test_x3_expression_scaling(benchmark, window):
+    rows = []
+    table = {}
+    for mix_name in MIXES:
+        for operators in SIZES:
+            cell = measure_cell(window, mix_name, operators)
+            table[(mix_name, operators)] = cell
+            rows.append(
+                [
+                    mix_name,
+                    operators,
+                    f"{cell['microseconds_per_eval']:.1f}",
+                    f"{cell['lookups_per_eval']:.1f}",
+                    f"{cell['nodes_per_eval']:.1f}",
+                ]
+            )
+
+    print()
+    print(
+        render_table(
+            ["operator mix", "operators", "us / evaluation", "primitive lookups", "nodes visited"],
+            rows,
+            title="X3 — ts evaluation cost vs. expression size and operator mix",
+        )
+    )
+
+    # Benchmark one representative configuration (precedence-heavy, 8 operators).
+    expressions = build_expressions("precedence-heavy", 8)
+    latest = window.latest_timestamp() or 1
+
+    def evaluate_once():
+        return [ts(expression, window, latest) for expression in expressions]
+
+    benchmark(evaluate_once)
+
+    # Shape checks: work grows with expression size for every mix, and the
+    # instance-heavy mix pays for the per-object lift.
+    for mix_name in MIXES:
+        small = table[(mix_name, SIZES[0])]["nodes_per_eval"]
+        large = table[(mix_name, SIZES[-1])]["nodes_per_eval"]
+        assert large > small
+    boolean_cost = table[("boolean (conj/disj)", 8)]["lookups_per_eval"]
+    instance_cost = table[("instance-heavy", 8)]["lookups_per_eval"]
+    assert instance_cost > boolean_cost

@@ -1,0 +1,122 @@
+"""X4 — rule-processing modes on the stock workload.
+
+Chimera's rule processing is parameterized by the EC coupling mode (immediate
+vs. deferred) and the event-consumption mode (consuming vs. preserving); the
+composite-event extension deliberately leaves those semantics untouched
+(paper §1, design principle 3).  This bench runs the same simulated business
+days under the four combinations of a monitoring rule and reports transaction
+throughput, rule considerations and rule executions — showing that coupling
+moves *when* the work happens and consumption changes *how much* history each
+consideration sees, while the underlying event detection stays identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.workloads.stock import StockScenario
+
+DAYS = 3
+OPERATIONS_PER_DAY = 40
+
+MONITOR_RULE_TEMPLATE = """
+define {coupling} {consumption} monitorQty for stock
+events modify(quantity)
+condition stock(S), occurred(modify(stock.quantity), S)
+action modify(stock.onorder, S, S.onorder + 1)
+end
+"""
+
+MODES = [
+    ("immediate", "consuming"),
+    ("immediate", "preserving"),
+    ("deferred", "consuming"),
+    ("deferred", "preserving"),
+]
+
+
+def run_mode(coupling: str, consumption: str) -> dict[str, float]:
+    scenario = StockScenario(items=15, shelf_products=5, seed=77, install_rules=False)
+    scenario.database.define_rule(
+        MONITOR_RULE_TEMPLATE.format(coupling=coupling, consumption=consumption)
+    )
+    start = time.perf_counter()
+    scenario.run_days(DAYS, OPERATIONS_PER_DAY)
+    elapsed = time.perf_counter() - start
+    stats = scenario.database.rule_statistics()["monitorQty"]
+    commit_considerations = sum(
+        1
+        for record in scenario.database.considerations
+        if record.rule_name == "monitorQty" and record.phase == "commit"
+    )
+    onorder_total = sum(
+        obj.get("onorder") or 0 for obj in scenario.database.select("stock")
+    )
+    return {
+        "elapsed": elapsed,
+        "considered": stats["considered"],
+        "executed": stats["executed"],
+        "at_commit": commit_considerations,
+        "onorder_total": onorder_total,
+    }
+
+
+@pytest.fixture(scope="module")
+def mode_results():
+    return {(coupling, consumption): run_mode(coupling, consumption) for coupling, consumption in MODES}
+
+
+def test_x4_rule_processing_modes(benchmark, mode_results):
+    benchmark(run_mode, "immediate", "consuming")
+
+    operations = DAYS * OPERATIONS_PER_DAY
+    rows = [
+        [
+            coupling,
+            consumption,
+            result["considered"],
+            result["executed"],
+            result["at_commit"],
+            result["onorder_total"],
+            f"{operations / result['elapsed']:,.0f} op/s",
+        ]
+        for (coupling, consumption), result in mode_results.items()
+    ]
+    print()
+    print(
+        render_table(
+            [
+                "coupling",
+                "consumption",
+                "considerations",
+                "executions",
+                "at commit",
+                "monitor updates",
+                "throughput",
+            ],
+            rows,
+            title=f"X4 — coupling and consumption modes ({DAYS} days x {OPERATIONS_PER_DAY} operations)",
+        )
+    )
+
+    immediate_consuming = mode_results[("immediate", "consuming")]
+    deferred_consuming = mode_results[("deferred", "consuming")]
+    immediate_preserving = mode_results[("immediate", "preserving")]
+
+    # Immediate rules are considered during the transaction, deferred ones only
+    # at commit: every deferred consideration happens in the commit phase.
+    assert deferred_consuming["at_commit"] == deferred_consuming["considered"]
+    assert immediate_consuming["at_commit"] < immediate_consuming["considered"]
+    # Deferred processing batches the day's updates into (at most) one
+    # consideration per transaction.
+    assert deferred_consuming["considered"] <= DAYS * 2
+    assert immediate_consuming["considered"] > deferred_consuming["considered"]
+    # Consuming vs. preserving does not change how often the rule runs, only
+    # the window its condition observes — with this per-object counter the
+    # preserving variant re-counts the whole transaction at every execution.
+    assert immediate_preserving["onorder_total"] >= immediate_consuming["onorder_total"]
+    # Every mode detected quantity updates and did some work.
+    assert all(result["executed"] > 0 for result in mode_results.values())

@@ -1,0 +1,168 @@
+"""X5 (ablation) — the corrected precedence derivation rule vs. the literal reading.
+
+DESIGN.md note 3: reading Fig. 6 as "a variation of ``E1 < E2`` propagates,
+with its sign, only to ``E2``" is unsound — a new right-operand occurrence can
+flip a precedence either way, and when the right operand contains a negation
+even a left-operand occurrence can activate it.  The shipped implementation
+uses a corrected, conservative rule.
+
+This ablation quantifies the trade-off on a precedence- and negation-heavy
+subscription pool:
+
+* the *literal* rule skips more ts recomputations but **misses triggerings**
+  (unsound);
+* the *corrected* rule skips fewer recomputations and matches the naive
+  detector's triggerings exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines.naive import NaiveDetector, Subscription, _DetectorBase
+from repro.core.expressions import (
+    EventExpression,
+    InstanceNegation,
+    InstancePrecedence,
+    Primitive,
+    SetNegation,
+    SetPrecedence,
+)
+from repro.core.optimization import (
+    RecomputationFilter,
+    Scope,
+    Sign,
+    Variation,
+    derive_variations,
+    simplify_variations,
+)
+from repro.workloads.generator import EventStreamGenerator, ExpressionGenerator
+
+SUBSCRIPTIONS = 24
+BLOCKS = 200
+
+
+# ---------------------------------------------------------------------------
+# The "literal Fig. 6" derivation: precedence propagates the requested sign to
+# its right operand only.  Implemented here (not in the library) because it is
+# unsound; the bench demonstrates why.
+# ---------------------------------------------------------------------------
+
+
+def literal_derive(expression: EventExpression, sign: Sign = Sign.POSITIVE, scope: Scope = Scope.SET):
+    if isinstance(expression, Primitive):
+        return {Variation(expression.event_type, sign, scope)}
+    if isinstance(expression, (SetNegation, InstanceNegation)):
+        next_scope = Scope.OBJECT if isinstance(expression, InstanceNegation) else scope
+        return literal_derive(expression.operand, sign.flipped(), next_scope)
+    if isinstance(expression, (SetPrecedence, InstancePrecedence)):
+        next_scope = Scope.OBJECT if isinstance(expression, InstancePrecedence) else scope
+        return literal_derive(expression.right, sign, next_scope)
+    next_scope = Scope.OBJECT if expression.is_instance_oriented else scope
+    left, right = expression.children()
+    return literal_derive(left, sign, next_scope) | literal_derive(right, sign, next_scope)
+
+
+class LiteralRecomputationFilter(RecomputationFilter):
+    """A V(E) filter built with the literal (unsound) derivation rule."""
+
+    def __init__(self, expression: EventExpression) -> None:
+        self.expression = expression
+        self.variations = simplify_variations(literal_derive(expression))
+        self._positive_types = tuple(
+            variation.event_type
+            for variation in self.variations
+            if variation.sign.includes_positive()
+        )
+        self.checks = 0
+        self.skipped = 0
+
+
+class _AblationDetector(_DetectorBase):
+    def __init__(self, subscriptions, filter_class):
+        super().__init__(subscriptions)
+        self._filters = {
+            subscription.name: filter_class(subscription.expression)
+            for subscription in subscriptions
+        }
+
+    def _should_evaluate(self, subscription, batch):
+        return self._filters[subscription.name].needs_recomputation(batch)
+
+
+def build_workload():
+    expressions = ExpressionGenerator(
+        seed=55, precedence_weight=3.0, negation_weight=2.0, instance_probability=0.15
+    ).expressions(SUBSCRIPTIONS, operators=3)
+    stream = EventStreamGenerator(seed=56, events_per_block=2).blocks(BLOCKS)
+    return expressions, stream
+
+
+def run(detector_factory, expressions, stream):
+    detector = detector_factory(
+        [Subscription(f"r{i}", expression) for i, expression in enumerate(expressions)]
+    )
+    report = detector.feed_stream(stream)
+    return detector, report
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    expressions, stream = build_workload()
+    results = {}
+    results["naive (ground truth)"] = run(NaiveDetector, expressions, stream)[1]
+    results["corrected V(E) (shipped)"] = run(
+        lambda subs: _AblationDetector(subs, RecomputationFilter), expressions, stream
+    )[1]
+    results["literal Fig. 6 rule (unsound)"] = run(
+        lambda subs: _AblationDetector(subs, LiteralRecomputationFilter), expressions, stream
+    )[1]
+    return results
+
+
+def test_x5_derivation_rule_ablation(benchmark, ablation_results):
+    expressions, stream = build_workload()
+
+    def detect_with_corrected_rule():
+        detector = _AblationDetector(
+            [Subscription(f"r{i}", e) for i, e in enumerate(expressions)],
+            RecomputationFilter,
+        )
+        return detector.feed_stream(stream).triggerings
+
+    benchmark(detect_with_corrected_rule)
+
+    truth = ablation_results["naive (ground truth)"].triggerings
+    rows = [
+        [
+            name,
+            report.ts_computations,
+            report.filter_skips,
+            report.triggerings,
+            truth - report.triggerings,
+        ]
+        for name, report in ablation_results.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["strategy", "ts computations", "skipped", "triggerings", "missed"],
+            rows,
+            title=(
+                f"X5 — derivation-rule ablation "
+                f"({SUBSCRIPTIONS} precedence/negation-heavy subscriptions, {BLOCKS} blocks)"
+            ),
+        )
+    )
+
+    corrected = ablation_results["corrected V(E) (shipped)"]
+    literal = ablation_results["literal Fig. 6 rule (unsound)"]
+    # The shipped rule is sound: it detects exactly what the naive detector does.
+    assert corrected.triggerings == truth
+    # It still skips a useful amount of work.
+    assert corrected.filter_skips > 0
+    # The literal reading skips at least as much work but misses triggerings on
+    # this workload — which is precisely why it was corrected.
+    assert literal.filter_skips >= corrected.filter_skips
+    assert literal.triggerings < truth

@@ -1,0 +1,53 @@
+"""Quickstart: the paper's checkStockQty rule on a tiny stock database.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script defines the ``stock`` class, installs the §2 example rule (clamp the
+quantity of newly created stock items to their maximum) and runs one
+transaction that creates two items — one within bounds, one exceeding them.
+"""
+
+from __future__ import annotations
+
+from repro import ChimeraDatabase
+
+CHECK_STOCK_QTY = """
+define immediate checkStockQty for stock
+events create
+condition stock(S), occurred(create(stock), S), S.quantity > S.maxquantity
+action modify(stock.quantity, S, S.maxquantity)
+end
+"""
+
+
+def main() -> None:
+    db = ChimeraDatabase()
+    db.define_class("stock", {"name": str, "quantity": int, "maxquantity": int})
+    rule = db.define_rule(CHECK_STOCK_QTY)
+    print("Installed rule:")
+    print(rule.describe())
+    print()
+
+    with db.transaction() as tx:
+        bolts = tx.create("stock", {"name": "bolts", "quantity": 140, "maxquantity": 100})
+        nuts = tx.create("stock", {"name": "nuts", "quantity": 60, "maxquantity": 100})
+
+    print("After the transaction (the rule ran immediately after each create):")
+    for item in db.select("stock"):
+        print(f"  {item.get('name'):<6} quantity={item.get('quantity'):>4} "
+              f"max={item.get('maxquantity')}")
+    print()
+    print("The over-quantity item was clamped by the rule; the other was left alone.")
+    assert db.get(bolts.oid).get("quantity") == 100
+    assert db.get(nuts.oid).get("quantity") == 60
+
+    print()
+    print("Rule bookkeeping:")
+    for name, counters in db.rule_statistics().items():
+        print(f"  {name}: {counters}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment used for the reproduction has no network access and no
+``wheel`` package, so PEP 660 editable installs (``pip install -e .``) cannot
+build the editable wheel.  This shim lets ``python setup.py develop`` and
+legacy ``pip install -e . --no-build-isolation`` work with plain setuptools;
+all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""Small measurement helpers shared by the benchmark harness.
+
+The benches are pytest-benchmark based, but several experiments also need
+counters (ts computations, triggerings, filter skips) and simple derived
+statistics — this module keeps that logic out of the bench bodies.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+__all__ = ["Timer", "timed", "speedup", "summarize", "Sweep"]
+
+
+@dataclass
+class Timer:
+    """Accumulates wall-clock time over several :func:`timed` sections."""
+
+    elapsed: float = 0.0
+    sections: int = 0
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.elapsed += time.perf_counter() - start
+            self.sections += 1
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Time a single block: ``with timed() as t: ...; t.elapsed``."""
+    timer = Timer()
+    with timer.measure():
+        yield timer
+
+
+def speedup(baseline_seconds: float, optimized_seconds: float) -> float:
+    """Baseline / optimized ratio, guarding against a zero denominator."""
+    if optimized_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / optimized_seconds
+
+
+def summarize(samples: Sequence[float]) -> dict[str, float]:
+    """Mean / median / min / max of a sample list (empty-safe)."""
+    if not samples:
+        return {"mean": 0.0, "median": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": statistics.fmean(samples),
+        "median": statistics.median(samples),
+        "min": min(samples),
+        "max": max(samples),
+    }
+
+
+@dataclass
+class Sweep:
+    """A one-dimensional parameter sweep producing a row per parameter value."""
+
+    parameter: str
+    values: Sequence[Any]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def run(self, experiment: Callable[[Any], dict[str, Any]]) -> list[dict[str, Any]]:
+        """Run ``experiment`` for every parameter value, collecting rows."""
+        self.rows = []
+        for value in self.values:
+            row = {self.parameter: value}
+            row.update(experiment(value))
+            self.rows.append(row)
+        return self.rows
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column of the collected rows."""
+        return [row[name] for row in self.rows]

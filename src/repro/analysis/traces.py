@@ -1,0 +1,102 @@
+"""Sampling of ``ts`` / ``ots`` functions over time (used to regenerate Fig. 5).
+
+Fig. 5 of the paper plots ``ts`` functions of primitive and composite
+expressions over a shared time axis to *show* that De Morgan's rule holds with
+time stamps taken into account.  :func:`ts_trace` samples an expression at a
+set of instants (by default every occurrence time stamp plus the mid-points
+between them), producing the series the bench renders as a text table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.evaluation import EvaluationMode, ots, ts
+from repro.core.expressions import EventExpression
+from repro.events.clock import Timestamp
+from repro.events.event_base import EventWindow
+
+__all__ = ["TracePoint", "Trace", "sample_instants", "ts_trace", "ots_trace"]
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One sample of a ``ts`` function: the instant and the value."""
+
+    instant: Timestamp
+    value: int
+
+    @property
+    def active(self) -> bool:
+        """True when the expression is active at :attr:`instant`."""
+        return self.value > 0
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A sampled ``ts`` (or ``ots``) function for one expression."""
+
+    label: str
+    points: tuple[TracePoint, ...]
+
+    def values(self) -> list[int]:
+        """The sampled values in order."""
+        return [point.value for point in self.points]
+
+    def activity(self) -> list[bool]:
+        """The sampled activity flags in order."""
+        return [point.active for point in self.points]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def sample_instants(window: EventWindow, padding: int = 1) -> list[Timestamp]:
+    """Sampling instants for a window: every occurrence stamp plus ``padding`` after.
+
+    The ``ts`` functions are piecewise constant between occurrence time stamps,
+    so sampling at every stamp (and one instant after the last) captures every
+    value the function takes.
+    """
+    stamps = window.timestamps()
+    if not stamps:
+        return [1]
+    extended = list(stamps)
+    extended.append(stamps[-1] + max(1, padding))
+    return extended
+
+
+def ts_trace(
+    expression: EventExpression,
+    window: EventWindow,
+    instants: Sequence[Timestamp] | None = None,
+    label: str | None = None,
+    mode: EvaluationMode = EvaluationMode.LOGICAL,
+) -> Trace:
+    """Sample the set-oriented ``ts`` function of ``expression``."""
+    sample_points = list(instants) if instants is not None else sample_instants(window)
+    points = tuple(
+        TracePoint(instant, ts(expression, window, instant, mode)) for instant in sample_points
+    )
+    return Trace(label=label or str(expression), points=points)
+
+
+def ots_trace(
+    expression: EventExpression,
+    window: EventWindow,
+    oid: Any,
+    instants: Sequence[Timestamp] | None = None,
+    label: str | None = None,
+    mode: EvaluationMode = EvaluationMode.LOGICAL,
+) -> Trace:
+    """Sample the instance-oriented ``ots`` function for one object."""
+    sample_points = list(instants) if instants is not None else sample_instants(window)
+    points = tuple(
+        TracePoint(instant, ots(expression, window, instant, oid, mode))
+        for instant in sample_points
+    )
+    return Trace(label=label or f"{expression} on {oid}", points=points)

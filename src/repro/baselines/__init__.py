@@ -1,0 +1,23 @@
+"""Baseline composite-event detectors used as benchmark comparison points."""
+
+from repro.baselines.automaton import AutomatonDetector, AutomatonReport, supports_expression
+from repro.baselines.naive import (
+    DetectionReport,
+    FilteredDetector,
+    NaiveDetector,
+    Subscription,
+)
+from repro.baselines.snoop_tree import CompositeOccurrence, SnoopReport, SnoopTreeDetector
+
+__all__ = [
+    "AutomatonDetector",
+    "AutomatonReport",
+    "CompositeOccurrence",
+    "DetectionReport",
+    "FilteredDetector",
+    "NaiveDetector",
+    "SnoopReport",
+    "SnoopTreeDetector",
+    "Subscription",
+    "supports_expression",
+]

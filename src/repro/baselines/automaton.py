@@ -1,0 +1,200 @@
+"""Ode-style automaton detector (related-work baseline, paper §1.1).
+
+Ode observes that composite-event languages built from sequence, disjunction
+and conjunction have the expressive power of regular expressions and checks
+them with finite-state automata over the stream of primitive event
+occurrences.  This module provides such a detector for the *negation-free,
+set-oriented* fragment shared by Chimera's calculus and Ode's algebra:
+
+* a primitive is matched by any occurrence of its event type;
+* ``A < B`` (sequence) requires a match of ``A`` strictly before a match of
+  ``B``;
+* ``A + B`` (conjunction) requires both, in any order;
+* ``A , B`` (disjunction) requires either.
+
+Each subscription keeps a constant-size state vector (one bit and one time
+stamp per AST node), updated once per occurrence, so detection is O(nodes) per
+event regardless of how many occurrences were seen — the classic automaton
+trade-off against the ts-calculus recomputation approach benchmarked in X2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import EvaluationError
+from repro.core.expressions import (
+    EventExpression,
+    Primitive,
+    SetConjunction,
+    SetDisjunction,
+    SetPrecedence,
+)
+from repro.events.clock import Timestamp
+from repro.events.event import EventOccurrence
+
+__all__ = ["AutomatonDetector", "AutomatonReport", "supports_expression"]
+
+
+def supports_expression(expression: EventExpression) -> bool:
+    """True when the expression belongs to the automaton-detectable fragment."""
+    return all(
+        isinstance(node, (Primitive, SetConjunction, SetDisjunction, SetPrecedence))
+        for node in expression.walk()
+    )
+
+
+class _Node:
+    """One automaton cell: accepted flag plus the acceptance time stamp."""
+
+    __slots__ = ("accepted", "accepted_at")
+
+    def __init__(self) -> None:
+        self.accepted = False
+        self.accepted_at: Timestamp | None = None
+
+    def accept(self, timestamp: Timestamp) -> None:
+        self.accepted = True
+        # Keep the most recent acceptance (mirrors the calculus' activation
+        # time stamp being the most recent occurrence).
+        if self.accepted_at is None or timestamp > self.accepted_at:
+            self.accepted_at = timestamp
+
+    def reset(self) -> None:
+        self.accepted = False
+        self.accepted_at = None
+
+
+class _CompiledExpression:
+    """The state vector of one expression, updated one occurrence at a time."""
+
+    def __init__(self, expression: EventExpression) -> None:
+        if not supports_expression(expression):
+            raise EvaluationError(
+                "the automaton baseline only supports the negation-free set-oriented "
+                f"fragment (conjunction, disjunction, precedence); got {expression}"
+            )
+        self.expression = expression
+        self.nodes = list(expression.walk())
+        self.states: dict[int, _Node] = {id(node): _Node() for node in self.nodes}
+
+    def reset(self) -> None:
+        for state in self.states.values():
+            state.reset()
+
+    def update(self, occurrence: EventOccurrence) -> None:
+        """Propagate one occurrence bottom-up through the state vector."""
+        # Visit leaves-to-root so a parent sees its children's updated state;
+        # walk() is pre-order, so reverse iteration gives post-order here.
+        for node in reversed(self.nodes):
+            state = self.states[id(node)]
+            if isinstance(node, Primitive):
+                if node.event_type.matches(occurrence.event_type) or occurrence.event_type.matches(
+                    node.event_type
+                ):
+                    state.accept(occurrence.timestamp)
+                continue
+            if isinstance(node, SetDisjunction):
+                left = self.states[id(node.left)]
+                right = self.states[id(node.right)]
+                if left.accepted:
+                    state.accept(left.accepted_at or occurrence.timestamp)
+                if right.accepted:
+                    state.accept(right.accepted_at or occurrence.timestamp)
+                continue
+            if isinstance(node, SetConjunction):
+                left = self.states[id(node.left)]
+                right = self.states[id(node.right)]
+                if left.accepted and right.accepted:
+                    state.accept(max(left.accepted_at or 0, right.accepted_at or 0))
+                continue
+            if isinstance(node, SetPrecedence):
+                left = self.states[id(node.left)]
+                right = self.states[id(node.right)]
+                if (
+                    left.accepted
+                    and right.accepted
+                    and (left.accepted_at or 0) <= (right.accepted_at or 0)
+                    and not state.accepted
+                ):
+                    # Sequence: the left part must have been accepted no later
+                    # than the right part's acceptance.
+                    state.accept(right.accepted_at or occurrence.timestamp)
+                continue
+
+    @property
+    def accepted(self) -> bool:
+        return self.states[id(self.expression)].accepted
+
+    @property
+    def accepted_at(self) -> Timestamp | None:
+        return self.states[id(self.expression)].accepted_at
+
+
+@dataclass
+class AutomatonReport:
+    """Counters accumulated by the automaton detector."""
+
+    blocks: int = 0
+    occurrences: int = 0
+    node_updates: int = 0
+    triggerings: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for report tables."""
+        return {
+            "blocks": self.blocks,
+            "occurrences": self.occurrences,
+            "node_updates": self.node_updates,
+            "triggerings": self.triggerings,
+        }
+
+
+@dataclass
+class _AutomatonSubscription:
+    name: str
+    compiled: _CompiledExpression
+    triggerings: int = 0
+
+
+class AutomatonDetector:
+    """Detects a set of subscriptions with per-event incremental state updates."""
+
+    def __init__(self, subscriptions: Sequence[tuple[str, EventExpression]]) -> None:
+        self.subscriptions = [
+            _AutomatonSubscription(name, _CompiledExpression(expression))
+            for name, expression in subscriptions
+        ]
+        self.report = AutomatonReport()
+
+    def feed_block(self, batch: Sequence[EventOccurrence]) -> list[str]:
+        """Process a block; returns the names of the subscriptions that fired."""
+        self.report.blocks += 1
+        self.report.occurrences += len(batch)
+        fired: list[str] = []
+        for occurrence in batch:
+            for subscription in self.subscriptions:
+                subscription.compiled.update(occurrence)
+                self.report.node_updates += len(subscription.compiled.nodes)
+        for subscription in self.subscriptions:
+            if subscription.compiled.accepted:
+                subscription.triggerings += 1
+                self.report.triggerings += 1
+                fired.append(subscription.name)
+                # Model immediate consideration: consume and start over.
+                subscription.compiled.reset()
+        return fired
+
+    def feed_stream(self, blocks: Sequence[Sequence[EventOccurrence]]) -> AutomatonReport:
+        """Feed a whole stream of blocks and return the accumulated report."""
+        for block in blocks:
+            self.feed_block(block)
+        return self.report
+
+    def reset(self) -> None:
+        """Reset every subscription (new run)."""
+        self.report = AutomatonReport()
+        for subscription in self.subscriptions:
+            subscription.compiled.reset()
+            subscription.triggerings = 0

@@ -1,0 +1,177 @@
+"""Naive re-evaluation baseline.
+
+The paper's Trigger Support recomputes ``ts`` only for rules whose ``V(E)``
+filter matches the newly arrived occurrences (§5.1).  The natural baseline is
+the system without the optimization: after every execution block, recompute the
+triggering condition of *every* untriggered rule.  This module provides that
+baseline as a detector over plain event streams, so the X1/X2 benchmarks can
+compare detectors independently of the full database machinery.
+
+The detector is deliberately simple (linear scans over the occurrence list);
+the comparison of interest in X1 is the *number of ts computations*, which is
+implementation-independent, plus the resulting wall-clock effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.evaluation import EvaluationMode, EvaluationStats, ts
+from repro.core.expressions import EventExpression
+from repro.core.optimization import RecomputationFilter
+from repro.events.clock import Timestamp
+from repro.events.event import EventOccurrence
+from repro.events.event_base import EventWindow
+
+__all__ = ["Subscription", "DetectionReport", "NaiveDetector", "FilteredDetector"]
+
+
+@dataclass
+class Subscription:
+    """One monitored rule: an event expression plus its consumption state."""
+
+    name: str
+    expression: EventExpression
+    last_consideration: Timestamp | None = None
+    triggered: bool = False
+    triggerings: int = 0
+    #: Whether the subscription's window has been evaluated non-empty since the
+    #: last consideration; the V(E) filter is only sound once this is True (see
+    #: repro.rules.trigger_support for the rationale).
+    had_nonempty_window: bool = False
+
+    def reset(self) -> None:
+        """Forget all run-time state (new experiment run)."""
+        self.last_consideration = None
+        self.triggered = False
+        self.triggerings = 0
+        self.had_nonempty_window = False
+
+
+@dataclass
+class DetectionReport:
+    """Counters accumulated while feeding a stream into a detector."""
+
+    blocks: int = 0
+    occurrences: int = 0
+    ts_computations: int = 0
+    filter_skips: int = 0
+    triggerings: int = 0
+    evaluation: EvaluationStats = field(default_factory=EvaluationStats)
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for report tables."""
+        return {
+            "blocks": self.blocks,
+            "occurrences": self.occurrences,
+            "ts_computations": self.ts_computations,
+            "filter_skips": self.filter_skips,
+            "triggerings": self.triggerings,
+            "primitive_lookups": self.evaluation.primitive_lookups,
+        }
+
+
+class _DetectorBase:
+    """Shared stream-feeding loop for the ts-calculus detectors."""
+
+    def __init__(
+        self,
+        subscriptions: Sequence[Subscription],
+        mode: EvaluationMode = EvaluationMode.LOGICAL,
+        consume_on_trigger: bool = True,
+    ) -> None:
+        self.subscriptions = list(subscriptions)
+        self.mode = mode
+        self.consume_on_trigger = consume_on_trigger
+        self.report = DetectionReport()
+        self._history: list[EventOccurrence] = []
+
+    # -- hooks ------------------------------------------------------------
+    def _should_evaluate(
+        self, subscription: Subscription, batch: Sequence[EventOccurrence]
+    ) -> bool:
+        raise NotImplementedError
+
+    # -- feeding ------------------------------------------------------------
+    def feed_block(self, batch: Sequence[EventOccurrence]) -> list[Subscription]:
+        """Process one block of occurrences; returns the subscriptions that fired."""
+        self.report.blocks += 1
+        self.report.occurrences += len(batch)
+        self._history.extend(batch)
+        if not batch:
+            return []
+        now = max(occurrence.timestamp for occurrence in batch)
+        fired: list[Subscription] = []
+        for subscription in self.subscriptions:
+            if subscription.triggered:
+                continue
+            filter_applicable = subscription.had_nonempty_window
+            if filter_applicable and not self._should_evaluate(subscription, batch):
+                self.report.filter_skips += 1
+                continue
+            window = EventWindow(
+                self._history, after=subscription.last_consideration, until=now
+            )
+            self.report.ts_computations += 1
+            if window.is_empty():
+                continue
+            subscription.had_nonempty_window = True
+            value = ts(subscription.expression, window, now, self.mode, self.report.evaluation)
+            if value > 0:
+                subscription.triggered = True
+                subscription.triggerings += 1
+                self.report.triggerings += 1
+                fired.append(subscription)
+                if self.consume_on_trigger:
+                    # Model immediate consideration: detrigger right away and
+                    # consume the occurrences seen so far.
+                    subscription.triggered = False
+                    subscription.last_consideration = now
+                    subscription.had_nonempty_window = False
+        return fired
+
+    def feed_stream(
+        self, blocks: Sequence[Sequence[EventOccurrence]]
+    ) -> DetectionReport:
+        """Feed a whole stream of blocks and return the accumulated report."""
+        for block in blocks:
+            self.feed_block(block)
+        return self.report
+
+    def reset(self) -> None:
+        """Reset detector and subscription state (new run over a new stream)."""
+        self.report = DetectionReport()
+        self._history = []
+        for subscription in self.subscriptions:
+            subscription.reset()
+
+
+class NaiveDetector(_DetectorBase):
+    """Recomputes ``ts`` for every subscription after every block."""
+
+    def _should_evaluate(
+        self, subscription: Subscription, batch: Sequence[EventOccurrence]
+    ) -> bool:
+        return True
+
+
+class FilteredDetector(_DetectorBase):
+    """The paper's optimized detector: ``V(E)`` filters recomputations."""
+
+    def __init__(
+        self,
+        subscriptions: Sequence[Subscription],
+        mode: EvaluationMode = EvaluationMode.LOGICAL,
+        consume_on_trigger: bool = True,
+    ) -> None:
+        super().__init__(subscriptions, mode, consume_on_trigger)
+        self._filters = {
+            subscription.name: RecomputationFilter(subscription.expression)
+            for subscription in subscriptions
+        }
+
+    def _should_evaluate(
+        self, subscription: Subscription, batch: Sequence[EventOccurrence]
+    ) -> bool:
+        return self._filters[subscription.name].needs_recomputation(batch)

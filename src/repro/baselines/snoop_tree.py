@@ -1,0 +1,197 @@
+"""Snoop-style occurrence-tree detector (related-work baseline, paper §1.1).
+
+Snoop detects composite events with an operator tree whose leaves collect
+primitive event occurrences and whose internal nodes combine *constituent
+occurrences* of their children into composite occurrences.  Unlike the
+automaton baseline (which only keeps a boolean per node) this detector carries
+the constituent occurrences upwards, in the spirit of Snoop's *recent* context:
+each node keeps the most recent composite occurrence it produced.
+
+The fragment covered is the same negation-free, set-oriented one used for the
+X2 comparison: conjunction, disjunction and sequence over primitive event
+types.  The value of the baseline is twofold: it cross-checks the ts-calculus
+triggerings, and it measures the cost of maintaining constituent information
+that Chimera intentionally pushes to the condition part (the ``occurred``
+formula) instead of the event part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import EvaluationError
+from repro.core.expressions import (
+    EventExpression,
+    Primitive,
+    SetConjunction,
+    SetDisjunction,
+    SetPrecedence,
+)
+from repro.events.clock import Timestamp
+from repro.events.event import EventOccurrence
+
+__all__ = ["CompositeOccurrence", "SnoopTreeDetector", "SnoopReport"]
+
+
+@dataclass(frozen=True)
+class CompositeOccurrence:
+    """A detected composite occurrence: its constituents and its time stamp."""
+
+    constituents: tuple[EventOccurrence, ...]
+    timestamp: Timestamp
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"e{occurrence.eid}" for occurrence in self.constituents)
+        return f"<{inner}>@t{self.timestamp}"
+
+
+class _TreeNode:
+    """Base class of detector tree nodes (recent-context semantics)."""
+
+    def __init__(self) -> None:
+        self.current: CompositeOccurrence | None = None
+
+    def update(self, occurrence: EventOccurrence) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self.current = None
+
+
+class _LeafNode(_TreeNode):
+    def __init__(self, primitive: Primitive) -> None:
+        super().__init__()
+        self.primitive = primitive
+
+    def update(self, occurrence: EventOccurrence) -> None:
+        matches = self.primitive.event_type.matches(
+            occurrence.event_type
+        ) or occurrence.event_type.matches(self.primitive.event_type)
+        if matches:
+            # Recent context: the newest occurrence replaces the previous one.
+            self.current = CompositeOccurrence((occurrence,), occurrence.timestamp)
+
+
+class _BinaryNode(_TreeNode):
+    def __init__(self, left: _TreeNode, right: _TreeNode) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def reset(self) -> None:
+        super().reset()
+        self.left.reset()
+        self.right.reset()
+
+
+class _DisjunctionNode(_BinaryNode):
+    def update(self, occurrence: EventOccurrence) -> None:
+        self.left.update(occurrence)
+        self.right.update(occurrence)
+        candidates = [c for c in (self.left.current, self.right.current) if c is not None]
+        if candidates:
+            self.current = max(candidates, key=lambda candidate: candidate.timestamp)
+
+
+class _ConjunctionNode(_BinaryNode):
+    def update(self, occurrence: EventOccurrence) -> None:
+        self.left.update(occurrence)
+        self.right.update(occurrence)
+        if self.left.current is not None and self.right.current is not None:
+            self.current = CompositeOccurrence(
+                self.left.current.constituents + self.right.current.constituents,
+                max(self.left.current.timestamp, self.right.current.timestamp),
+            )
+
+
+class _SequenceNode(_BinaryNode):
+    def update(self, occurrence: EventOccurrence) -> None:
+        self.left.update(occurrence)
+        self.right.update(occurrence)
+        left, right = self.left.current, self.right.current
+        if left is not None and right is not None and left.timestamp <= right.timestamp:
+            self.current = CompositeOccurrence(
+                left.constituents + right.constituents, right.timestamp
+            )
+
+
+def _compile(expression: EventExpression) -> _TreeNode:
+    if isinstance(expression, Primitive):
+        return _LeafNode(expression)
+    if isinstance(expression, SetDisjunction):
+        return _DisjunctionNode(_compile(expression.left), _compile(expression.right))
+    if isinstance(expression, SetConjunction):
+        return _ConjunctionNode(_compile(expression.left), _compile(expression.right))
+    if isinstance(expression, SetPrecedence):
+        return _SequenceNode(_compile(expression.left), _compile(expression.right))
+    raise EvaluationError(
+        "the Snoop-style baseline only supports the negation-free set-oriented fragment "
+        f"(got {expression})"
+    )
+
+
+@dataclass
+class SnoopReport:
+    """Counters accumulated by the occurrence-tree detector."""
+
+    blocks: int = 0
+    occurrences: int = 0
+    triggerings: int = 0
+    composites: list[CompositeOccurrence] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for report tables."""
+        return {
+            "blocks": self.blocks,
+            "occurrences": self.occurrences,
+            "triggerings": self.triggerings,
+            "composites": len(self.composites),
+        }
+
+
+@dataclass
+class _SnoopSubscription:
+    name: str
+    root: _TreeNode
+    triggerings: int = 0
+
+
+class SnoopTreeDetector:
+    """Detects subscriptions with Snoop-style occurrence trees (recent context)."""
+
+    def __init__(self, subscriptions: Sequence[tuple[str, EventExpression]]) -> None:
+        self.subscriptions = [
+            _SnoopSubscription(name, _compile(expression)) for name, expression in subscriptions
+        ]
+        self.report = SnoopReport()
+
+    def feed_block(self, batch: Sequence[EventOccurrence]) -> list[str]:
+        """Process a block; returns the names of the subscriptions that fired."""
+        self.report.blocks += 1
+        self.report.occurrences += len(batch)
+        fired: list[str] = []
+        for occurrence in batch:
+            for subscription in self.subscriptions:
+                subscription.root.update(occurrence)
+        for subscription in self.subscriptions:
+            if subscription.root.current is not None:
+                self.report.composites.append(subscription.root.current)
+                subscription.triggerings += 1
+                self.report.triggerings += 1
+                fired.append(subscription.name)
+                subscription.root.reset()
+        return fired
+
+    def feed_stream(self, blocks: Sequence[Sequence[EventOccurrence]]) -> SnoopReport:
+        """Feed a whole stream of blocks and return the accumulated report."""
+        for block in blocks:
+            self.feed_block(block)
+        return self.report
+
+    def reset(self) -> None:
+        """Reset every subscription (new run)."""
+        self.report = SnoopReport()
+        for subscription in self.subscriptions:
+            subscription.root.reset()
+            subscription.triggerings = 0

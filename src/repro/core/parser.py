@@ -1,0 +1,219 @@
+"""Textual parser for composite event expressions.
+
+The concrete syntax follows the paper (Fig. 1):
+
+* primitive event types: ``create(stock)``, ``modify(stock.quantity)``, ...
+* set-oriented operators: ``-E`` (negation), ``A + B`` (conjunction),
+  ``A < B`` (precedence), ``A , B`` (disjunction);
+* instance-oriented operators: the same symbols suffixed with ``=`` —
+  ``-=E``, ``A += B``, ``A <= B``, ``A ,= B``;
+* parentheses for grouping.
+
+Priorities (decreasing): instance negation, instance conjunction/precedence,
+instance disjunction, set negation, set conjunction/precedence, set
+disjunction.  Binary operators of equal priority associate to the left.
+
+The grammar::
+
+    expression   := set_disj
+    set_disj     := set_conj   ( ","  set_conj )*
+    set_conj     := set_unary  ( ("+" | "<") set_unary )*
+    set_unary    := "-" set_unary | inst_disj
+    inst_disj    := inst_conj  ( ",=" inst_conj )*
+    inst_conj    := inst_unary ( ("+=" | "<=") inst_unary )*
+    inst_unary   := "-=" inst_unary | primary
+    primary      := primitive | "(" expression ")"
+    primitive    := IDENT "(" IDENT ("." IDENT)? ")"
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ExpressionSyntaxError
+from repro.core.expressions import (
+    EventExpression,
+    InstanceConjunction,
+    InstanceDisjunction,
+    InstanceNegation,
+    InstancePrecedence,
+    Primitive,
+    SetConjunction,
+    SetDisjunction,
+    SetNegation,
+    SetPrecedence,
+)
+from repro.events.event import EventType, Operation
+
+__all__ = ["parse_expression", "format_expression", "Token", "tokenize"]
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<OP>,=|\+=|<=|-=|,|\+|<|-)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<DOT>\.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: ``kind`` is IDENT, OP, LPAREN, RPAREN, DOT or END."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split an expression string into tokens, raising on unknown characters."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ExpressionSyntaxError(
+                f"unexpected character {text[position]!r}", text, position
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(Token("END", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _accept_op(self, *symbols: str) -> Token | None:
+        token = self._peek()
+        if token.kind == "OP" and token.text in symbols:
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, description: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ExpressionSyntaxError(
+                f"expected {description}, found {token.text or 'end of input'!r}",
+                self.text,
+                token.position,
+            )
+        return self._advance()
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> EventExpression:
+        expression = self._set_disjunction()
+        trailing = self._peek()
+        if trailing.kind != "END":
+            raise ExpressionSyntaxError(
+                f"unexpected trailing input {trailing.text!r}", self.text, trailing.position
+            )
+        return expression
+
+    def _set_disjunction(self) -> EventExpression:
+        expression = self._set_conjunction()
+        while self._accept_op(","):
+            expression = SetDisjunction(expression, self._set_conjunction())
+        return expression
+
+    def _set_conjunction(self) -> EventExpression:
+        expression = self._set_unary()
+        while True:
+            if self._accept_op("+"):
+                expression = SetConjunction(expression, self._set_unary())
+            elif self._accept_op("<"):
+                expression = SetPrecedence(expression, self._set_unary())
+            else:
+                return expression
+
+    def _set_unary(self) -> EventExpression:
+        if self._accept_op("-"):
+            return SetNegation(self._set_unary())
+        return self._instance_disjunction()
+
+    def _instance_disjunction(self) -> EventExpression:
+        expression = self._instance_conjunction()
+        while self._accept_op(",="):
+            expression = InstanceDisjunction(expression, self._instance_conjunction())
+        return expression
+
+    def _instance_conjunction(self) -> EventExpression:
+        expression = self._instance_unary()
+        while True:
+            if self._accept_op("+="):
+                expression = InstanceConjunction(expression, self._instance_unary())
+            elif self._accept_op("<="):
+                expression = InstancePrecedence(expression, self._instance_unary())
+            else:
+                return expression
+
+    def _instance_unary(self) -> EventExpression:
+        if self._accept_op("-="):
+            return InstanceNegation(self._instance_unary())
+        return self._primary()
+
+    def _primary(self) -> EventExpression:
+        token = self._peek()
+        if token.kind == "LPAREN":
+            self._advance()
+            expression = self._set_disjunction()
+            self._expect("RPAREN", "')'")
+            return expression
+        if token.kind == "IDENT":
+            return self._primitive()
+        raise ExpressionSyntaxError(
+            f"expected an event type or '(', found {token.text or 'end of input'!r}",
+            self.text,
+            token.position,
+        )
+
+    def _primitive(self) -> Primitive:
+        operation_token = self._expect("IDENT", "an operation name")
+        try:
+            operation = Operation.from_name(operation_token.text)
+        except Exception as exc:
+            raise ExpressionSyntaxError(
+                str(exc), self.text, operation_token.position
+            ) from exc
+        self._expect("LPAREN", "'(' after the operation name")
+        class_token = self._expect("IDENT", "a class name")
+        attribute: str | None = None
+        if self._peek().kind == "DOT":
+            self._advance()
+            attribute = self._expect("IDENT", "an attribute name").text
+        self._expect("RPAREN", "')' closing the event type")
+        return Primitive(EventType(operation, class_token.text, attribute))
+
+
+def parse_expression(text: str) -> EventExpression:
+    """Parse a textual composite event expression into its AST."""
+    if not text or not text.strip():
+        raise ExpressionSyntaxError("empty event expression", text, 0)
+    return _Parser(text).parse()
+
+
+def format_expression(expression: EventExpression) -> str:
+    """Render an expression back to parseable text (inverse of :func:`parse_expression`)."""
+    return str(expression)

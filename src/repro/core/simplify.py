@@ -1,0 +1,139 @@
+"""Expression simplification based on the §4.3 algebraic laws.
+
+Rules are free to use redundant event expressions (generated rules, macro
+expansion, or simply verbose authors); the laws of :mod:`repro.core.laws` let
+us rewrite them into smaller equivalents before the Trigger Support starts
+paying for their evaluation after every block.
+
+Only *exact* laws are applied — the simplified expression has the same ``ts``
+value as the original for every window and instant, not merely the same
+activity — so simplification is always safe, including for event formulas that
+read the activation time stamp:
+
+* set-oriented double negation elimination (``--E`` → ``E``);
+* idempotence of conjunction and disjunction (``E + E`` → ``E``), applied
+  modulo associativity and commutativity: chains of the same operator are
+  flattened, deduplicated structurally and rebuilt in a canonical order;
+* the same idempotence for the instance-oriented conjunction and disjunction.
+
+Two rewrites are deliberately *not* applied:
+
+* precedence is left untouched (it is neither associative nor idempotent);
+* instance-oriented double negation (``-=-=E``) is **not** collapsed: the
+  rewrite is exact per object (``ots``), but when the expression appears
+  inside a set-oriented context its lift depends on the top-level operator
+  (negation lifts universally over the affected objects, everything else
+  existentially), so ``-=-=E`` and ``E`` can differ at the set level — e.g.
+  over a window with no affected object at all.  The same caveat applies to
+  pushing instance negations through De Morgan
+  (:func:`repro.core.laws.negation_normal_form`).
+"""
+
+from __future__ import annotations
+
+from repro.core.expressions import (
+    EventExpression,
+    InstanceConjunction,
+    InstanceDisjunction,
+    InstanceNegation,
+    InstancePrecedence,
+    Primitive,
+    SetConjunction,
+    SetDisjunction,
+    SetNegation,
+    SetPrecedence,
+)
+
+__all__ = ["simplify_expression", "simplification_report"]
+
+
+_ASSOCIATIVE_OPERATORS = (
+    SetConjunction,
+    SetDisjunction,
+    InstanceConjunction,
+    InstanceDisjunction,
+)
+
+
+def _flatten(expression: EventExpression, operator: type) -> list[EventExpression]:
+    """Operands of a maximal same-operator chain (left-fold flattening)."""
+    if isinstance(expression, operator):
+        return _flatten(expression.left, operator) + _flatten(expression.right, operator)
+    return [expression]
+
+
+def _canonical_key(expression: EventExpression) -> str:
+    """A deterministic ordering key (textual form is structural and total)."""
+    return str(expression)
+
+
+def _rebuild_chain(operator: type, operands: list[EventExpression]) -> EventExpression:
+    result = operands[0]
+    for operand in operands[1:]:
+        result = operator(result, operand)
+    return result
+
+
+def simplify_expression(expression: EventExpression) -> EventExpression:
+    """Return an exactly equivalent, never larger, canonical expression."""
+    # Simplify bottom-up.
+    if isinstance(expression, Primitive):
+        return expression
+
+    if isinstance(expression, (SetNegation, InstanceNegation)):
+        operand = simplify_expression(expression.operand)
+        if isinstance(expression, SetNegation) and isinstance(operand, SetNegation):
+            return operand.operand
+        # Instance double negation is NOT collapsed: the set-level lift of a
+        # negation is universal over the affected objects, so -=-=E and E can
+        # differ once lifted (see the module docstring).
+        return type(expression)(operand)
+
+    if isinstance(expression, (SetPrecedence, InstancePrecedence)):
+        return type(expression)(
+            simplify_expression(expression.left), simplify_expression(expression.right)
+        )
+
+    if isinstance(expression, _ASSOCIATIVE_OPERATORS):
+        operator = type(expression)
+        operands = [
+            simplify_expression(operand) for operand in _flatten(expression, operator)
+        ]
+        # Re-flatten: simplifying an operand may expose a nested chain again
+        # (e.g. double negation around a conjunction).
+        flattened: list[EventExpression] = []
+        for operand in operands:
+            flattened.extend(_flatten(operand, operator))
+        # Idempotence modulo commutativity: drop structural duplicates, keep a
+        # canonical order so equivalent chains simplify to the same tree.
+        unique: dict[EventExpression, None] = {}
+        for operand in flattened:
+            unique.setdefault(operand)
+        ordered = sorted(unique, key=_canonical_key)
+        if (
+            len(ordered) == 1
+            and expression.is_instance_oriented
+            and isinstance(ordered[0], InstanceNegation)
+        ):
+            # Collapsing an instance chain down to a bare instance negation
+            # would change how the sub-expression lifts into a set context
+            # (negations lift universally, other operators existentially), so
+            # keep the chain operator on top; the result is still one node
+            # smaller than any chain of three or more duplicates.
+            return operator(ordered[0], ordered[0])
+        return _rebuild_chain(operator, ordered)
+
+    raise TypeError(f"cannot simplify node of type {type(expression).__name__}")
+
+
+def simplification_report(expression: EventExpression) -> dict[str, object]:
+    """Simplify and report the size reduction (for logs and benches)."""
+    simplified = simplify_expression(expression)
+    return {
+        "original": expression,
+        "simplified": simplified,
+        "original_size": expression.size(),
+        "simplified_size": simplified.size(),
+        "nodes_removed": expression.size() - simplified.size(),
+        "changed": simplified != expression,
+    }

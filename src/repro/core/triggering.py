@@ -1,0 +1,111 @@
+"""Rule-triggering semantics (paper §4.5, predicate ``T(r, t)``).
+
+A rule ``r`` with triggering event expression ``rE`` and last-consideration
+time stamp ``r.t'`` is triggered at time ``t`` iff::
+
+    R = { e in EB | r.t' < timestamp(e) <= t }
+    T(r, t)  <=>  R != {}  and  exists t1 in (r.t', t] with ts(rE, t1) > 0
+
+The ``R != {}`` side condition keeps the system *reactive*: a rule whose event
+expression is a pure negation would otherwise fire spontaneously, with no new
+event occurrence to react to.
+
+Two evaluation strategies are provided:
+
+* :func:`is_triggered` — the exact predicate: the existential over ``t1`` is
+  decided by sampling ``ts`` at every distinct occurrence time stamp in the
+  window and at ``t`` itself (``ts`` can only change value at occurrence time
+  stamps, so this sampling is complete);
+* :func:`is_triggered_now` — the incremental approximation used by the running
+  system, which only looks at the current instant.  The Trigger Support calls
+  it after every execution block, so the sampling over blocks converges to the
+  exact predicate whenever blocks are the unit of event generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluation import EvaluationMode, EvaluationStats, ts
+from repro.core.expressions import EventExpression
+from repro.events.clock import Timestamp
+from repro.events.event_base import EventBase, EventWindow
+
+__all__ = ["TriggeringDecision", "is_triggered", "is_triggered_now", "triggering_window"]
+
+
+@dataclass(frozen=True)
+class TriggeringDecision:
+    """The outcome of evaluating ``T(r, t)`` with its supporting evidence."""
+
+    triggered: bool
+    instant: Timestamp | None
+    ts_value: int | None
+    window_size: int
+
+    def __bool__(self) -> bool:
+        return self.triggered
+
+
+def triggering_window(
+    event_base: EventBase,
+    last_consideration: Timestamp | None,
+    now: Timestamp,
+) -> EventWindow:
+    """The window ``R`` of occurrences newer than the last consideration."""
+    return event_base.window(after=last_consideration, until=now)
+
+
+def is_triggered(
+    expression: EventExpression,
+    event_base: EventBase | EventWindow,
+    last_consideration: Timestamp | None,
+    now: Timestamp,
+    mode: EvaluationMode = EvaluationMode.LOGICAL,
+    stats: EvaluationStats | None = None,
+) -> TriggeringDecision:
+    """Exact evaluation of the triggering predicate ``T(r, t)``.
+
+    ``event_base`` may be the full EB (the window is carved out of it) or an
+    already-built window.  The existential over ``t1`` is decided by sampling
+    every distinct time stamp in the window plus ``now``.
+    """
+    window = _as_window(event_base, last_consideration, now)
+    if window.is_empty():
+        return TriggeringDecision(False, None, None, 0)
+    candidates = [stamp for stamp in window.timestamps() if stamp <= now]
+    if now not in candidates:
+        candidates.append(now)
+    for instant in candidates:
+        value = ts(expression, window, instant, mode, stats)
+        if value > 0:
+            return TriggeringDecision(True, instant, value, len(window))
+    return TriggeringDecision(False, None, None, len(window))
+
+
+def is_triggered_now(
+    expression: EventExpression,
+    event_base: EventBase | EventWindow,
+    last_consideration: Timestamp | None,
+    now: Timestamp,
+    mode: EvaluationMode = EvaluationMode.LOGICAL,
+    stats: EvaluationStats | None = None,
+) -> TriggeringDecision:
+    """Incremental approximation: evaluate ``ts`` only at the current instant."""
+    window = _as_window(event_base, last_consideration, now)
+    if window.is_empty():
+        return TriggeringDecision(False, None, None, 0)
+    value = ts(expression, window, now, mode, stats)
+    if value > 0:
+        return TriggeringDecision(True, now, value, len(window))
+    return TriggeringDecision(False, None, None, len(window))
+
+
+def _as_window(
+    event_base: EventBase | EventWindow,
+    last_consideration: Timestamp | None,
+    now: Timestamp,
+) -> EventWindow:
+    if isinstance(event_base, EventWindow):
+        return event_base
+    return triggering_window(event_base, last_consideration, now)

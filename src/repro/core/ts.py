@@ -1,0 +1,62 @@
+"""The ``ts`` value domain and the unit-step function ``u``.
+
+The calculus maps every event expression ``E``, time instant ``t`` and window
+``R`` of occurrences to a signed integer ``ts(E, t)``:
+
+* ``ts > 0`` — ``E`` is *active*; the value is the activation time stamp (the
+  most recent instant at which the composite event occurred);
+* ``ts <= 0`` — ``E`` is *not active*; the paper fixes the value at ``-t`` so
+  that negation is simply sign flipping.
+
+:class:`TsValue` is a small wrapper that carries the raw signed number together
+with the instant it was computed at, and exposes the derived notions
+(:attr:`is_active`, :attr:`activation_timestamp`).  The evaluators work on raw
+integers for speed; the wrapper is what the public API returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events.clock import Timestamp
+
+__all__ = ["unit_step", "TsValue"]
+
+
+def unit_step(value: int) -> int:
+    """The paper's ``u`` function: 1 for positive arguments, 0 otherwise.
+
+    ``u(ts(E, t))`` is the occurrence predicate ``occ(E, t)`` in numeric form;
+    the algebraic semantics of every operator is written as products and sums
+    of ``u`` terms.
+    """
+    return 1 if value > 0 else 0
+
+
+@dataclass(frozen=True)
+class TsValue:
+    """A ``ts`` (or ``ots``) value together with the instant it refers to."""
+
+    value: int
+    instant: Timestamp
+
+    @property
+    def is_active(self) -> bool:
+        """True when the expression is active at :attr:`instant`."""
+        return self.value > 0
+
+    @property
+    def activation_timestamp(self) -> Timestamp | None:
+        """The activation time stamp, or None when the expression is inactive."""
+        return self.value if self.value > 0 else None
+
+    def __bool__(self) -> bool:
+        return self.is_active
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        if self.is_active:
+            return f"active@t{self.value} (evaluated at t{self.instant})"
+        return f"inactive (evaluated at t{self.instant})"

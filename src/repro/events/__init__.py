@@ -1,0 +1,45 @@
+"""Event substrate: occurrences, clocks, the Event Base and the Occurred-Events tree."""
+
+from repro.events.clock import SharedTickClock, Timestamp, TransactionClock
+from repro.events.event import (
+    EidGenerator,
+    EventOccurrence,
+    EventType,
+    Operation,
+    parse_event_type,
+)
+from repro.events.event_base import EventBase, EventWindow
+from repro.events.event_tree import EventLeaf, OccurredEventsTree
+from repro.events.persistence import (
+    load_event_base,
+    load_occurrences,
+    save_event_base,
+    dump_occurrences,
+)
+from repro.events.timers import (
+    ExternalEventSource,
+    TemporalEventPlanner,
+    external_event_type,
+)
+
+__all__ = [
+    "EidGenerator",
+    "EventBase",
+    "EventLeaf",
+    "EventOccurrence",
+    "EventType",
+    "EventWindow",
+    "ExternalEventSource",
+    "OccurredEventsTree",
+    "Operation",
+    "SharedTickClock",
+    "TemporalEventPlanner",
+    "Timestamp",
+    "TransactionClock",
+    "dump_occurrences",
+    "external_event_type",
+    "load_event_base",
+    "load_occurrences",
+    "parse_event_type",
+    "save_event_base",
+]

@@ -1,0 +1,325 @@
+"""The Event Base (EB) and event windows.
+
+The Event Base is "the log containing all the event occurrences since the
+beginning of the transaction" (paper §4.1, Fig. 3).  The composite-event
+calculus, however, is never applied to the whole EB directly: the triggering
+semantics (paper §4.5) selects a *window* ``R`` of occurrences — typically the
+occurrences newer than a rule's last consideration — and the ``ts`` / ``ots``
+functions are computed over that window.  :class:`EventWindow` is that view.
+
+Both structures index occurrences by event type and by (event type, OID) so
+that the calculus can answer its two fundamental questions in O(log n):
+
+* the most recent occurrence of a type at or before time ``t``;
+* the most recent occurrence of a type *on a given object* at or before ``t``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import EventCalculusError
+from repro.events.clock import Timestamp
+from repro.events.event import EidGenerator, EventOccurrence, EventType
+
+__all__ = ["EventBase", "EventWindow"]
+
+
+class _TypeIndex:
+    """Per-event-type index of occurrences ordered by time stamp.
+
+    Keeps parallel lists of time stamps and occurrences (sorted by time stamp,
+    ties broken by insertion order) plus a per-OID sub-index of time stamps.
+    """
+
+    __slots__ = ("timestamps", "occurrences", "per_oid")
+
+    def __init__(self) -> None:
+        self.timestamps: list[Timestamp] = []
+        self.occurrences: list[EventOccurrence] = []
+        self.per_oid: dict[Any, list[Timestamp]] = defaultdict(list)
+
+    def add(self, occurrence: EventOccurrence) -> None:
+        position = bisect.bisect_right(self.timestamps, occurrence.timestamp)
+        self.timestamps.insert(position, occurrence.timestamp)
+        self.occurrences.insert(position, occurrence)
+        oid_times = self.per_oid[occurrence.oid]
+        oid_position = bisect.bisect_right(oid_times, occurrence.timestamp)
+        oid_times.insert(oid_position, occurrence.timestamp)
+
+    def last_at_or_before(self, instant: Timestamp) -> Timestamp | None:
+        position = bisect.bisect_right(self.timestamps, instant)
+        if position == 0:
+            return None
+        return self.timestamps[position - 1]
+
+    def last_on_oid_at_or_before(self, oid: Any, instant: Timestamp) -> Timestamp | None:
+        times = self.per_oid.get(oid)
+        if not times:
+            return None
+        position = bisect.bisect_right(times, instant)
+        if position == 0:
+            return None
+        return times[position - 1]
+
+    def occurrences_at_or_before(self, instant: Timestamp) -> Sequence[EventOccurrence]:
+        position = bisect.bisect_right(self.timestamps, instant)
+        return self.occurrences[:position]
+
+
+class _OccurrenceStore:
+    """Shared implementation of occurrence storage and indexed lookups."""
+
+    def __init__(self) -> None:
+        self._occurrences: list[EventOccurrence] = []
+        self._by_type: dict[EventType, _TypeIndex] = {}
+        self._oids: set[Any] = set()
+
+    # -- mutation ------------------------------------------------------
+    def _insert(self, occurrence: EventOccurrence) -> None:
+        self._occurrences.append(occurrence)
+        index = self._by_type.get(occurrence.event_type)
+        if index is None:
+            index = self._by_type[occurrence.event_type] = _TypeIndex()
+        index.add(occurrence)
+        self._oids.add(occurrence.oid)
+
+    # -- basic introspection -------------------------------------------
+    def __len__(self) -> int:
+        return len(self._occurrences)
+
+    def __iter__(self) -> Iterator[EventOccurrence]:
+        return iter(self._occurrences)
+
+    def __bool__(self) -> bool:
+        return bool(self._occurrences)
+
+    @property
+    def occurrences(self) -> Sequence[EventOccurrence]:
+        """All stored occurrences in insertion order."""
+        return tuple(self._occurrences)
+
+    def event_types(self) -> set[EventType]:
+        """The set of event types with at least one stored occurrence."""
+        return set(self._by_type)
+
+    def oids(self) -> set[Any]:
+        """The set of OIDs affected by at least one stored occurrence."""
+        return set(self._oids)
+
+    def timestamps(self) -> list[Timestamp]:
+        """All time stamps present, sorted and deduplicated."""
+        return sorted({occurrence.timestamp for occurrence in self._occurrences})
+
+    # -- matching over type patterns -------------------------------------
+    def _indexes_matching(self, event_type: EventType) -> Iterator[_TypeIndex]:
+        """Indexes whose concrete type matches the (possibly class-level) pattern."""
+        exact = self._by_type.get(event_type)
+        if exact is not None:
+            yield exact
+        if event_type.attribute is None:
+            for stored_type, index in self._by_type.items():
+                if stored_type != event_type and event_type.matches(stored_type):
+                    yield index
+
+    # -- queries used by the calculus ------------------------------------
+    def last_timestamp(self, event_type: EventType, instant: Timestamp) -> Timestamp | None:
+        """Time stamp of the most recent occurrence of ``event_type`` at/before ``instant``."""
+        best: Timestamp | None = None
+        for index in self._indexes_matching(event_type):
+            candidate = index.last_at_or_before(instant)
+            if candidate is not None and (best is None or candidate > best):
+                best = candidate
+        return best
+
+    def last_timestamp_on(
+        self, event_type: EventType, oid: Any, instant: Timestamp
+    ) -> Timestamp | None:
+        """Most recent occurrence of ``event_type`` on ``oid`` at/before ``instant``."""
+        best: Timestamp | None = None
+        for index in self._indexes_matching(event_type):
+            candidate = index.last_on_oid_at_or_before(oid, instant)
+            if candidate is not None and (best is None or candidate > best):
+                best = candidate
+        return best
+
+    def occurrences_of(
+        self,
+        event_type: EventType,
+        until: Timestamp | None = None,
+    ) -> list[EventOccurrence]:
+        """All occurrences matching ``event_type`` (optionally at/before ``until``)."""
+        matched: list[EventOccurrence] = []
+        for index in self._indexes_matching(event_type):
+            if until is None:
+                matched.extend(index.occurrences)
+            else:
+                matched.extend(index.occurrences_at_or_before(until))
+        matched.sort(key=lambda occurrence: (occurrence.timestamp, occurrence.eid))
+        return matched
+
+    def objects_affected_by(
+        self,
+        event_types: Iterable[EventType],
+        until: Timestamp | None = None,
+    ) -> set[Any]:
+        """OIDs affected by any of ``event_types`` (optionally at/before ``until``)."""
+        affected: set[Any] = set()
+        for event_type in event_types:
+            for occurrence in self.occurrences_of(event_type, until):
+                affected.add(occurrence.oid)
+        return affected
+
+    def select(
+        self, predicate: Callable[[EventOccurrence], bool]
+    ) -> list[EventOccurrence]:
+        """All occurrences satisfying ``predicate`` (in insertion order)."""
+        return [occurrence for occurrence in self._occurrences if predicate(occurrence)]
+
+
+class EventBase(_OccurrenceStore):
+    """The transaction-scoped log of all event occurrences (paper Fig. 3).
+
+    Occurrences can be appended either fully formed (:meth:`append`) or built
+    from their parts (:meth:`record`), in which case the EB assigns the EID.
+    The EB also exposes the Fig. 4 accessor functions (``type_of``, ``obj``,
+    ``timestamp``, ``event_on_class``) keyed by EID.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._eids = EidGenerator()
+        self._by_eid: dict[int, EventOccurrence] = {}
+
+    # -- recording -------------------------------------------------------
+    def record(
+        self,
+        event_type: EventType,
+        oid: Any,
+        timestamp: Timestamp,
+        payload: dict[str, Any] | None = None,
+    ) -> EventOccurrence:
+        """Create an occurrence with a fresh EID and store it."""
+        occurrence = EventOccurrence(
+            eid=self._eids.next(),
+            event_type=event_type,
+            oid=oid,
+            timestamp=timestamp,
+            payload=payload or {},
+        )
+        self.append(occurrence)
+        return occurrence
+
+    def append(self, occurrence: EventOccurrence) -> None:
+        """Store a fully formed occurrence (EIDs must be unique)."""
+        if occurrence.eid in self._by_eid:
+            raise EventCalculusError(f"duplicate EID {occurrence.eid}")
+        if self._occurrences and occurrence.timestamp < self._occurrences[-1].timestamp:
+            # The EB is a log: later entries may share a time stamp with
+            # earlier ones but never precede them.
+            raise EventCalculusError(
+                "event occurrences must be appended in non-decreasing time-stamp order "
+                f"(last={self._occurrences[-1].timestamp}, new={occurrence.timestamp})"
+            )
+        self._insert(occurrence)
+        self._by_eid[occurrence.eid] = occurrence
+
+    def extend(self, occurrences: Iterable[EventOccurrence]) -> None:
+        """Append several occurrences."""
+        for occurrence in occurrences:
+            self.append(occurrence)
+
+    # -- Fig. 4 accessor functions ---------------------------------------
+    def get(self, eid: int) -> EventOccurrence:
+        """Return the occurrence with identifier ``eid``."""
+        try:
+            return self._by_eid[eid]
+        except KeyError as exc:
+            raise EventCalculusError(f"no event occurrence with EID {eid}") from exc
+
+    def type_of(self, eid: int) -> EventType:
+        """``type(e)`` of Fig. 4."""
+        return self.get(eid).event_type
+
+    def obj(self, eid: int) -> Any:
+        """``obj(e)`` of Fig. 4."""
+        return self.get(eid).oid
+
+    def timestamp(self, eid: int) -> Timestamp:
+        """``timestamp(e)`` of Fig. 4."""
+        return self.get(eid).timestamp
+
+    def event_on_class(self, eid: int) -> str:
+        """``event_on_class(e)`` of Fig. 4."""
+        return self.get(eid).event_on_class
+
+    # -- windows ----------------------------------------------------------
+    def window(
+        self,
+        after: Timestamp | None = None,
+        until: Timestamp | None = None,
+    ) -> "EventWindow":
+        """Build the window ``R`` of occurrences with ``after < timestamp <= until``.
+
+        ``after=None`` means "since the beginning of the transaction";
+        ``until=None`` means "up to the latest recorded occurrence".  This is
+        exactly the set the triggering predicate ``T(r, t)`` quantifies over:
+        ``R = {e in EB | last_consideration < timestamp(e) <= t}``.
+        """
+        return EventWindow(self, after=after, until=until)
+
+    def full_window(self) -> "EventWindow":
+        """Window spanning the whole transaction (preserving-rule view)."""
+        return self.window(after=None, until=None)
+
+
+class EventWindow(_OccurrenceStore):
+    """An immutable view over a slice of the Event Base.
+
+    The window materializes (and re-indexes) the occurrences that fall in the
+    half-open interval ``(after, until]``; the calculus then only ever talks to
+    the window.  Keeping the window explicit mirrors the paper's remark that
+    "the event calculus can be applied to a generic set of event occurrences;
+    orthogonally, the triggering semantics defines this set".
+    """
+
+    def __init__(
+        self,
+        source: EventBase | Iterable[EventOccurrence],
+        after: Timestamp | None = None,
+        until: Timestamp | None = None,
+    ) -> None:
+        super().__init__()
+        if after is not None and until is not None and after > until:
+            raise EventCalculusError(
+                f"invalid window bounds: after={after} is later than until={until}"
+            )
+        self.after = after
+        self.until = until
+        occurrences = source.occurrences if isinstance(source, EventBase) else source
+        selected = [
+            occurrence
+            for occurrence in occurrences
+            if (after is None or occurrence.timestamp > after)
+            and (until is None or occurrence.timestamp <= until)
+        ]
+        selected.sort(key=lambda occurrence: (occurrence.timestamp, occurrence.eid))
+        for occurrence in selected:
+            self._insert(occurrence)
+
+    @classmethod
+    def of(cls, occurrences: Iterable[EventOccurrence]) -> "EventWindow":
+        """Window over an explicit collection of occurrences (no bounds)."""
+        return cls(list(occurrences))
+
+    def is_empty(self) -> bool:
+        """True when the window contains no occurrence (``R = {}``)."""
+        return not self._occurrences
+
+    def latest_timestamp(self) -> Timestamp | None:
+        """The greatest time stamp in the window, or None when empty."""
+        if not self._occurrences:
+            return None
+        return max(occurrence.timestamp for occurrence in self._occurrences)

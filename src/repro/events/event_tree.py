@@ -1,0 +1,163 @@
+"""The Occurred-Events data structure maintained by the Event Handler.
+
+Paper §5: "This data structure is maintained as an event tree whose leaves are
+lists of event occurrences of the same type; furthermore each leaf keeps the
+time stamp of the more recent occurrence of the associated event type."
+
+The tree groups leaves by class name at the first level and by event type at
+the second level, which is the access pattern of both targeted rules (events on
+one class) and untargeted rules.  The Trigger Support reads the per-leaf
+"latest time stamp" to decide in O(1) whether anything relevant happened since
+a rule's last consideration, before paying for a full ``ts`` evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.events.clock import Timestamp
+from repro.events.event import EventOccurrence, EventType
+
+__all__ = ["EventLeaf", "OccurredEventsTree"]
+
+
+@dataclass
+class EventLeaf:
+    """A leaf of the Occurred-Events tree: all occurrences of one event type."""
+
+    event_type: EventType
+    occurrences: list[EventOccurrence] = field(default_factory=list)
+    latest_timestamp: Timestamp | None = None
+
+    def add(self, occurrence: EventOccurrence) -> None:
+        """Append an occurrence and refresh the cached latest time stamp."""
+        self.occurrences.append(occurrence)
+        if self.latest_timestamp is None or occurrence.timestamp > self.latest_timestamp:
+            self.latest_timestamp = occurrence.timestamp
+
+    def occurrences_since(self, after: Timestamp | None) -> list[EventOccurrence]:
+        """Occurrences strictly newer than ``after`` (all of them when None)."""
+        if after is None:
+            return list(self.occurrences)
+        return [occ for occ in self.occurrences if occ.timestamp > after]
+
+    def __len__(self) -> int:
+        return len(self.occurrences)
+
+
+class OccurredEventsTree:
+    """Two-level index (class name -> event type -> leaf) over occurrences."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, dict[EventType, EventLeaf]] = {}
+        self._total = 0
+
+    # -- mutation ----------------------------------------------------------
+    def store(self, occurrence: EventOccurrence) -> EventLeaf:
+        """Insert one occurrence, creating intermediate nodes as needed."""
+        class_name = occurrence.event_type.class_name
+        leaves = self._classes.setdefault(class_name, {})
+        leaf = leaves.get(occurrence.event_type)
+        if leaf is None:
+            leaf = leaves[occurrence.event_type] = EventLeaf(occurrence.event_type)
+        leaf.add(occurrence)
+        self._total += 1
+        return leaf
+
+    def store_all(self, occurrences: Iterable[EventOccurrence]) -> None:
+        """Insert several occurrences."""
+        for occurrence in occurrences:
+            self.store(occurrence)
+
+    def clear(self) -> None:
+        """Drop every stored occurrence (used at transaction boundaries)."""
+        self._classes.clear()
+        self._total = 0
+
+    # -- inspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return self._total
+
+    def class_names(self) -> set[str]:
+        """Classes with at least one stored occurrence."""
+        return set(self._classes)
+
+    def event_types(self, class_name: str | None = None) -> set[EventType]:
+        """Event types with a leaf, optionally restricted to one class."""
+        if class_name is not None:
+            return set(self._classes.get(class_name, {}))
+        types: set[EventType] = set()
+        for leaves in self._classes.values():
+            types.update(leaves)
+        return types
+
+    def leaf(self, event_type: EventType) -> EventLeaf | None:
+        """The leaf for an exact event type, or None if nothing occurred."""
+        leaves = self._classes.get(event_type.class_name)
+        if leaves is None:
+            return None
+        return leaves.get(event_type)
+
+    def leaves_matching(self, event_type: EventType) -> Iterator[EventLeaf]:
+        """Leaves whose type matches a possibly class-level pattern.
+
+        ``modify(stock)`` matches every ``modify(stock.<attr>)`` leaf as well
+        as the class-level leaf itself, mirroring
+        :meth:`repro.events.event.EventType.matches`.
+        """
+        leaves = self._classes.get(event_type.class_name)
+        if not leaves:
+            return
+        for stored_type, leaf in leaves.items():
+            if event_type.matches(stored_type):
+                yield leaf
+
+    def latest_timestamp(self, event_type: EventType) -> Timestamp | None:
+        """Latest time stamp among all leaves matching ``event_type``."""
+        latest: Timestamp | None = None
+        for leaf in self.leaves_matching(event_type):
+            if leaf.latest_timestamp is not None and (
+                latest is None or leaf.latest_timestamp > latest
+            ):
+                latest = leaf.latest_timestamp
+        return latest
+
+    def latest_timestamp_for_class(self, class_name: str) -> Timestamp | None:
+        """Latest time stamp among every leaf of ``class_name``."""
+        leaves = self._classes.get(class_name)
+        if not leaves:
+            return None
+        stamps = [leaf.latest_timestamp for leaf in leaves.values() if leaf.latest_timestamp]
+        return max(stamps) if stamps else None
+
+    def anything_since(self, event_types: Iterable[EventType], after: Timestamp | None) -> bool:
+        """True if any occurrence of ``event_types`` is newer than ``after``.
+
+        This is the cheap pre-check the Trigger Support performs before a full
+        ``ts`` evaluation; with ``after=None`` it degenerates to "did any of
+        these types ever occur".
+        """
+        for event_type in event_types:
+            latest = self.latest_timestamp(event_type)
+            if latest is None:
+                continue
+            if after is None or latest > after:
+                return True
+        return False
+
+    def objects_affected(self, event_type: EventType) -> set[Any]:
+        """OIDs affected by occurrences matching ``event_type``."""
+        affected: set[Any] = set()
+        for leaf in self.leaves_matching(event_type):
+            affected.update(occurrence.oid for occurrence in leaf.occurrences)
+        return affected
+
+    def all_occurrences(self) -> list[EventOccurrence]:
+        """Every stored occurrence ordered by (time stamp, EID)."""
+        occurrences: list[EventOccurrence] = []
+        for leaves in self._classes.values():
+            for leaf in leaves.values():
+                occurrences.extend(leaf.occurrences)
+        occurrences.sort(key=lambda occurrence: (occurrence.timestamp, occurrence.eid))
+        return occurrences

@@ -1,0 +1,41 @@
+"""The Chimera object-oriented database substrate."""
+
+from repro.oodb.objects import OID, ChimeraObject, ObjectStore
+from repro.oodb.operations import OperationExecutor, OperationResult
+from repro.oodb.query import Attr, Const, Predicate, always, never
+from repro.oodb.schema import AttributeDefinition, ClassDefinition, Schema
+from repro.oodb.transactions import Transaction, TransactionStatus
+
+
+def __getattr__(name: str):
+    """Lazily expose the database facade.
+
+    ``repro.oodb.database`` pulls in the whole rule engine; importing it
+    eagerly here would create an import cycle for code that starts from
+    ``repro.rules`` (the rule modules use the object store, the facade uses the
+    rule modules).
+    """
+    if name == "ChimeraDatabase":
+        from repro.oodb.database import ChimeraDatabase
+
+        return ChimeraDatabase
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Attr",
+    "AttributeDefinition",
+    "ChimeraDatabase",
+    "ChimeraObject",
+    "ClassDefinition",
+    "Const",
+    "OID",
+    "ObjectStore",
+    "OperationExecutor",
+    "OperationResult",
+    "Predicate",
+    "Schema",
+    "Transaction",
+    "TransactionStatus",
+    "always",
+    "never",
+]

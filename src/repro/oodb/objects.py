@@ -1,0 +1,208 @@
+"""Object identifiers, objects and the object store.
+
+Every Chimera object has an immutable OID, a current class (which
+``generalize``/``specialize`` may change along the hierarchy) and a dictionary
+of attribute values.  The store keeps per-class extents so that class ranges in
+rule conditions (``stock(S)``) and queries can enumerate members quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import UnknownObjectError
+from repro.events.clock import Timestamp
+
+__all__ = ["OID", "ChimeraObject", "ObjectStore"]
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """An object identifier: the class the object was created in plus a serial."""
+
+    class_name: str
+    serial: int
+
+    def __str__(self) -> str:
+        return f"{self.class_name}#{self.serial}"
+
+
+@dataclass
+class ChimeraObject:
+    """A stored object: OID, current class, attribute values and lifecycle stamps."""
+
+    oid: OID
+    class_name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    created_at: Timestamp = 0
+    modified_at: Timestamp = 0
+    deleted: bool = False
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """The current value of ``attribute`` (or ``default`` when unset)."""
+        return self.attributes.get(attribute, default)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A copy of the attribute values (used for undo and payloads)."""
+        return dict(self.attributes)
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.attributes[attribute]
+
+
+class ObjectStore:
+    """In-memory object store with per-class extents."""
+
+    def __init__(self) -> None:
+        self._objects: dict[OID, ChimeraObject] = {}
+        self._extents: dict[str, set[OID]] = {}
+        self._serials: dict[str, int] = {}
+
+    # -- identity ----------------------------------------------------------
+    def new_oid(self, class_name: str) -> OID:
+        """Mint a fresh OID for ``class_name``."""
+        serial = self._serials.get(class_name, 0) + 1
+        self._serials[class_name] = serial
+        return OID(class_name, serial)
+
+    # -- lifecycle ----------------------------------------------------------
+    def insert(
+        self,
+        class_name: str,
+        attributes: Mapping[str, Any],
+        timestamp: Timestamp,
+        oid: OID | None = None,
+    ) -> ChimeraObject:
+        """Create and store a new object; returns it."""
+        identifier = oid if oid is not None else self.new_oid(class_name)
+        obj = ChimeraObject(
+            oid=identifier,
+            class_name=class_name,
+            attributes=dict(attributes),
+            created_at=timestamp,
+            modified_at=timestamp,
+        )
+        self._objects[identifier] = obj
+        self._extents.setdefault(class_name, set()).add(identifier)
+        return obj
+
+    def get(self, oid: OID, include_deleted: bool = False) -> ChimeraObject:
+        """The live object identified by ``oid`` (raises when unknown or deleted)."""
+        obj = self._objects.get(oid)
+        if obj is None or (obj.deleted and not include_deleted):
+            raise UnknownObjectError(oid)
+        return obj
+
+    def exists(self, oid: OID) -> bool:
+        """True when ``oid`` identifies a live (non-deleted) object."""
+        obj = self._objects.get(oid)
+        return obj is not None and not obj.deleted
+
+    def set_attribute(
+        self, oid: OID, attribute: str, value: Any, timestamp: Timestamp
+    ) -> tuple[Any, Any]:
+        """Update one attribute, returning ``(old_value, new_value)``."""
+        obj = self.get(oid)
+        old_value = obj.attributes.get(attribute)
+        obj.attributes[attribute] = value
+        obj.modified_at = timestamp
+        return old_value, value
+
+    def delete(self, oid: OID, timestamp: Timestamp) -> ChimeraObject:
+        """Mark an object deleted and remove it from its extent."""
+        obj = self.get(oid)
+        obj.deleted = True
+        obj.modified_at = timestamp
+        self._extents.get(obj.class_name, set()).discard(oid)
+        return obj
+
+    def reclassify(self, oid: OID, new_class: str, timestamp: Timestamp) -> ChimeraObject:
+        """Move an object to another class (``generalize``/``specialize``)."""
+        obj = self.get(oid)
+        self._extents.get(obj.class_name, set()).discard(oid)
+        obj.class_name = new_class
+        obj.modified_at = timestamp
+        self._extents.setdefault(new_class, set()).add(oid)
+        return obj
+
+    # -- queries -------------------------------------------------------------
+    def objects_of_class(
+        self, class_name: str, subclasses: set[str] | None = None
+    ) -> list[ChimeraObject]:
+        """Live members of a class extent (optionally including subclass extents)."""
+        names = {class_name} | (subclasses or set())
+        members: list[ChimeraObject] = []
+        for name in names:
+            for oid in self._extents.get(name, ()):  # set iteration order is arbitrary
+                obj = self._objects.get(oid)
+                if obj is not None and not obj.deleted:
+                    members.append(obj)
+        members.sort(key=lambda obj: (obj.oid.class_name, obj.oid.serial))
+        return members
+
+    def select(
+        self,
+        class_name: str,
+        predicate: Callable[[ChimeraObject], bool] | None = None,
+        subclasses: set[str] | None = None,
+    ) -> list[ChimeraObject]:
+        """Members of a class extent satisfying ``predicate``."""
+        members = self.objects_of_class(class_name, subclasses)
+        if predicate is None:
+            return members
+        return [obj for obj in members if predicate(obj)]
+
+    def all_objects(self, include_deleted: bool = False) -> list[ChimeraObject]:
+        """Every stored object (deleted ones only when requested)."""
+        return [
+            obj
+            for obj in self._objects.values()
+            if include_deleted or not obj.deleted
+        ]
+
+    def count(self, class_name: str | None = None) -> int:
+        """Number of live objects, optionally restricted to one class extent."""
+        if class_name is None:
+            return sum(1 for obj in self._objects.values() if not obj.deleted)
+        return len(self._extents.get(class_name, ()))
+
+    # -- snapshots (transaction rollback) -------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A copy of the store state, sufficient for transaction rollback."""
+        return {
+            "objects": {
+                oid: (
+                    obj.class_name,
+                    dict(obj.attributes),
+                    obj.created_at,
+                    obj.modified_at,
+                    obj.deleted,
+                )
+                for oid, obj in self._objects.items()
+            },
+            "extents": {name: set(oids) for name, oids in self._extents.items()},
+            "serials": dict(self._serials),
+        }
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`snapshot`."""
+        self._objects = {
+            oid: ChimeraObject(
+                oid=oid,
+                class_name=class_name,
+                attributes=dict(attributes),
+                created_at=created_at,
+                modified_at=modified_at,
+                deleted=deleted,
+            )
+            for oid, (
+                class_name,
+                attributes,
+                created_at,
+                modified_at,
+                deleted,
+            ) in snapshot["objects"].items()
+        }
+        self._extents = {name: set(oids) for name, oids in snapshot["extents"].items()}
+        self._serials = dict(snapshot["serials"])

@@ -1,0 +1,80 @@
+"""The active-rule (trigger) system."""
+
+from repro.rules.actions import (
+    Action,
+    ActionStatement,
+    CallableStatement,
+    CreateStatement,
+    DeleteStatement,
+    ModifyStatement,
+    NO_ACTION,
+)
+from repro.rules.analysis import (
+    TriggeringEdge,
+    TriggeringGraph,
+    action_event_types,
+    analyze_rules,
+    can_trigger,
+    positive_trigger_types,
+)
+from repro.rules.conditions import (
+    AtFormula,
+    CallableAtom,
+    ClassRange,
+    Comparison,
+    Condition,
+    ConditionAtom,
+    ConditionContext,
+    OccurredFormula,
+    TRUE_CONDITION,
+)
+from repro.rules.event_handler import EventHandler
+from repro.rules.executor import ConsiderationRecord, RuleEngine
+from repro.rules.language import parse_rule, parse_rules
+from repro.rules.rule import ConsumptionMode, ECCoupling, Rule, RuleState
+from repro.rules.rule_table import RuleTable
+from repro.rules.terms import AttrRef, BinOp, Binding, Const, Term, VarRef
+from repro.rules.trigger_support import TriggerSupport, TriggerSupportStats
+
+__all__ = [
+    "Action",
+    "ActionStatement",
+    "AtFormula",
+    "AttrRef",
+    "BinOp",
+    "Binding",
+    "CallableAtom",
+    "CallableStatement",
+    "ClassRange",
+    "Comparison",
+    "Condition",
+    "ConditionAtom",
+    "ConditionContext",
+    "ConsiderationRecord",
+    "Const",
+    "ConsumptionMode",
+    "CreateStatement",
+    "DeleteStatement",
+    "ECCoupling",
+    "EventHandler",
+    "ModifyStatement",
+    "NO_ACTION",
+    "OccurredFormula",
+    "Rule",
+    "RuleEngine",
+    "RuleState",
+    "RuleTable",
+    "Term",
+    "TRUE_CONDITION",
+    "TriggerSupport",
+    "TriggerSupportStats",
+    "TriggeringEdge",
+    "TriggeringGraph",
+    "VarRef",
+    "action_event_types",
+    "analyze_rules",
+    "can_trigger",
+    "parse_rule",
+    "parse_rules",
+    "positive_trigger_types",
+]

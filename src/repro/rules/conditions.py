@@ -1,0 +1,307 @@
+"""Rule conditions: class ranges, event formulas and comparisons.
+
+A Chimera condition is a logical formula evaluated in a set-oriented way: it
+produces *all* the variable bindings that satisfy it, and the action is then
+applied to every binding.  The atoms supported here cover the paper's examples:
+
+* class ranges — ``stock(S)`` declares a variable ranging over a class extent;
+* ``occurred(<event expression>, S)`` — binds ``S`` to the objects affected by
+  the (instance-oriented) event expression within the observed window
+  (paper §3.3);
+* ``at(<event expression>, S, T)`` — like ``occurred`` but additionally binds
+  ``T`` to every time stamp at which the composite event arises for that
+  object (paper §3.3, "occurrence time stamp" predicate);
+* ``holds(<event expression>, S)`` — kept for compatibility with pre-calculus
+  Chimera; with composite events available it behaves exactly like
+  ``occurred`` (the paper notes the calculus subsumes it);
+* comparisons between terms — ``S.quantity > S.maxquantity``.
+
+The observed window depends on the rule's event-consumption mode and is chosen
+by the caller (the rule engine): consuming rules see the occurrences since the
+rule's last consideration, preserving rules see the whole transaction.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ConditionError
+from repro.core.evaluation import activation_instants, active_objects
+from repro.core.expressions import EventExpression
+from repro.events.clock import Timestamp
+from repro.events.event_base import EventWindow
+from repro.oodb.objects import ObjectStore
+from repro.oodb.schema import Schema
+from repro.rules.terms import Binding, Term
+
+__all__ = [
+    "ConditionContext",
+    "ConditionAtom",
+    "ClassRange",
+    "OccurredFormula",
+    "AtFormula",
+    "Comparison",
+    "CallableAtom",
+    "Condition",
+    "TRUE_CONDITION",
+]
+
+
+@dataclass
+class ConditionContext:
+    """Everything a condition needs to evaluate itself."""
+
+    schema: Schema
+    store: ObjectStore
+    window: EventWindow
+    now: Timestamp
+
+
+class ConditionAtom:
+    """Base class of condition atoms.
+
+    ``extend`` receives the bindings produced so far and returns the bindings
+    that survive (and possibly grow) after this atom.
+    """
+
+    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        """Variables mentioned by the atom."""
+        return set()
+
+
+@dataclass(frozen=True)
+class ClassRange(ConditionAtom):
+    """``stock(S)`` — ``S`` ranges over the live members of a class extent."""
+
+    variable: str
+    class_name: str
+    include_subclasses: bool = True
+
+    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+        subclasses = (
+            context.schema.descendants(self.class_name) if self.include_subclasses else None
+        )
+        members = context.store.objects_of_class(self.class_name, subclasses)
+        extended: list[dict[str, Any]] = []
+        for binding in bindings:
+            if self.variable in binding:
+                # Already bound (e.g. by a previous occurred formula): keep the
+                # binding only if the object really belongs to the range.
+                oid = binding[self.variable]
+                if any(member.oid == oid for member in members):
+                    extended.append(binding)
+                continue
+            for member in members:
+                grown = dict(binding)
+                grown[self.variable] = member.oid
+                extended.append(grown)
+        return extended
+
+    def variables(self) -> set[str]:
+        return {self.variable}
+
+    def __str__(self) -> str:
+        return f"{self.class_name}({self.variable})"
+
+
+@dataclass(frozen=True)
+class OccurredFormula(ConditionAtom):
+    """``occurred(<expr>, S)`` — ``S`` ranges over the objects affected by ``expr``."""
+
+    expression: EventExpression
+    variable: str
+    #: Rendered keyword: ``occurred`` or the legacy ``holds`` alias.
+    keyword: str = "occurred"
+
+    def __post_init__(self) -> None:
+        if not self.expression.may_be_instance_operand():
+            raise ConditionError(
+                "occurred only supports event expressions limited to instance-oriented "
+                f"operators (got {self.expression})"
+            )
+
+    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+        affected = active_objects(self.expression, context.window, context.now)
+        extended: list[dict[str, Any]] = []
+        for binding in bindings:
+            if self.variable in binding:
+                if binding[self.variable] in affected:
+                    extended.append(binding)
+                continue
+            for oid in sorted(affected, key=str):
+                grown = dict(binding)
+                grown[self.variable] = oid
+                extended.append(grown)
+        return extended
+
+    def variables(self) -> set[str]:
+        return {self.variable}
+
+    def __str__(self) -> str:
+        return f"{self.keyword}({self.expression}, {self.variable})"
+
+
+@dataclass(frozen=True)
+class AtFormula(ConditionAtom):
+    """``at(<expr>, S, T)`` — also binds ``T`` to the composite occurrence instants."""
+
+    expression: EventExpression
+    variable: str
+    time_variable: str
+
+    def __post_init__(self) -> None:
+        if not self.expression.may_be_instance_operand():
+            raise ConditionError(
+                "at only supports event expressions limited to instance-oriented "
+                f"operators (got {self.expression})"
+            )
+
+    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+        affected = active_objects(self.expression, context.window, context.now)
+        extended: list[dict[str, Any]] = []
+        for binding in bindings:
+            if self.variable in binding:
+                candidates: Iterable[Any] = (
+                    [binding[self.variable]] if binding[self.variable] in affected else []
+                )
+            else:
+                candidates = sorted(affected, key=str)
+            for oid in candidates:
+                instants = activation_instants(
+                    self.expression, context.window, oid, context.now
+                )
+                for instant in instants:
+                    grown = dict(binding)
+                    grown[self.variable] = oid
+                    grown[self.time_variable] = instant
+                    extended.append(grown)
+        return extended
+
+    def variables(self) -> set[str]:
+        return {self.variable, self.time_variable}
+
+    def __str__(self) -> str:
+        return f"at({self.expression}, {self.variable}, {self.time_variable})"
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(ConditionAtom):
+    """A comparison between two terms (``S.quantity > S.maxquantity``)."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ConditionError(f"unsupported comparison operator {self.op!r}")
+
+    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+        compare = _COMPARATORS[self.op]
+        kept: list[dict[str, Any]] = []
+        for binding in bindings:
+            left = self.left.evaluate(binding, context.store)
+            right = self.right.evaluate(binding, context.store)
+            if left is None or right is None:
+                continue
+            try:
+                if compare(left, right):
+                    kept.append(binding)
+            except TypeError as exc:
+                raise ConditionError(f"cannot evaluate {self}: {exc}") from exc
+        return kept
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class CallableAtom(ConditionAtom):
+    """Programmatic escape hatch: filter/expand bindings with a Python callable.
+
+    The callable receives ``(binding, context)`` and returns either a boolean
+    (filter) or an iterable of new bindings (expansion).
+    """
+
+    function: Callable[[Binding, ConditionContext], Any]
+    description: str = "callable"
+
+    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+        extended: list[dict[str, Any]] = []
+        for binding in bindings:
+            outcome = self.function(binding, context)
+            if isinstance(outcome, bool):
+                if outcome:
+                    extended.append(binding)
+            elif outcome is None:
+                continue
+            else:
+                extended.extend(dict(item) for item in outcome)
+        return extended
+
+    def __str__(self) -> str:
+        return f"<{self.description}>"
+
+
+@dataclass
+class Condition:
+    """An ordered conjunction of condition atoms."""
+
+    atoms: Sequence[ConditionAtom] = field(default_factory=tuple)
+
+    def evaluate(self, context: ConditionContext) -> list[dict[str, Any]]:
+        """All bindings satisfying the condition (empty list when unsatisfied)."""
+        bindings: list[dict[str, Any]] = [{}]
+        for atom in self.atoms:
+            bindings = atom.extend(bindings, context)
+            if not bindings:
+                return []
+        return bindings
+
+    def is_satisfied(self, context: ConditionContext) -> bool:
+        """True when at least one binding satisfies the condition."""
+        return bool(self.evaluate(context))
+
+    def variables(self) -> set[str]:
+        """Every variable mentioned by the condition."""
+        names: set[str] = set()
+        for atom in self.atoms:
+            names |= atom.variables()
+        return names
+
+    def event_expressions(self) -> list[EventExpression]:
+        """The event expressions referenced by occurred/at formulas."""
+        expressions: list[EventExpression] = []
+        for atom in self.atoms:
+            if isinstance(atom, (OccurredFormula, AtFormula)):
+                expressions.append(atom.expression)
+        return expressions
+
+    def __str__(self) -> str:
+        if not self.atoms:
+            return "true"
+        return ", ".join(str(atom) for atom in self.atoms)
+
+
+#: The always-true condition (a rule with no condition clause).
+TRUE_CONDITION = Condition(())

@@ -1,0 +1,165 @@
+"""The Block Executor and the rule-processing loop.
+
+Paper §2/§5: Chimera executes *non-interruptible execution blocks* — user
+transaction lines and rule actions.  After each block:
+
+1. the Event Handler stores the block's event occurrences;
+2. the Trigger Support determines newly triggered rules;
+3. if any triggered rule with the right coupling mode exists, the
+   highest-priority one is selected, *considered* (its condition is evaluated
+   over the window allowed by its consumption mode) and, when the condition
+   produces bindings, its action is executed as a new block — which loops back
+   to step 1.
+
+A rule is detriggered as soon as it is considered; only new event occurrences
+can trigger it again.  Immediate rules are processed during the transaction,
+deferred rules when the transaction commits.  A per-transaction execution
+budget guards against non-terminating rule sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import NonTerminationError
+from repro.events.clock import Timestamp, TransactionClock
+from repro.events.event import EventOccurrence
+from repro.events.event_base import EventBase
+from repro.oodb.objects import ObjectStore
+from repro.oodb.operations import OperationExecutor
+from repro.oodb.schema import Schema
+from repro.rules.conditions import ConditionContext
+from repro.rules.event_handler import EventHandler
+from repro.rules.rule import ECCoupling, RuleState
+from repro.rules.rule_table import RuleTable
+from repro.rules.trigger_support import TriggerSupport
+
+__all__ = ["ConsiderationRecord", "RuleEngine"]
+
+
+@dataclass(frozen=True)
+class ConsiderationRecord:
+    """One rule consideration: who, when, how many bindings, executed or not."""
+
+    rule_name: str
+    instant: Timestamp
+    bindings: int
+    executed: bool
+    phase: str
+
+
+@dataclass
+class RuleEngine:
+    """Wires the Event Handler, Trigger Support and rule-processing loop together."""
+
+    schema: Schema
+    store: ObjectStore
+    event_base: EventBase
+    clock: TransactionClock
+    operations: OperationExecutor
+    rule_table: RuleTable = field(default_factory=RuleTable)
+    use_static_optimization: bool = True
+    max_rule_executions: int = 10_000
+
+    def __post_init__(self) -> None:
+        self.event_handler = EventHandler(self.event_base)
+        self.trigger_support = TriggerSupport(
+            self.rule_table,
+            self.event_base,
+            use_static_optimization=self.use_static_optimization,
+        )
+        self.transaction_start: Timestamp = self.clock.now()
+        self.considerations: list[ConsiderationRecord] = []
+        self._executions_this_transaction = 0
+
+    # -- transaction boundaries ------------------------------------------------
+    def begin_transaction(self) -> None:
+        """Reset per-transaction state (rule flags, counters, block boundary)."""
+        self.transaction_start = self.clock.now()
+        self.rule_table.reset_all(self.transaction_start)
+        self.event_handler.reset(self.event_base)
+        self._executions_this_transaction = 0
+
+    def rebind_event_base(self, event_base: EventBase) -> None:
+        """Point the engine at a fresh Event Base (new transaction log)."""
+        self.event_base = event_base
+        self.operations.event_base = event_base
+        self.trigger_support.event_base = event_base
+        self.event_handler.reset(event_base)
+
+    # -- block execution ----------------------------------------------------------
+    def run_user_block(self, block: Callable[[], Any]) -> Any:
+        """Run one user transaction line, then process immediate rules."""
+        outcome = block()
+        self._after_block(ECCoupling.IMMEDIATE, phase="transaction")
+        return outcome
+
+    def process_commit(self) -> None:
+        """Process deferred (and any remaining triggered) rules at commit time."""
+        # Make sure anything recorded since the last flush is accounted for.
+        self._after_block(ECCoupling.IMMEDIATE, phase="commit")
+        now = self.clock.now()
+        self.trigger_support.recheck_all(now, self.transaction_start)
+        self._processing_loop(coupling=None, phase="commit")
+
+    # -- internals -------------------------------------------------------------------
+    def _after_block(self, coupling: ECCoupling | None, phase: str) -> None:
+        new_occurrences = self.event_handler.flush_block()
+        now = self.clock.now()
+        self.trigger_support.check_after_block(
+            new_occurrences, now, self.transaction_start
+        )
+        self._processing_loop(coupling, phase)
+
+    def _processing_loop(self, coupling: ECCoupling | None, phase: str) -> None:
+        """Consider and execute triggered rules until quiescence."""
+        while True:
+            state = self.rule_table.select_for_consideration(coupling)
+            if state is None:
+                return
+            self._consider(state, phase)
+            # The consideration (and possible action) is itself a block: flush
+            # its occurrences and look for newly triggered rules before picking
+            # the next one.
+            new_occurrences = self.event_handler.flush_block()
+            now = self.clock.now()
+            self.trigger_support.check_after_block(
+                new_occurrences, now, self.transaction_start
+            )
+
+    def _consider(self, state: RuleState, phase: str) -> None:
+        """Consider one rule: evaluate its condition and maybe run its action."""
+        rule = state.rule
+        now = self.clock.now()
+        window = self.event_base.window(
+            after=state.observation_window_start(self.transaction_start),
+            until=now,
+        )
+        context = ConditionContext(
+            schema=self.schema, store=self.store, window=window, now=max(now, 1)
+        )
+        bindings = rule.condition.evaluate(context)
+        # The consideration time stamp is taken *before* the action runs:
+        # events occurred up to now lose the capability of triggering the rule,
+        # but the action's own occurrences are more recent than the
+        # consideration and may legitimately re-trigger it (the execution
+        # budget guards against non-terminating rule sets).
+        consideration_time = now
+        executed = False
+        if bindings:
+            self._executions_this_transaction += 1
+            if self._executions_this_transaction > self.max_rule_executions:
+                raise NonTerminationError(self.max_rule_executions)
+            rule.action.execute(bindings, self.operations)
+            executed = True
+        state.mark_considered(consideration_time, executed)
+        self.considerations.append(
+            ConsiderationRecord(
+                rule_name=rule.name,
+                instant=consideration_time,
+                bindings=len(bindings),
+                executed=executed,
+                phase=phase,
+            )
+        )

@@ -1,0 +1,151 @@
+"""Rule (trigger) definitions and their run-time state.
+
+A Chimera rule has five static ingredients — a triggering event expression, a
+condition, an action, an Event-Condition coupling mode and an event-consumption
+mode — plus a priority and an optional target class.  Its dynamic state is
+deliberately tiny (paper §5): a ``triggered`` flag, the time stamp of the last
+consideration and the time stamp of the last event consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.expressions import EventExpression
+from repro.core.optimization import RecomputationFilter
+from repro.errors import RuleDefinitionError
+from repro.events.clock import Timestamp
+from repro.rules.actions import Action
+from repro.rules.conditions import Condition
+
+__all__ = ["ECCoupling", "ConsumptionMode", "Rule", "RuleState"]
+
+
+class ECCoupling(Enum):
+    """Event-Condition coupling: when a triggered rule is considered."""
+
+    IMMEDIATE = "immediate"
+    DEFERRED = "deferred"
+
+
+class ConsumptionMode(Enum):
+    """Which event occurrences a rule's condition can observe.
+
+    ``CONSUMING`` — only occurrences newer than the rule's last consideration;
+    ``PRESERVING`` — every occurrence since the beginning of the transaction.
+    """
+
+    CONSUMING = "consuming"
+    PRESERVING = "preserving"
+
+
+@dataclass
+class Rule:
+    """A trigger definition (static part)."""
+
+    name: str
+    events: EventExpression
+    condition: Condition
+    action: Action
+    coupling: ECCoupling = ECCoupling.IMMEDIATE
+    consumption: ConsumptionMode = ConsumptionMode.CONSUMING
+    priority: int = 0
+    target_class: str | None = None
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise RuleDefinitionError(f"invalid rule name: {self.name!r}")
+        if self.target_class is not None:
+            mismatched = [
+                str(event_type)
+                for event_type in self.events.event_types()
+                if event_type.class_name != self.target_class
+            ]
+            if mismatched:
+                raise RuleDefinitionError(
+                    f"rule {self.name!r} is targeted to class {self.target_class!r} but its "
+                    f"event expression mentions other classes: {', '.join(mismatched)}"
+                )
+
+    def describe(self) -> str:
+        """A multi-line human-readable summary of the rule."""
+        target = f" for {self.target_class}" if self.target_class else ""
+        return (
+            f"define {self.coupling.value} {self.name}{target}\n"
+            f"  events     {self.events}\n"
+            f"  condition  {self.condition}\n"
+            f"  action     {self.action}\n"
+            f"  priority {self.priority}, {self.consumption.value}"
+        )
+
+    def __str__(self) -> str:
+        return f"Rule({self.name})"
+
+
+@dataclass
+class RuleState:
+    """The dynamic part of a rule (paper §5: Rule Table entry)."""
+
+    rule: Rule
+    triggered: bool = False
+    enabled: bool = True
+    last_consideration: Timestamp | None = None
+    last_consumption: Timestamp | None = None
+    definition_order: int = 0
+    recomputation_filter: RecomputationFilter | None = None
+    #: True once the rule's triggering window has been evaluated non-empty
+    #: since the last consideration.  Until then the V(E) filter must not be
+    #: used: a rule whose expression is (vacuously) active — e.g. a pure
+    #: negation — is only blocked by the ``R != {}`` condition, so *any* new
+    #: occurrence can trigger it, whatever its type.
+    had_nonempty_window: bool = False
+    # bookkeeping for experiments
+    times_triggered: int = 0
+    times_considered: int = 0
+    times_executed: int = 0
+    ts_computations: int = 0
+    ts_skipped: int = 0
+    history: list[tuple[str, Timestamp]] = field(default_factory=list, repr=False)
+
+    def mark_triggered(self, instant: Timestamp) -> None:
+        """Record the rule's transition to the triggered state."""
+        self.triggered = True
+        self.times_triggered += 1
+        self.history.append(("triggered", instant))
+
+    def mark_considered(self, instant: Timestamp, executed: bool) -> None:
+        """Record a consideration (and possible execution) and detrigger the rule."""
+        self.triggered = False
+        self.times_considered += 1
+        self.last_consideration = instant
+        self.had_nonempty_window = False
+        if self.rule.consumption is ConsumptionMode.CONSUMING:
+            self.last_consumption = instant
+        if executed:
+            self.times_executed += 1
+            self.history.append(("executed", instant))
+        else:
+            self.history.append(("considered", instant))
+
+    def reset(self, transaction_start: Timestamp) -> None:
+        """Reset the state at a transaction boundary."""
+        self.triggered = False
+        self.last_consideration = transaction_start
+        self.last_consumption = transaction_start
+        self.had_nonempty_window = False
+
+    def observation_window_start(self, transaction_start: Timestamp) -> Timestamp:
+        """Lower bound of the window visible to the rule's event formulas."""
+        if self.rule.consumption is ConsumptionMode.PRESERVING:
+            return transaction_start
+        if self.last_consumption is None:
+            return transaction_start
+        return max(self.last_consumption, transaction_start)
+
+    def triggering_window_start(self, transaction_start: Timestamp) -> Timestamp:
+        """Lower bound of the window used by the triggering predicate ``T(r, t)``."""
+        if self.last_consideration is None:
+            return transaction_start
+        return max(self.last_consideration, transaction_start)

@@ -1,0 +1,110 @@
+"""The Rule Table: the registry of defined rules and their states.
+
+Paper §5: "The Trigger Support maintains in the Rule Table the current status
+of all defined rules; this table is managed by means of a hash table for fast
+access, but rules are also linked together by means of a queue on the basis of
+the priority order."  Here the hash table is a dict keyed by rule name and the
+priority queue is realised by sorting triggered rules on
+``(-priority, definition_order)`` when one must be selected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import DuplicateRuleError, UnknownRuleError
+from repro.events.clock import Timestamp
+from repro.rules.rule import ECCoupling, Rule, RuleState
+
+__all__ = ["RuleTable"]
+
+
+class RuleTable:
+    """Registry of rules, their run-time state and the priority order."""
+
+    def __init__(self) -> None:
+        self._states: dict[str, RuleState] = {}
+        self._definition_counter = 0
+
+    # -- registration -------------------------------------------------------
+    def add(self, rule: Rule) -> RuleState:
+        """Register a rule; raises :class:`DuplicateRuleError` on name clashes."""
+        if rule.name in self._states:
+            raise DuplicateRuleError(rule.name)
+        state = RuleState(rule=rule, definition_order=self._definition_counter)
+        self._definition_counter += 1
+        self._states[rule.name] = state
+        return state
+
+    def remove(self, name: str) -> Rule:
+        """Drop a rule definition and return it."""
+        state = self._states.pop(name, None)
+        if state is None:
+            raise UnknownRuleError(name)
+        return state.rule
+
+    # -- access ---------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[RuleState]:
+        return iter(self._states.values())
+
+    def get(self, name: str) -> RuleState:
+        """The state record of rule ``name``."""
+        try:
+            return self._states[name]
+        except KeyError as exc:
+            raise UnknownRuleError(name) from exc
+
+    def rules(self) -> list[Rule]:
+        """Every registered rule, in definition order."""
+        return [state.rule for state in sorted(self._states.values(), key=lambda s: s.definition_order)]
+
+    def states(self) -> list[RuleState]:
+        """Every state record, in definition order."""
+        return sorted(self._states.values(), key=lambda state: state.definition_order)
+
+    # -- enable / disable -------------------------------------------------------
+    def enable(self, name: str) -> None:
+        """Re-enable a disabled rule."""
+        self.get(name).enabled = True
+
+    def disable(self, name: str) -> None:
+        """Disable a rule: it keeps its definition but never triggers."""
+        state = self.get(name)
+        state.enabled = False
+        state.triggered = False
+
+    # -- selection ----------------------------------------------------------------
+    def untriggered_states(self) -> list[RuleState]:
+        """Enabled rules that are currently not triggered (candidates for triggering)."""
+        return [
+            state for state in self.states() if state.enabled and not state.triggered
+        ]
+
+    def triggered_states(self, coupling: ECCoupling | None = None) -> list[RuleState]:
+        """Triggered rules, optionally filtered by coupling mode, in priority order."""
+        candidates = [
+            state
+            for state in self.states()
+            if state.enabled
+            and state.triggered
+            and (coupling is None or state.rule.coupling is coupling)
+        ]
+        candidates.sort(key=lambda state: (-state.rule.priority, state.definition_order))
+        return candidates
+
+    def select_for_consideration(self, coupling: ECCoupling | None = None) -> RuleState | None:
+        """The highest-priority triggered rule, or None when nothing is triggered."""
+        candidates = self.triggered_states(coupling)
+        return candidates[0] if candidates else None
+
+    # -- transaction boundaries -------------------------------------------------------
+    def reset_all(self, transaction_start: Timestamp) -> None:
+        """Reset every rule's dynamic state at a transaction boundary."""
+        for state in self._states.values():
+            state.reset(transaction_start)

@@ -1,0 +1,129 @@
+"""Value terms shared by rule conditions and rule actions.
+
+A term evaluates to a plain Python value given a variable *binding* (the
+mapping produced while evaluating a rule condition) and the object store:
+
+* :class:`Const` — a literal;
+* :class:`VarRef` — the value bound to a variable (an OID, a time stamp, ...);
+* :class:`AttrRef` — an attribute of the object bound to a variable
+  (``S.maxquantity`` in the paper's ``checkStockQty`` rule);
+* :class:`BinOp` — arithmetic over two terms (``S.quantity - S.delquantity``).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConditionError
+from repro.oodb.objects import OID, ObjectStore
+
+__all__ = ["Term", "Const", "VarRef", "AttrRef", "BinOp", "Binding"]
+
+
+Binding = Mapping[str, Any]
+"""A variable binding: variable name -> OID / time stamp / plain value."""
+
+
+class Term:
+    """Base class of value terms."""
+
+    def evaluate(self, binding: Binding, store: ObjectStore) -> Any:
+        """The term's value under ``binding``."""
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        """Names of the variables the term refers to."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A literal value."""
+
+    value: Any
+
+    def evaluate(self, binding: Binding, store: ObjectStore) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(Term):
+    """The value currently bound to a variable."""
+
+    name: str
+
+    def evaluate(self, binding: Binding, store: ObjectStore) -> Any:
+        if self.name not in binding:
+            raise ConditionError(f"variable {self.name!r} is not bound")
+        return binding[self.name]
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AttrRef(Term):
+    """An attribute of the object bound to a variable (``S.quantity``)."""
+
+    variable: str
+    attribute: str
+
+    def evaluate(self, binding: Binding, store: ObjectStore) -> Any:
+        if self.variable not in binding:
+            raise ConditionError(f"variable {self.variable!r} is not bound")
+        oid = binding[self.variable]
+        if not isinstance(oid, OID):
+            raise ConditionError(
+                f"variable {self.variable!r} is bound to {oid!r}, not to an object"
+            )
+        return store.get(oid).get(self.attribute)
+
+    def variables(self) -> set[str]:
+        return {self.variable}
+
+    def __str__(self) -> str:
+        return f"{self.variable}.{self.attribute}"
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Term):
+    """Arithmetic combination of two terms."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise ConditionError(f"unsupported arithmetic operator {self.op!r}")
+
+    def evaluate(self, binding: Binding, store: ObjectStore) -> Any:
+        left = self.left.evaluate(binding, store)
+        right = self.right.evaluate(binding, store)
+        if left is None or right is None:
+            raise ConditionError(
+                f"cannot compute {self}: one operand is unset ({left!r}, {right!r})"
+            )
+        return _ARITHMETIC[self.op](left, right)
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"

@@ -1,0 +1,166 @@
+"""The Trigger Support component.
+
+Paper §5: after the Event Handler stores a block's occurrences, the Trigger
+Support determines the newly triggered rules.  For every rule that is not
+currently triggered it computes the ``ts`` value of the rule's event expression
+over the window of occurrences newer than the rule's last consideration; when
+the value is positive the rule becomes triggered (the flag is cleared again
+only when the rule is considered).
+
+The static optimization of §5.1 plugs in here: each rule carries a
+:class:`~repro.core.optimization.RecomputationFilter` built from ``V(E)``, and
+the ``ts`` recomputation is skipped whenever the block's occurrences cannot
+possibly flip the rule's ``ts`` positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.evaluation import EvaluationMode, EvaluationStats
+from repro.core.optimization import RecomputationFilter
+from repro.core.triggering import is_triggered
+from repro.events.clock import Timestamp
+from repro.events.event import EventOccurrence
+from repro.events.event_base import EventBase
+from repro.rules.rule import RuleState
+from repro.rules.rule_table import RuleTable
+
+__all__ = ["TriggerSupportStats", "TriggerSupport"]
+
+
+@dataclass
+class TriggerSupportStats:
+    """Aggregate counters used by the X1 benchmark (optimized vs. naive)."""
+
+    blocks: int = 0
+    rules_checked: int = 0
+    ts_computations: int = 0
+    ts_skipped_by_filter: int = 0
+    ts_skipped_empty_window: int = 0
+    rules_triggered: int = 0
+    evaluation: EvaluationStats = field(default_factory=EvaluationStats)
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (handy for report tables)."""
+        return {
+            "blocks": self.blocks,
+            "rules_checked": self.rules_checked,
+            "ts_computations": self.ts_computations,
+            "ts_skipped_by_filter": self.ts_skipped_by_filter,
+            "ts_skipped_empty_window": self.ts_skipped_empty_window,
+            "rules_triggered": self.rules_triggered,
+            "primitive_lookups": self.evaluation.primitive_lookups,
+            "node_visits": self.evaluation.node_visits,
+        }
+
+
+class TriggerSupport:
+    """Determines newly triggered rules after every execution block."""
+
+    def __init__(
+        self,
+        rule_table: RuleTable,
+        event_base: EventBase,
+        use_static_optimization: bool = True,
+        mode: EvaluationMode = EvaluationMode.LOGICAL,
+    ) -> None:
+        self.rule_table = rule_table
+        self.event_base = event_base
+        self.use_static_optimization = use_static_optimization
+        self.mode = mode
+        self.stats = TriggerSupportStats()
+
+    # -- set-up -----------------------------------------------------------
+    def prepare_rule(self, state: RuleState) -> None:
+        """Build the rule's recomputation filter (idempotent)."""
+        if state.recomputation_filter is None:
+            state.recomputation_filter = RecomputationFilter(state.rule.events)
+
+    # -- the core check -----------------------------------------------------
+    def check_after_block(
+        self,
+        new_occurrences: Sequence[EventOccurrence],
+        now: Timestamp,
+        transaction_start: Timestamp,
+    ) -> list[RuleState]:
+        """Update the triggered flag of every untriggered rule; return the new ones.
+
+        ``new_occurrences`` is the batch produced by the block that just
+        finished; with static optimization enabled it drives the ``V(E)``
+        filter.  The triggering window of each rule spans from its last
+        consideration (or the transaction start) to ``now``.
+        """
+        self.stats.blocks += 1
+        newly_triggered: list[RuleState] = []
+        if not new_occurrences:
+            # Nothing happened in this block: no rule can become triggered
+            # (T(r, t) requires at least one new occurrence for untriggered
+            # rules whose window was already evaluated; rules whose window was
+            # non-empty were evaluated when those occurrences arrived).
+            return newly_triggered
+
+        for state in self.rule_table.untriggered_states():
+            self.stats.rules_checked += 1
+            self.prepare_rule(state)
+            # The V(E) filter is sound only once the rule's window has been
+            # evaluated non-empty: before that, the rule may be blocked solely
+            # by the R != {} condition (e.g. a pure negation), and then any new
+            # occurrence — of any type — can trigger it.
+            filter_applicable = (
+                self.use_static_optimization
+                and state.recomputation_filter is not None
+                and state.had_nonempty_window
+            )
+            if filter_applicable:
+                if not state.recomputation_filter.needs_recomputation(new_occurrences):
+                    self.stats.ts_skipped_by_filter += 1
+                    continue
+            window_start = state.triggering_window_start(transaction_start)
+            decision = is_triggered(
+                state.rule.events,
+                self.event_base,
+                window_start,
+                now,
+                self.mode,
+                self.stats.evaluation,
+            )
+            state.ts_computations += 1
+            self.stats.ts_computations += 1
+            if decision.window_size == 0:
+                self.stats.ts_skipped_empty_window += 1
+            else:
+                state.had_nonempty_window = True
+            if decision.triggered:
+                state.mark_triggered(now)
+                self.stats.rules_triggered += 1
+                newly_triggered.append(state)
+        return newly_triggered
+
+    def recheck_all(self, now: Timestamp, transaction_start: Timestamp) -> list[RuleState]:
+        """Force a full re-evaluation of every untriggered rule (no filter).
+
+        Used at commit time to make sure deferred processing starts from an
+        up-to-date picture even if the last blocks were empty.
+        """
+        newly_triggered: list[RuleState] = []
+        for state in self.rule_table.untriggered_states():
+            window_start = state.triggering_window_start(transaction_start)
+            decision = is_triggered(
+                state.rule.events,
+                self.event_base,
+                window_start,
+                now,
+                self.mode,
+                self.stats.evaluation,
+            )
+            state.ts_computations += 1
+            self.stats.ts_computations += 1
+            if decision.window_size > 0:
+                state.had_nonempty_window = True
+            if decision.triggered:
+                state.mark_triggered(now)
+                self.stats.rules_triggered += 1
+                newly_triggered.append(state)
+        return newly_triggered

@@ -1,0 +1,33 @@
+"""Workload generators: the paper's stock scenario and synthetic streams."""
+
+from repro.workloads.generator import (
+    EventStreamGenerator,
+    ExpressionGenerator,
+    event_type_universe,
+    stream_to_event_base,
+    window_over,
+)
+from repro.workloads.stock import (
+    CHECK_STOCK_QTY_RULE,
+    FIGURE3_ROWS,
+    Figure3Entry,
+    REORDER_RULE,
+    SHELF_REFILL_RULE,
+    StockScenario,
+    build_figure3_event_base,
+)
+
+__all__ = [
+    "CHECK_STOCK_QTY_RULE",
+    "EventStreamGenerator",
+    "ExpressionGenerator",
+    "FIGURE3_ROWS",
+    "Figure3Entry",
+    "REORDER_RULE",
+    "SHELF_REFILL_RULE",
+    "StockScenario",
+    "build_figure3_event_base",
+    "event_type_universe",
+    "stream_to_event_base",
+    "window_over",
+]

@@ -1,0 +1,165 @@
+"""Tests for the Ode-style automaton and Snoop-style tree baselines."""
+
+import pytest
+
+from repro.baselines.automaton import AutomatonDetector, supports_expression
+from repro.baselines.naive import NaiveDetector, Subscription
+from repro.baselines.snoop_tree import SnoopTreeDetector
+from repro.core.parser import parse_expression
+from repro.errors import EvaluationError
+from repro.events.event import EventOccurrence, EventType, Operation
+from repro.workloads.generator import EventStreamGenerator, ExpressionGenerator
+
+CREATE_STOCK = EventType(Operation.CREATE, "stock")
+MODIFY_QTY = EventType(Operation.MODIFY, "stock", "quantity")
+CREATE_ORDER = EventType(Operation.CREATE, "order")
+
+
+def block(*entries):
+    return [
+        EventOccurrence(eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp)
+        for index, (event_type, oid, timestamp) in enumerate(entries)
+    ]
+
+
+class TestFragmentSupport:
+    def test_supported_fragment(self):
+        assert supports_expression(parse_expression("create(stock) + delete(stock)"))
+        assert supports_expression(
+            parse_expression("(create(stock) , delete(stock)) < modify(stock.quantity)")
+        )
+
+    def test_negation_not_supported(self):
+        assert not supports_expression(parse_expression("-create(stock)"))
+        with pytest.raises(EvaluationError):
+            AutomatonDetector([("r", parse_expression("-create(stock)"))])
+
+    def test_instance_operators_not_supported(self):
+        assert not supports_expression(
+            parse_expression("create(stock) += modify(stock.quantity)")
+        )
+        with pytest.raises(EvaluationError):
+            SnoopTreeDetector(
+                [("r", parse_expression("create(stock) += modify(stock.quantity)"))]
+            )
+
+
+class TestAutomatonDetector:
+    def test_sequence_requires_order(self):
+        detector = AutomatonDetector(
+            [("r", parse_expression("create(stock) < modify(stock.quantity)"))]
+        )
+        assert detector.feed_block(block((MODIFY_QTY, "o1", 1))) == []
+        assert detector.feed_block(block((CREATE_STOCK, "o1", 2))) == []
+        assert detector.feed_block(block((MODIFY_QTY, "o1", 3))) == ["r"]
+
+    def test_conjunction_any_order(self):
+        detector = AutomatonDetector(
+            [("r", parse_expression("create(stock) + create(order)"))]
+        )
+        assert detector.feed_block(block((CREATE_ORDER, "o2", 1))) == []
+        assert detector.feed_block(block((CREATE_STOCK, "o1", 2))) == ["r"]
+
+    def test_disjunction(self):
+        detector = AutomatonDetector(
+            [("r", parse_expression("create(stock) , create(order)"))]
+        )
+        assert detector.feed_block(block((CREATE_ORDER, "o2", 1))) == ["r"]
+
+    def test_consumption_after_firing(self):
+        detector = AutomatonDetector([("r", parse_expression("create(stock)"))])
+        detector.feed_block(block((CREATE_STOCK, "o1", 1)))
+        assert detector.feed_block(block((CREATE_ORDER, "o2", 2))) == []
+        assert detector.feed_block(block((CREATE_STOCK, "o3", 3))) == ["r"]
+        assert detector.report.triggerings == 2
+
+    def test_node_updates_counted(self):
+        detector = AutomatonDetector(
+            [("r", parse_expression("create(stock) + create(order)"))]
+        )
+        detector.feed_block(block((CREATE_STOCK, "o1", 1)))
+        assert detector.report.node_updates == 3
+
+    def test_reset(self):
+        detector = AutomatonDetector([("r", parse_expression("create(stock)"))])
+        detector.feed_block(block((CREATE_STOCK, "o1", 1)))
+        detector.reset()
+        assert detector.report.triggerings == 0
+        assert detector.feed_block(block((CREATE_STOCK, "o1", 2))) == ["r"]
+
+
+class TestSnoopTreeDetector:
+    def test_reports_constituent_occurrences(self):
+        detector = SnoopTreeDetector(
+            [("r", parse_expression("create(stock) < modify(stock.quantity)"))]
+        )
+        detector.feed_block(block((CREATE_STOCK, "o1", 1)))
+        fired = detector.feed_block(block((MODIFY_QTY, "o1", 2)))
+        assert fired == ["r"]
+        composite = detector.report.composites[0]
+        assert [occ.event_type for occ in composite.constituents] == [CREATE_STOCK, MODIFY_QTY]
+        assert composite.timestamp == 2
+
+    def test_recent_context_uses_latest_initiator(self):
+        detector = SnoopTreeDetector(
+            [("r", parse_expression("create(stock) < modify(stock.quantity)"))]
+        )
+        detector.feed_block(block((CREATE_STOCK, "o1", 1), (CREATE_STOCK, "o2", 2)))
+        detector.feed_block(block((MODIFY_QTY, "o1", 3)))
+        composite = detector.report.composites[0]
+        # Snoop's recent context pairs the most recent create with the modify.
+        assert composite.constituents[0].oid == "o2"
+
+    def test_sequence_rejects_wrong_order(self):
+        detector = SnoopTreeDetector(
+            [("r", parse_expression("create(stock) < modify(stock.quantity)"))]
+        )
+        detector.feed_block(block((MODIFY_QTY, "o1", 1)))
+        assert detector.feed_block(block((CREATE_STOCK, "o1", 2))) == []
+
+    def test_str_of_composite(self):
+        detector = SnoopTreeDetector([("r", parse_expression("create(stock)"))])
+        detector.feed_block(block((CREATE_STOCK, "o1", 1)))
+        assert "@t1" in str(detector.report.composites[0])
+
+
+class TestDetectorAgreement:
+    """On the shared fragment all detectors report the same triggering counts."""
+
+    def test_agreement_on_random_streams(self):
+        expression_generator = ExpressionGenerator(
+            seed=5, allow_negation=False, instance_probability=0.0, precedence_weight=0.5
+        )
+        expressions = expression_generator.expressions(4, operators=2)
+        stream_generator = EventStreamGenerator(seed=6, events_per_block=2)
+        blocks = stream_generator.blocks(60)
+
+        naive = NaiveDetector(
+            [Subscription(f"r{i}", expr) for i, expr in enumerate(expressions)]
+        )
+        automaton = AutomatonDetector([(f"r{i}", e) for i, e in enumerate(expressions)])
+        snoop = SnoopTreeDetector([(f"r{i}", e) for i, e in enumerate(expressions)])
+
+        naive_report = naive.feed_stream(blocks)
+        automaton_report = automaton.feed_stream(blocks)
+        snoop_report = snoop.feed_stream(blocks)
+
+        assert naive_report.triggerings == automaton_report.triggerings
+        assert naive_report.triggerings == snoop_report.triggerings
+
+    def test_per_subscription_agreement(self):
+        expressions = [
+            parse_expression("create(cls0) < modify(cls0.attr0)"),
+            parse_expression("create(cls1) + delete(cls1)"),
+            parse_expression("create(cls2) , delete(cls0)"),
+        ]
+        stream = EventStreamGenerator(seed=9, events_per_block=3).blocks(40)
+        naive = NaiveDetector(
+            [Subscription(f"r{i}", expr) for i, expr in enumerate(expressions)]
+        )
+        automaton = AutomatonDetector([(f"r{i}", e) for i, e in enumerate(expressions)])
+        naive.feed_stream(stream)
+        automaton.feed_stream(stream)
+        assert [s.triggerings for s in naive.subscriptions] == [
+            s.triggerings for s in automaton.subscriptions
+        ]

@@ -1,0 +1,113 @@
+"""Tests for the naive/filtered ts detectors and their reports."""
+
+from repro.core.parser import parse_expression
+from repro.baselines.naive import FilteredDetector, NaiveDetector, Subscription
+from repro.events.event import EventOccurrence, EventType, Operation
+
+CREATE_STOCK = EventType(Operation.CREATE, "stock")
+MODIFY_QTY = EventType(Operation.MODIFY, "stock", "quantity")
+CREATE_ORDER = EventType(Operation.CREATE, "order")
+
+
+def block(*entries):
+    return [
+        EventOccurrence(eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp)
+        for index, (event_type, oid, timestamp) in enumerate(entries)
+    ]
+
+
+class TestNaiveDetector:
+    def test_detects_simple_subscription(self):
+        detector = NaiveDetector([Subscription("r", parse_expression("create(stock)"))])
+        fired = detector.feed_block(block((CREATE_STOCK, "o1", 1)))
+        assert [subscription.name for subscription in fired] == ["r"]
+        assert detector.report.triggerings == 1
+
+    def test_recomputes_for_every_subscription_every_block(self):
+        subscriptions = [
+            Subscription("a", parse_expression("create(stock)")),
+            Subscription("b", parse_expression("create(order)")),
+        ]
+        detector = NaiveDetector(subscriptions)
+        detector.feed_stream(
+            [block((CREATE_ORDER, "o1", 1)), block((CREATE_ORDER, "o2", 2))]
+        )
+        assert detector.report.ts_computations == 4
+        assert detector.report.filter_skips == 0
+
+    def test_consume_on_trigger_resets_the_window(self):
+        detector = NaiveDetector(
+            [Subscription("r", parse_expression("create(stock)"))], consume_on_trigger=True
+        )
+        detector.feed_block(block((CREATE_STOCK, "o1", 1)))
+        detector.feed_block(block((CREATE_ORDER, "o2", 2)))
+        assert detector.report.triggerings == 1
+        detector.feed_block(block((CREATE_STOCK, "o3", 3)))
+        assert detector.report.triggerings == 2
+
+    def test_without_consumption_subscription_stays_triggered(self):
+        detector = NaiveDetector(
+            [Subscription("r", parse_expression("create(stock)"))], consume_on_trigger=False
+        )
+        detector.feed_block(block((CREATE_STOCK, "o1", 1)))
+        detector.feed_block(block((CREATE_STOCK, "o2", 2)))
+        assert detector.report.triggerings == 1
+
+    def test_empty_block_counts_but_does_nothing(self):
+        detector = NaiveDetector([Subscription("r", parse_expression("create(stock)"))])
+        assert detector.feed_block([]) == []
+        assert detector.report.blocks == 1
+        assert detector.report.ts_computations == 0
+
+    def test_reset(self):
+        subscription = Subscription("r", parse_expression("create(stock)"))
+        detector = NaiveDetector([subscription])
+        detector.feed_block(block((CREATE_STOCK, "o1", 1)))
+        detector.reset()
+        assert detector.report.triggerings == 0
+        assert subscription.last_consideration is None
+
+
+class TestFilteredDetector:
+    def test_skips_irrelevant_blocks_after_first_nonempty_window(self):
+        detector = FilteredDetector([Subscription("r", parse_expression("create(stock)"))])
+        detector.feed_block(block((CREATE_ORDER, "o1", 1)))  # evaluated (first window)
+        detector.feed_block(block((CREATE_ORDER, "o2", 2)))  # skipped by the filter
+        assert detector.report.ts_computations == 1
+        assert detector.report.filter_skips == 1
+
+    def test_same_triggerings_as_naive(self):
+        expressions = [
+            "create(stock)",
+            "create(stock) + modify(stock.quantity)",
+            "create(order) < modify(stock.quantity)",
+            "modify(stock.quantity) + -create(order)",
+        ]
+        stream = [
+            block((CREATE_STOCK, "o1", 1)),
+            block((MODIFY_QTY, "o1", 2)),
+            block((CREATE_ORDER, "o2", 3)),
+            block((MODIFY_QTY, "o3", 4), (CREATE_STOCK, "o3", 4)),
+            block((CREATE_ORDER, "o4", 5)),
+        ]
+        naive = NaiveDetector(
+            [Subscription(f"r{i}", parse_expression(text)) for i, text in enumerate(expressions)]
+        )
+        filtered = FilteredDetector(
+            [Subscription(f"r{i}", parse_expression(text)) for i, text in enumerate(expressions)]
+        )
+        naive_report = naive.feed_stream(stream)
+        filtered_report = filtered.feed_stream(stream)
+        assert naive_report.triggerings == filtered_report.triggerings
+        per_rule_naive = [subscription.triggerings for subscription in naive.subscriptions]
+        per_rule_filtered = [
+            subscription.triggerings for subscription in filtered.subscriptions
+        ]
+        assert per_rule_naive == per_rule_filtered
+        assert filtered_report.ts_computations <= naive_report.ts_computations
+
+    def test_report_as_dict(self):
+        detector = FilteredDetector([Subscription("r", parse_expression("create(stock)"))])
+        detector.feed_block(block((CREATE_STOCK, "o1", 1)))
+        report = detector.report.as_dict()
+        assert {"blocks", "ts_computations", "filter_skips", "triggerings"} <= set(report)

@@ -1,0 +1,229 @@
+"""Instance-oriented ``ots`` semantics and lifting (paper §3.2 worked examples)."""
+
+import pytest
+
+from repro.core.evaluation import EvaluationMode, active_objects, evaluate, ots, ts
+from repro.core.parser import parse_expression
+from repro.errors import EvaluationError
+from repro.events.event import EventType, Operation
+from repro.events.event_base import EventWindow
+
+from tests.conftest import history
+
+CREATE_STOCK = EventType(Operation.CREATE, "stock")
+MODIFY_QTY = EventType(Operation.MODIFY, "stock", "quantity")
+MODIFY_MIN = EventType(Operation.MODIFY, "stock", "minquantity")
+MODIFY_SHOW = EventType(Operation.MODIFY, "show", "quantity")
+
+BOTH_MODES = [EvaluationMode.LOGICAL, EvaluationMode.ALGEBRAIC]
+
+
+class TestPrimitivePerObject:
+    """§3.2: create(stock) on o1 at t1 and on o2 at t2."""
+
+    window = history((CREATE_STOCK, "o1", 1), (CREATE_STOCK, "o2", 2))
+    expression = parse_expression("create(stock)")
+
+    @pytest.mark.parametrize("mode", BOTH_MODES)
+    def test_active_only_for_affected_object(self, mode):
+        assert ots(self.expression, self.window, 1, "o1", mode) == 1
+        assert ots(self.expression, self.window, 1, "o2", mode) == -1
+
+    @pytest.mark.parametrize("mode", BOTH_MODES)
+    def test_each_object_keeps_its_own_timestamp(self, mode):
+        assert ots(self.expression, self.window, 5, "o1", mode) == 1
+        assert ots(self.expression, self.window, 5, "o2", mode) == 2
+
+    def test_unknown_object_is_inactive(self):
+        assert ots(self.expression, self.window, 5, "o9") == -5
+
+    def test_requires_positive_instant(self):
+        with pytest.raises(EvaluationError):
+            ots(self.expression, self.window, 0, "o1")
+
+    def test_set_oriented_operator_rejected(self):
+        with pytest.raises(EvaluationError):
+            ots(parse_expression("create(stock) + delete(stock)"), self.window, 3, "o1")
+
+
+class TestInstanceConjunction:
+    """create(stock) += modify(stock.quantity): both on the same object."""
+
+    expression = parse_expression("create(stock) += modify(stock.quantity)")
+
+    def test_active_only_when_both_hit_same_object(self):
+        window = history(
+            (CREATE_STOCK, "o1", 1), (CREATE_STOCK, "o2", 2), (MODIFY_QTY, "o1", 3)
+        )
+        assert ots(self.expression, window, 5, "o1") == 3
+        assert ots(self.expression, window, 5, "o2") == -5
+
+    def test_cross_object_combination_is_not_enough(self):
+        window = history((CREATE_STOCK, "o1", 1), (MODIFY_QTY, "o2", 3))
+        assert ots(self.expression, window, 5, "o1") == -5
+        assert ots(self.expression, window, 5, "o2") == -5
+        # ... but the set-oriented conjunction is active in the same history.
+        set_conjunction = parse_expression("create(stock) + modify(stock.quantity)")
+        assert ts(set_conjunction, window, 5) == 3
+
+    def test_lifted_value_is_positive_iff_some_object_satisfies(self):
+        same_object = history((CREATE_STOCK, "o1", 1), (MODIFY_QTY, "o1", 3))
+        cross_object = history((CREATE_STOCK, "o1", 1), (MODIFY_QTY, "o2", 3))
+        assert ts(self.expression, same_object, 5) == 3
+        assert ts(self.expression, cross_object, 5) == -5
+
+
+class TestInstanceDisjunctionTimeline:
+    """§3.2 disjunction example with three objects."""
+
+    window = history(
+        (CREATE_STOCK, "o1", 1),
+        (CREATE_STOCK, "o2", 2),
+        (MODIFY_QTY, "o1", 3),
+        (MODIFY_QTY, "o3", 3),
+    )
+    expression = parse_expression("create(stock) ,= modify(stock.quantity)")
+
+    @pytest.mark.parametrize("mode", BOTH_MODES)
+    def test_per_object_activation(self, mode):
+        assert ots(self.expression, self.window, 1, "o1", mode) == 1
+        assert ots(self.expression, self.window, 2, "o2", mode) == 2
+        assert ots(self.expression, self.window, 2, "o3", mode) == -2
+        assert ots(self.expression, self.window, 3, "o1", mode) == 3
+        assert ots(self.expression, self.window, 3, "o3", mode) == 3
+
+    def test_elementary_instance_disjunction_equals_set_disjunction(self):
+        # The paper notes the two coincide when the operands are elementary.
+        set_disjunction = parse_expression("create(stock) , modify(stock.quantity)")
+        for instant in range(1, 6):
+            assert ts(self.expression, self.window, instant) == ts(
+                set_disjunction, self.window, instant
+            )
+
+
+class TestInstanceNegation:
+    """§3.2 negation example: -=create(stock) per object."""
+
+    expression = parse_expression("-=create(stock)")
+
+    def test_per_object_negation(self):
+        window = history((CREATE_STOCK, "o1", 1), (CREATE_STOCK, "o2", 4))
+        assert ots(self.expression, window, 2, "o1") == -1
+        assert ots(self.expression, window, 2, "o2") == 2
+        assert ots(self.expression, window, 5, "o2") == -4
+
+    def test_elementary_instance_negation_lifts_like_set_negation(self):
+        window = history((CREATE_STOCK, "o1", 1), (MODIFY_QTY, "o2", 2))
+        set_negation = parse_expression("-create(stock)")
+        for instant in range(1, 5):
+            assert ts(self.expression, window, instant) == ts(set_negation, window, instant)
+
+    def test_negated_instance_conjunction_vs_pair_of_negations(self):
+        """The paper's §3.2 pair of 'no stock created and modified' examples."""
+        cross_object = history(
+            (MODIFY_SHOW, "p1", 5), (CREATE_STOCK, "o1", 2), (MODIFY_QTY, "o2", 3)
+        )
+        negated_conjunction = parse_expression(
+            "modify(show.quantity) + -=(create(stock) += modify(stock.quantity))"
+        )
+        separate_negations = parse_expression(
+            "modify(show.quantity) + -create(stock) + -modify(stock.quantity)"
+        )
+        # No single object was both created and modified: the first formula holds.
+        assert ts(negated_conjunction, cross_object, 6) > 0
+        # But some object was created and some object was modified: the second fails.
+        assert ts(separate_negations, cross_object, 6) < 0
+
+        same_object = history(
+            (MODIFY_SHOW, "p1", 5), (CREATE_STOCK, "o1", 2), (MODIFY_QTY, "o1", 3)
+        )
+        assert ts(negated_conjunction, same_object, 6) < 0
+        assert ts(separate_negations, same_object, 6) < 0
+
+
+class TestInstancePrecedence:
+    """§3.2 precedence example: modify(minquantity) <= modify(quantity) on o1."""
+
+    window = history(
+        (MODIFY_MIN, "o1", 1), (MODIFY_MIN, "o1", 2), (MODIFY_QTY, "o1", 3)
+    )
+    expression = parse_expression("modify(stock.minquantity) <= modify(stock.quantity)")
+
+    @pytest.mark.parametrize("mode", BOTH_MODES)
+    def test_timeline(self, mode):
+        assert ots(self.expression, self.window, 1, "o1", mode) == -1
+        assert ots(self.expression, self.window, 2, "o1", mode) == -2
+        assert ots(self.expression, self.window, 3, "o1", mode) == 3
+        assert ots(self.expression, self.window, 9, "o1", mode) == 3
+
+    def test_requires_same_object(self):
+        cross = history((MODIFY_MIN, "o1", 1), (MODIFY_QTY, "o2", 3))
+        assert ots(self.expression, cross, 5, "o1") == -5
+        assert ots(self.expression, cross, 5, "o2") == -5
+        assert ts(self.expression, cross, 5) == -5
+
+    def test_set_level_use_inside_conjunction(self):
+        """§3.2: shelf change + at least one stock created then modified."""
+        expression = parse_expression(
+            "modify(show.quantity) + (create(stock) <= modify(stock.quantity))"
+        )
+        satisfying = history(
+            (MODIFY_SHOW, "p1", 1), (CREATE_STOCK, "o1", 2), (MODIFY_QTY, "o1", 3)
+        )
+        cross_object = history(
+            (MODIFY_SHOW, "p1", 1), (CREATE_STOCK, "o1", 2), (MODIFY_QTY, "o2", 3)
+        )
+        assert ts(expression, satisfying, 4) > 0
+        assert ts(expression, cross_object, 4) < 0
+        # The set-oriented variant accepts the cross-object history.
+        set_variant = parse_expression(
+            "modify(show.quantity) + (create(stock) < modify(stock.quantity))"
+        )
+        assert ts(set_variant, cross_object, 4) > 0
+
+
+class TestLiftingEdgeCases:
+    def test_existential_lift_over_empty_window_is_inactive(self):
+        window = EventWindow.of([])
+        expression = parse_expression("create(stock) += modify(stock.quantity)")
+        assert ts(expression, window, 5) == -5
+
+    def test_negation_lift_over_empty_window_is_active(self):
+        window = EventWindow.of([])
+        expression = parse_expression("-=create(stock)")
+        assert ts(expression, window, 5) == 5
+
+    def test_ots_never_exceeds_ts(self):
+        window = history(
+            (CREATE_STOCK, "o1", 1), (CREATE_STOCK, "o2", 4), (MODIFY_QTY, "o1", 6)
+        )
+        expression = parse_expression("create(stock)")
+        for oid in ("o1", "o2"):
+            assert ots(expression, window, 8, oid) <= ts(expression, window, 8)
+
+    def test_evaluate_wrapper_with_oid(self):
+        window = history((CREATE_STOCK, "o1", 2))
+        value = evaluate(parse_expression("create(stock)"), window, 5, oid="o1")
+        assert value.is_active and value.activation_timestamp == 2
+
+
+class TestActiveObjects:
+    def test_active_objects_for_instance_conjunction(self):
+        window = history(
+            (CREATE_STOCK, "o1", 1),
+            (CREATE_STOCK, "o2", 2),
+            (MODIFY_QTY, "o1", 3),
+            (MODIFY_QTY, "o3", 4),
+        )
+        expression = parse_expression("create(stock) += modify(stock.quantity)")
+        assert active_objects(expression, window, 5) == {"o1"}
+
+    def test_active_objects_with_candidate_restriction(self):
+        window = history((CREATE_STOCK, "o1", 1), (CREATE_STOCK, "o2", 2))
+        expression = parse_expression("create(stock)")
+        assert active_objects(expression, window, 5, candidates=["o2", "o9"]) == {"o2"}
+
+    def test_active_objects_rejects_set_expressions(self):
+        window = history((CREATE_STOCK, "o1", 1))
+        with pytest.raises(EvaluationError):
+            active_objects(parse_expression("create(stock) + delete(stock)"), window, 3)

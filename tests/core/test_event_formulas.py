@@ -1,0 +1,89 @@
+"""Event formulas of paper §3.3: ``occurred`` bindings and ``at`` occurrence instants."""
+
+from repro.core.evaluation import activation_instants, active_objects
+from repro.core.parser import parse_expression
+from repro.events.event import EventType, Operation
+
+from tests.conftest import history
+
+CREATE_STOCK = EventType(Operation.CREATE, "stock")
+MODIFY_QTY = EventType(Operation.MODIFY, "stock", "quantity")
+DELETE_STOCK = EventType(Operation.DELETE, "stock")
+
+
+class TestOccurredBindings:
+    """``occurred(create(stock) <= modify(stock.quantity), X)`` from §3.3."""
+
+    expression = parse_expression("create(stock) <= modify(stock.quantity)")
+
+    def test_binds_objects_created_then_modified(self):
+        window = history(
+            (CREATE_STOCK, "o1", 1),
+            (CREATE_STOCK, "o2", 2),
+            (MODIFY_QTY, "o1", 3),
+        )
+        assert active_objects(self.expression, window, 4) == {"o1"}
+
+    def test_binding_respects_order(self):
+        window = history((MODIFY_QTY, "o1", 1), (CREATE_STOCK, "o1", 2))
+        assert active_objects(self.expression, window, 4) == set()
+
+    def test_consuming_window_hides_older_occurrences(self):
+        # The same history observed through a consuming window that starts
+        # after the creation no longer exposes the composite occurrence.
+        full = history((CREATE_STOCK, "o1", 1), (MODIFY_QTY, "o1", 3))
+        consuming = history((MODIFY_QTY, "o1", 3))
+        assert active_objects(self.expression, full, 4) == {"o1"}
+        assert active_objects(self.expression, consuming, 4) == set()
+
+    def test_net_effect_style_formula(self):
+        """The paper's footnote: net effect of creation with later deletion."""
+        expression = parse_expression(
+            "(create(stock) <= modify(stock.quantity)) += -=delete(stock)"
+        )
+        window_kept = history((CREATE_STOCK, "o1", 1), (MODIFY_QTY, "o1", 2))
+        window_deleted = history(
+            (CREATE_STOCK, "o2", 1), (MODIFY_QTY, "o2", 2), (DELETE_STOCK, "o2", 3)
+        )
+        assert active_objects(expression, window_kept, 5) == {"o1"}
+        assert active_objects(expression, window_deleted, 5) == set()
+
+
+class TestAtOccurrenceInstants:
+    """``at(create(stock) <= modify(stock.quantity), X, T)``: one instant per arising."""
+
+    expression = parse_expression("create(stock) <= modify(stock.quantity)")
+
+    def test_two_updates_yield_two_instants(self):
+        # §3.3: "if the creation of a stock object is followed by two updates of
+        # its quantity, the specified composite event occurs twice, exactly
+        # when the two updates occur".
+        window = history(
+            (CREATE_STOCK, "o1", 1), (MODIFY_QTY, "o1", 3), (MODIFY_QTY, "o1", 5)
+        )
+        assert activation_instants(self.expression, window, "o1", until=6) == [3, 5]
+
+    def test_no_instants_before_the_sequence_completes(self):
+        window = history((CREATE_STOCK, "o1", 1))
+        assert activation_instants(self.expression, window, "o1", until=9) == []
+
+    def test_instants_respect_the_until_bound(self):
+        window = history(
+            (CREATE_STOCK, "o1", 1), (MODIFY_QTY, "o1", 3), (MODIFY_QTY, "o1", 5)
+        )
+        assert activation_instants(self.expression, window, "o1", until=4) == [3]
+
+    def test_instants_are_per_object(self):
+        window = history(
+            (CREATE_STOCK, "o1", 1),
+            (CREATE_STOCK, "o2", 2),
+            (MODIFY_QTY, "o1", 3),
+            (MODIFY_QTY, "o2", 6),
+        )
+        assert activation_instants(self.expression, window, "o1", until=9) == [3]
+        assert activation_instants(self.expression, window, "o2", until=9) == [6]
+
+    def test_primitive_instants_are_its_occurrences(self):
+        window = history((MODIFY_QTY, "o1", 2), (MODIFY_QTY, "o1", 7))
+        primitive = parse_expression("modify(stock.quantity)")
+        assert activation_instants(primitive, window, "o1", until=9) == [2, 7]

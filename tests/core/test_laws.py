@@ -1,0 +1,167 @@
+"""Algebraic laws of §4.3: De Morgan, commutativity, associativity, factoring."""
+
+import pytest
+
+from repro.core.evaluation import ts
+from repro.core.expressions import (
+    InstanceConjunction,
+    InstanceDisjunction,
+    InstanceNegation,
+    Primitive,
+    SetConjunction,
+    SetDisjunction,
+    SetNegation,
+    SetPrecedence,
+)
+from repro.core.laws import (
+    LAWS,
+    check_law,
+    eliminate_double_negation,
+    expressions_equivalent,
+    law_by_name,
+    negation_normal_form,
+)
+
+from tests.conftest import A, B, C, PA, PB, PC, history
+
+WINDOW = history(
+    (A, "o1", 2),
+    (B, "o2", 4),
+    (A, "o2", 6),
+    (C, "o1", 7),
+    (B, "o1", 9),
+)
+INSTANTS = list(range(1, 12))
+
+
+class TestRegistry:
+    def test_registry_is_not_empty(self):
+        assert len(LAWS) >= 12
+
+    def test_law_by_name(self):
+        assert law_by_name("de_morgan_conjunction").arity == 2
+        with pytest.raises(KeyError):
+            law_by_name("no_such_law")
+
+    def test_check_law_validates_arity(self):
+        with pytest.raises(ValueError):
+            check_law(law_by_name("de_morgan_conjunction"), [PA], WINDOW, 5)
+
+
+class TestLawsOnPrimitiveOperands:
+    """Every registered law meets its stated guarantee on primitive operands."""
+
+    @pytest.mark.parametrize("law", LAWS, ids=lambda law: law.name)
+    @pytest.mark.parametrize("instant", [1, 3, 5, 8, 10])
+    def test_law_holds(self, law, instant):
+        operands = [PA, PB, PC][: law.arity]
+        result = check_law(law, operands, WINDOW, instant)
+        assert result.holds, (
+            f"{law.name} failed at t={instant}: lhs={result.lhs_value} rhs={result.rhs_value}"
+        )
+
+    @pytest.mark.parametrize(
+        "law",
+        [law for law in LAWS if law.guarantee == "exact"],
+        ids=lambda law: law.name,
+    )
+    @pytest.mark.parametrize("instant", [1, 3, 5, 8, 10])
+    def test_exact_laws_are_exact(self, law, instant):
+        operands = [PA, PB, PC][: law.arity]
+        result = check_law(law, operands, WINDOW, instant)
+        assert result.exact_equal
+
+
+class TestLawsOnNegatedOperands:
+    """With negated operands the laws still meet their stated guarantee."""
+
+    OPERANDS = [SetNegation(PA), PB, SetNegation(PC)]
+
+    @pytest.mark.parametrize(
+        "law",
+        [law for law in LAWS if not law.negation_free_operands_only],
+        ids=lambda law: law.name,
+    )
+    @pytest.mark.parametrize("instant", [1, 5, 8, 10])
+    def test_activation_agreement(self, law, instant):
+        result = check_law(law, self.OPERANDS[: law.arity], WINDOW, instant)
+        assert result.holds, (
+            f"{law.name} failed at t={instant}: lhs={result.lhs_value} rhs={result.rhs_value}"
+        )
+
+    def test_right_factoring_is_restricted_to_negation_free_operands(self):
+        law = law_by_name("precedence_right_factoring_disjunction")
+        assert law.negation_free_operands_only
+
+
+class TestDeMorganExplicit:
+    """The Fig. 5 identity spelled out: ts(-(A , B)) == ts(-A + -B)."""
+
+    def test_identity_over_all_instants(self):
+        lhs = SetNegation(SetDisjunction(PA, PB))
+        rhs = SetConjunction(SetNegation(PA), SetNegation(PB))
+        for instant in INSTANTS:
+            assert ts(lhs, WINDOW, instant) == ts(rhs, WINDOW, instant)
+
+    def test_dual_identity_over_all_instants(self):
+        lhs = SetNegation(SetConjunction(PA, PB))
+        rhs = SetDisjunction(SetNegation(PA), SetNegation(PB))
+        for instant in INSTANTS:
+            assert ts(lhs, WINDOW, instant) == ts(rhs, WINDOW, instant)
+
+
+class TestExpressionsEquivalent:
+    def test_exact_equivalence(self):
+        assert expressions_equivalent(
+            SetConjunction(PA, PB), SetConjunction(PB, PA), WINDOW, INSTANTS
+        )
+
+    def test_non_equivalent_detected(self):
+        assert not expressions_equivalent(PA, PB, WINDOW, INSTANTS)
+
+    def test_activation_level_equivalence(self):
+        lhs = SetConjunction(SetNegation(PA), SetDisjunction(PB, PC))
+        rhs = SetDisjunction(
+            SetConjunction(SetNegation(PA), PB), SetConjunction(SetNegation(PA), PC)
+        )
+        assert expressions_equivalent(lhs, rhs, WINDOW, INSTANTS, exact=False)
+
+
+class TestRewriting:
+    def test_double_negation_elimination(self):
+        assert eliminate_double_negation(SetNegation(SetNegation(PA))) == PA
+
+    def test_double_negation_elimination_is_recursive(self):
+        expression = SetConjunction(SetNegation(SetNegation(PA)), PB)
+        assert eliminate_double_negation(expression) == SetConjunction(PA, PB)
+
+    def test_instance_double_negation(self):
+        assert eliminate_double_negation(InstanceNegation(InstanceNegation(PA))) == PA
+
+    def test_nnf_pushes_set_negation(self):
+        expression = SetNegation(SetConjunction(PA, PB))
+        assert negation_normal_form(expression) == SetDisjunction(
+            SetNegation(PA), SetNegation(PB)
+        )
+
+    def test_nnf_pushes_instance_negation(self):
+        expression = InstanceNegation(InstanceDisjunction(PA, PB))
+        assert negation_normal_form(expression) == InstanceConjunction(
+            InstanceNegation(PA), InstanceNegation(PB)
+        )
+
+    def test_nnf_stops_at_precedence(self):
+        expression = SetNegation(SetPrecedence(PA, PB))
+        assert negation_normal_form(expression) == expression
+
+    def test_nnf_preserves_semantics(self):
+        expression = SetNegation(
+            SetDisjunction(SetConjunction(PA, SetNegation(PB)), PC)
+        )
+        rewritten = negation_normal_form(expression)
+        for instant in INSTANTS:
+            assert ts(expression, WINDOW, instant) == ts(rewritten, WINDOW, instant)
+
+    def test_nnf_leaves_primitives_alone(self):
+        assert negation_normal_form(PA) == PA
+        assert negation_normal_form(Primitive(C)) == PC

@@ -1,0 +1,262 @@
+"""Static optimization: derivation rules (Fig. 6), simplification (Fig. 7), V(E)."""
+
+import pytest
+
+from repro.core.expressions import (
+    InstanceConjunction,
+    InstanceNegation,
+    InstancePrecedence,
+    SetConjunction,
+    SetDisjunction,
+    SetNegation,
+    SetPrecedence,
+)
+from repro.core.optimization import (
+    RecomputationFilter,
+    Scope,
+    Sign,
+    Variation,
+    derive_variations,
+    format_variations,
+    simplify_variations,
+    variation_set,
+)
+from repro.events.event import EventOccurrence, EventType, Operation
+
+from tests.conftest import A, B, C, D, PA, PB, PC, PD
+
+
+def names(variations) -> set[str]:
+    return {str(variation) for variation in variations}
+
+
+class TestSignAndScope:
+    def test_sign_flip(self):
+        assert Sign.POSITIVE.flipped() is Sign.NEGATIVE
+        assert Sign.NEGATIVE.flipped() is Sign.POSITIVE
+        assert Sign.BOTH.flipped() is Sign.BOTH
+
+    def test_sign_merge(self):
+        assert Sign.merge(Sign.POSITIVE, Sign.POSITIVE) is Sign.POSITIVE
+        assert Sign.merge(Sign.POSITIVE, Sign.NEGATIVE) is Sign.BOTH
+        assert Sign.merge(Sign.BOTH, Sign.NEGATIVE) is Sign.BOTH
+
+    def test_scope_merge(self):
+        assert Scope.merge(Scope.SET, Scope.OBJECT) is Scope.SET
+        assert Scope.merge(Scope.OBJECT, Scope.OBJECT) is Scope.OBJECT
+
+    def test_includes_positive(self):
+        assert Sign.POSITIVE.includes_positive()
+        assert Sign.BOTH.includes_positive()
+        assert not Sign.NEGATIVE.includes_positive()
+
+    def test_variation_rendering(self):
+        assert str(Variation(A, Sign.POSITIVE, Scope.SET)) == "Δ+create(A)"
+        assert str(Variation(A, Sign.NEGATIVE, Scope.OBJECT)) == "Δ-O create(A)"
+        assert str(Variation(A, Sign.BOTH, Scope.SET)) == "Δcreate(A)"
+
+
+class TestDerivationRules:
+    def test_primitive(self):
+        assert derive_variations(PA) == {Variation(A, Sign.POSITIVE, Scope.SET)}
+
+    def test_negation_flips_sign(self):
+        assert derive_variations(SetNegation(PA)) == {Variation(A, Sign.NEGATIVE, Scope.SET)}
+
+    def test_double_negation_restores_sign(self):
+        assert derive_variations(SetNegation(SetNegation(PA))) == {
+            Variation(A, Sign.POSITIVE, Scope.SET)
+        }
+
+    def test_conjunction_propagates_to_both_operands(self):
+        assert derive_variations(SetConjunction(PA, PB)) == {
+            Variation(A, Sign.POSITIVE, Scope.SET),
+            Variation(B, Sign.POSITIVE, Scope.SET),
+        }
+
+    def test_disjunction_propagates_to_both_operands(self):
+        assert derive_variations(SetDisjunction(PA, SetNegation(PB))) == {
+            Variation(A, Sign.POSITIVE, Scope.SET),
+            Variation(B, Sign.NEGATIVE, Scope.SET),
+        }
+
+    def test_precedence_ignores_left_operand_and_marks_right_with_both_signs(self):
+        assert derive_variations(SetPrecedence(PA, PB)) == {
+            Variation(B, Sign.BOTH, Scope.SET)
+        }
+
+    def test_negated_precedence_still_watches_the_right_operand(self):
+        # Regression: -(-A < B) becomes active when a new B occurrence arrives,
+        # so B must keep a positive-covering variation through the negation.
+        expression = SetNegation(SetPrecedence(SetNegation(PA), PB))
+        variations = derive_variations(expression)
+        assert variations == {Variation(B, Sign.BOTH, Scope.SET)}
+        assert any(
+            variation.event_type == B and variation.sign.includes_positive()
+            for variation in variations
+        )
+
+    def test_instance_operators_switch_to_object_scope(self):
+        assert derive_variations(InstanceConjunction(PA, PB)) == {
+            Variation(A, Sign.POSITIVE, Scope.OBJECT),
+            Variation(B, Sign.POSITIVE, Scope.OBJECT),
+        }
+
+    def test_instance_negation_flips_sign_at_object_scope(self):
+        assert derive_variations(InstanceNegation(PA)) == {
+            Variation(A, Sign.NEGATIVE, Scope.OBJECT)
+        }
+
+    def test_instance_precedence_keeps_right_operand_only(self):
+        assert derive_variations(InstancePrecedence(PA, PB)) == {
+            Variation(B, Sign.BOTH, Scope.OBJECT)
+        }
+
+    def test_precedence_with_negated_right_operand_watches_both_operands(self):
+        # Regression: A < -B is probed at the current instant (the negation's
+        # activation time stamp), so a new A occurrence can activate it.
+        variations = derive_variations(SetPrecedence(PA, SetNegation(PB)))
+        assert variations == {
+            Variation(A, Sign.BOTH, Scope.SET),
+            Variation(B, Sign.BOTH, Scope.SET),
+        }
+
+    def test_set_negation_over_instance_conjunction(self):
+        expression = SetNegation(InstanceConjunction(PA, PB))
+        assert derive_variations(expression) == {
+            Variation(A, Sign.NEGATIVE, Scope.OBJECT),
+            Variation(B, Sign.NEGATIVE, Scope.OBJECT),
+        }
+
+
+class TestSimplificationRules:
+    def test_opposite_signs_merge_to_both(self):
+        merged = simplify_variations(
+            {Variation(A, Sign.POSITIVE, Scope.SET), Variation(A, Sign.NEGATIVE, Scope.SET)}
+        )
+        assert merged == {Variation(A, Sign.BOTH, Scope.SET)}
+
+    def test_set_scope_absorbs_object_scope(self):
+        merged = simplify_variations(
+            {Variation(A, Sign.POSITIVE, Scope.SET), Variation(A, Sign.POSITIVE, Scope.OBJECT)}
+        )
+        assert merged == {Variation(A, Sign.POSITIVE, Scope.SET)}
+
+    def test_object_scope_pair_stays_object_scoped(self):
+        merged = simplify_variations(
+            {
+                Variation(A, Sign.POSITIVE, Scope.OBJECT),
+                Variation(A, Sign.NEGATIVE, Scope.OBJECT),
+            }
+        )
+        assert merged == {Variation(A, Sign.BOTH, Scope.OBJECT)}
+
+    def test_cross_scope_opposite_signs(self):
+        merged = simplify_variations(
+            {Variation(B, Sign.POSITIVE, Scope.SET), Variation(B, Sign.NEGATIVE, Scope.OBJECT)}
+        )
+        assert merged == {Variation(B, Sign.BOTH, Scope.SET)}
+
+    def test_different_types_are_kept_apart(self):
+        merged = simplify_variations(
+            {Variation(A, Sign.POSITIVE, Scope.SET), Variation(B, Sign.POSITIVE, Scope.SET)}
+        )
+        assert len(merged) == 2
+
+    def test_empty_input(self):
+        assert simplify_variations([]) == set()
+
+
+class TestPaperExample:
+    """The §5.1 worked example: V(E) = {ΔA, ΔB, Δ+C}.
+
+    The expression is reconstructed from the paper's derivation steps (the OCR
+    of the original is ambiguous): three disjuncts over A/B/C where A appears
+    positively and negatively, B appears positively at the set level and
+    negatively at the object level, and C only positively.
+    """
+
+    EXPRESSION = SetDisjunction(
+        SetDisjunction(
+            SetConjunction(PA, PB),
+            SetConjunction(PC, SetNegation(PA)),
+        ),
+        SetConjunction(
+            InstanceConjunction(PA, PC),
+            SetNegation(InstanceConjunction(PB, PA)),
+        ),
+    )
+
+    def test_derived_variations_before_simplification(self):
+        derived = derive_variations(self.EXPRESSION)
+        assert derived == {
+            Variation(A, Sign.POSITIVE, Scope.SET),
+            Variation(B, Sign.POSITIVE, Scope.SET),
+            Variation(C, Sign.POSITIVE, Scope.SET),
+            Variation(A, Sign.NEGATIVE, Scope.SET),
+            Variation(A, Sign.POSITIVE, Scope.OBJECT),
+            Variation(C, Sign.POSITIVE, Scope.OBJECT),
+            Variation(B, Sign.NEGATIVE, Scope.OBJECT),
+            Variation(A, Sign.NEGATIVE, Scope.OBJECT),
+        }
+
+    def test_simplified_variation_set_matches_paper(self):
+        assert variation_set(self.EXPRESSION) == {
+            Variation(A, Sign.BOTH, Scope.SET),
+            Variation(B, Sign.BOTH, Scope.SET),
+            Variation(C, Sign.POSITIVE, Scope.SET),
+        }
+
+    def test_rendering_matches_paper_notation(self):
+        rendered = format_variations(variation_set(self.EXPRESSION))
+        assert rendered == "{Δ+create(C), Δcreate(A), Δcreate(B)}"
+
+
+class TestRecomputationFilter:
+    def occurrence(self, event_type: EventType, oid: str = "o1", timestamp: int = 1):
+        return EventOccurrence(eid=1, event_type=event_type, oid=oid, timestamp=timestamp)
+
+    def test_irrelevant_types_are_skipped(self):
+        filter_ = RecomputationFilter(SetConjunction(PA, PB))
+        assert not filter_.needs_recomputation([self.occurrence(C)])
+        assert filter_.statistics["skipped"] == 1
+
+    def test_relevant_types_require_recomputation(self):
+        filter_ = RecomputationFilter(SetConjunction(PA, PB))
+        assert filter_.needs_recomputation([self.occurrence(B)])
+
+    def test_negated_types_are_skipped(self):
+        filter_ = RecomputationFilter(SetConjunction(PA, SetNegation(PB)))
+        assert not filter_.needs_recomputation([self.occurrence(B)])
+        assert filter_.needs_recomputation([self.occurrence(A)])
+
+    def test_precedence_left_operand_is_skipped(self):
+        filter_ = RecomputationFilter(SetPrecedence(PA, PB))
+        assert not filter_.needs_recomputation([self.occurrence(A)])
+        assert filter_.needs_recomputation([self.occurrence(B)])
+
+    def test_class_level_subscription_matches_attribute_specific_occurrence(self):
+        modify_stock = EventType(Operation.MODIFY, "stock")
+        modify_qty = EventType(Operation.MODIFY, "stock", "quantity")
+        from repro.core.expressions import Primitive
+
+        filter_ = RecomputationFilter(Primitive(modify_stock))
+        assert filter_.needs_recomputation([self.occurrence(modify_qty)])
+
+    def test_accepts_plain_event_types(self):
+        filter_ = RecomputationFilter(SetDisjunction(PA, PD))
+        assert filter_.needs_recomputation([D])
+        assert not filter_.needs_recomputation([B])
+
+    def test_relevant_event_types(self):
+        filter_ = RecomputationFilter(SetConjunction(PA, SetNegation(PB)))
+        assert filter_.relevant_event_types() == {A}
+
+    def test_mixed_batch_requires_recomputation(self):
+        filter_ = RecomputationFilter(PA)
+        batch = [self.occurrence(C), self.occurrence(A, timestamp=2)]
+        assert filter_.needs_recomputation(batch)
+
+    def test_str_shows_variations(self):
+        filter_ = RecomputationFilter(PA)
+        assert "Δ+create(A)" in str(filter_)

@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) for the event calculus invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.evaluation import EvaluationMode, ots, ts
+from repro.core.expressions import (
+    EventExpression,
+    InstanceConjunction,
+    InstanceDisjunction,
+    InstanceNegation,
+    InstancePrecedence,
+    Primitive,
+    SetConjunction,
+    SetDisjunction,
+    SetNegation,
+    SetPrecedence,
+)
+from repro.core.laws import LAWS, check_law
+from repro.core.optimization import variation_set
+from repro.core.triggering import is_triggered
+from repro.events.event import EventOccurrence, EventType, Operation
+from repro.events.event_base import EventWindow
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+EVENT_TYPES = [
+    EventType(Operation.CREATE, "A"),
+    EventType(Operation.CREATE, "B"),
+    EventType(Operation.CREATE, "C"),
+    EventType(Operation.MODIFY, "A", "x"),
+]
+OIDS = ["o1", "o2", "o3"]
+
+event_types = st.sampled_from(EVENT_TYPES)
+oids = st.sampled_from(OIDS)
+instants = st.integers(min_value=1, max_value=30)
+
+
+@st.composite
+def histories(draw, min_size: int = 0, max_size: int = 12) -> EventWindow:
+    """A random event window with non-decreasing, possibly repeated time stamps."""
+    entries = draw(
+        st.lists(st.tuples(event_types, oids, instants), min_size=min_size, max_size=max_size)
+    )
+    entries.sort(key=lambda entry: entry[2])
+    occurrences = [
+        EventOccurrence(eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp)
+        for index, (event_type, oid, timestamp) in enumerate(entries)
+    ]
+    return EventWindow.of(occurrences)
+
+
+def _primitives() -> st.SearchStrategy[EventExpression]:
+    return st.builds(Primitive, event_types)
+
+
+def _extend_instance(children: st.SearchStrategy) -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(InstanceConjunction, children, children),
+        st.builds(InstanceDisjunction, children, children),
+        st.builds(InstancePrecedence, children, children),
+        st.builds(InstanceNegation, children),
+    )
+
+
+def _extend_set(children: st.SearchStrategy) -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(SetConjunction, children, children),
+        st.builds(SetDisjunction, children, children),
+        st.builds(SetPrecedence, children, children),
+        st.builds(SetNegation, children),
+    )
+
+
+instance_expressions = st.recursive(_primitives(), _extend_instance, max_leaves=4)
+set_expressions = st.recursive(
+    st.one_of(_primitives(), instance_expressions), _extend_set, max_leaves=5
+)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(expression=set_expressions, window=histories(), instant=instants)
+def test_logical_and_algebraic_semantics_agree(expression, window, instant):
+    """The two formulations of the operator semantics are equivalent."""
+    logical = ts(expression, window, instant, EvaluationMode.LOGICAL)
+    algebraic = ts(expression, window, instant, EvaluationMode.ALGEBRAIC)
+    assert logical == algebraic
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    expression=instance_expressions,
+    window=histories(),
+    instant=instants,
+    oid=oids,
+)
+def test_logical_and_algebraic_ots_agree(expression, window, instant, oid):
+    logical = ots(expression, window, instant, oid, EvaluationMode.LOGICAL)
+    algebraic = ots(expression, window, instant, oid, EvaluationMode.ALGEBRAIC)
+    assert logical == algebraic
+
+
+@settings(max_examples=120, deadline=None)
+@given(expression=set_expressions, window=histories(), instant=instants)
+def test_negation_flips_the_sign(expression, window, instant):
+    """ts(-E, t) == -ts(E, t) for every expression, window and instant."""
+    assert ts(SetNegation(expression), window, instant) == -ts(expression, window, instant)
+
+
+@settings(max_examples=120, deadline=None)
+@given(expression=set_expressions, window=histories(), instant=instants)
+def test_ts_value_is_bounded_by_the_instant(expression, window, instant):
+    """|ts| never exceeds t, and an active value is a plausible time stamp."""
+    value = ts(expression, window, instant)
+    assert -instant <= value <= instant
+    assert value != 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(window=histories(min_size=1), instant=instants)
+def test_primitive_ts_is_last_occurrence_or_minus_t(window, instant):
+    for event_type in EVENT_TYPES:
+        value = ts(Primitive(event_type), window, instant)
+        expected = window.last_timestamp(event_type, instant)
+        assert value == (expected if expected is not None else -instant)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    expression=instance_expressions,
+    window=histories(),
+    instant=instants,
+    oid=oids,
+)
+def test_instance_activation_never_exceeds_set_activation(expression, window, instant, oid):
+    """ots(E, t, oid) <= ts(E, t) for negation-free instance expressions."""
+    if any(isinstance(node, InstanceNegation) for node in expression.walk()):
+        return
+    assert ots(expression, window, instant, oid) <= ts(expression, window, instant)
+
+
+def _contains_negation(expression: EventExpression) -> bool:
+    return any(
+        isinstance(node, (SetNegation, InstanceNegation)) for node in expression.walk()
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    window=histories(),
+    instant=instants,
+    operands=st.lists(set_expressions, min_size=3, max_size=3),
+)
+def test_every_law_meets_its_guarantee(window, instant, operands):
+    """Each §4.3 law holds (at its stated guarantee level) on random operands."""
+    has_negation = any(_contains_negation(operand) for operand in operands)
+    for law in LAWS:
+        if law.negation_free_operands_only and has_negation:
+            continue
+        result = check_law(law, operands[: law.arity], window, instant)
+        assert result.holds, (
+            f"{law.name}: lhs={result.lhs_value} rhs={result.rhs_value} at t={instant}"
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    window=histories(),
+    instant=instants,
+)
+def test_negation_restricted_laws_hold_on_primitive_operands(window, instant):
+    """Laws restricted to negation-free operands still hold on primitives."""
+    operands = [Primitive(event_type) for event_type in EVENT_TYPES[:3]]
+    for law in LAWS:
+        if not law.negation_free_operands_only:
+            continue
+        result = check_law(law, operands[: law.arity], window, instant)
+        assert result.holds
+
+
+@settings(max_examples=100, deadline=None)
+@given(expression=set_expressions, window=histories(), instant=instants)
+def test_evaluation_only_depends_on_past_occurrences(expression, window, instant):
+    """ts at instant t ignores occurrences with a later time stamp."""
+    truncated = EventWindow.of(
+        [occurrence for occurrence in window if occurrence.timestamp <= instant]
+    )
+    assert ts(expression, window, instant) == ts(expression, truncated, instant)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    expression=set_expressions,
+    window=histories(min_size=1, max_size=8),
+    new_type=event_types,
+    new_oid=oids,
+)
+def test_variation_set_is_sound_for_triggering(expression, window, new_type, new_oid):
+    """If V(E) has no positive entry for a type, a new occurrence of that type
+    can never turn an untriggered expression into a triggered one.
+
+    The invariant requires the prior window to be non-empty: with an empty
+    window, a vacuously-active expression (e.g. a pure negation) is blocked
+    only by the ``R != {}`` condition and any occurrence unblocks it — which is
+    exactly why the Trigger Support applies the filter only after a non-empty
+    evaluation (see the min_size=1 constraint here).
+    """
+    positive_types = {
+        variation.event_type
+        for variation in variation_set(expression)
+        if variation.sign.includes_positive()
+    }
+    matches = any(
+        watched.matches(new_type) or new_type.matches(watched) for watched in positive_types
+    )
+    if matches:
+        return  # The filter would recompute; nothing to check.
+
+    latest = window.latest_timestamp() or 0
+    now = latest + 1
+    before = is_triggered(expression, window, last_consideration=None, now=now)
+    if before.triggered:
+        return  # Already triggered; the filter only matters for untriggered rules.
+
+    appended = list(window) + [
+        EventOccurrence(
+            eid=10_000, event_type=new_type, oid=new_oid, timestamp=now
+        )
+    ]
+    after = is_triggered(
+        expression, EventWindow.of(appended), last_consideration=None, now=now
+    )
+    assert not after.triggered, (
+        f"occurrence of {new_type} activated {expression} although V(E) said it could not"
+    )

@@ -1,0 +1,97 @@
+"""Tests for the logical clocks."""
+
+import pytest
+
+from repro.events.clock import SharedTickClock, TransactionClock
+
+
+class TestTransactionClock:
+    def test_starts_at_zero(self):
+        clock = TransactionClock()
+        assert clock.now() == 0
+
+    def test_tick_is_strictly_monotonic(self):
+        clock = TransactionClock()
+        ticks = [clock.tick() for _ in range(5)]
+        assert ticks == [1, 2, 3, 4, 5]
+
+    def test_now_does_not_advance(self):
+        clock = TransactionClock()
+        clock.tick()
+        assert clock.now() == 1
+        assert clock.now() == 1
+
+    def test_custom_start(self):
+        clock = TransactionClock(start=10)
+        assert clock.now() == 10
+        assert clock.tick() == 11
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionClock(start=-1)
+
+    def test_advance_to_moves_forward(self):
+        clock = TransactionClock()
+        clock.advance_to(7)
+        assert clock.now() == 7
+        assert clock.tick() == 8
+
+    def test_advance_to_same_instant_is_allowed(self):
+        clock = TransactionClock()
+        clock.advance_to(3)
+        clock.advance_to(3)
+        assert clock.now() == 3
+
+    def test_advance_backwards_rejected(self):
+        clock = TransactionClock()
+        clock.advance_to(5)
+        with pytest.raises(ValueError):
+            clock.advance_to(4)
+
+    def test_reset_returns_to_start(self):
+        clock = TransactionClock(start=2)
+        clock.tick()
+        clock.reset()
+        assert clock.now() == 2
+
+    def test_reset_with_new_start(self):
+        clock = TransactionClock()
+        clock.tick()
+        clock.reset(start=100)
+        assert clock.now() == 100
+
+    def test_reset_with_negative_start_rejected(self):
+        clock = TransactionClock()
+        with pytest.raises(ValueError):
+            clock.reset(start=-5)
+
+
+class TestSharedTickClock:
+    def test_tick_does_not_advance(self):
+        clock = SharedTickClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 1
+
+    def test_advance_moves_forward(self):
+        clock = SharedTickClock()
+        assert clock.advance() == 2
+        assert clock.now() == 2
+
+    def test_advance_by_more_than_one(self):
+        clock = SharedTickClock()
+        assert clock.advance(by=5) == 6
+
+    def test_advance_backwards_rejected(self):
+        clock = SharedTickClock()
+        with pytest.raises(ValueError):
+            clock.advance(by=0)
+        with pytest.raises(ValueError):
+            clock.advance(by=-1)
+
+    def test_start_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SharedTickClock(start=0)
+
+    def test_custom_start(self):
+        clock = SharedTickClock(start=5)
+        assert clock.now() == 5

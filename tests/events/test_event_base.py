@@ -1,0 +1,165 @@
+"""Tests for the Event Base and event windows (paper Fig. 3 / Fig. 4)."""
+
+import pytest
+
+from repro.errors import EventCalculusError
+from repro.events.event import EventOccurrence, EventType, Operation
+from repro.events.event_base import EventBase, EventWindow
+
+from tests.conftest import A, B, C, event_base_from, history
+
+MODIFY_STOCK_QTY = EventType(Operation.MODIFY, "stock", "quantity")
+MODIFY_STOCK = EventType(Operation.MODIFY, "stock")
+CREATE_STOCK = EventType(Operation.CREATE, "stock")
+
+
+class TestEventBaseRecording:
+    def test_record_assigns_sequential_eids(self):
+        eb = EventBase()
+        first = eb.record(A, "o1", 1)
+        second = eb.record(B, "o2", 2)
+        assert (first.eid, second.eid) == (1, 2)
+
+    def test_append_rejects_duplicate_eids(self):
+        eb = EventBase()
+        eb.append(EventOccurrence(1, A, "o1", 1))
+        with pytest.raises(EventCalculusError):
+            eb.append(EventOccurrence(1, B, "o1", 2))
+
+    def test_append_rejects_time_going_backwards(self):
+        eb = EventBase()
+        eb.record(A, "o1", 5)
+        with pytest.raises(EventCalculusError):
+            eb.record(B, "o1", 3)
+
+    def test_append_allows_equal_timestamps(self):
+        eb = EventBase()
+        eb.record(A, "o1", 3)
+        eb.record(B, "o2", 3)
+        assert len(eb) == 2
+
+    def test_extend(self):
+        eb = EventBase()
+        eb.extend(
+            [EventOccurrence(1, A, "o1", 1), EventOccurrence(2, B, "o2", 2)]
+        )
+        assert len(eb) == 2
+
+    def test_len_and_bool(self):
+        eb = EventBase()
+        assert not eb
+        eb.record(A, "o1", 1)
+        assert eb
+        assert len(eb) == 1
+
+
+class TestFigure4Accessors:
+    """The ``type / obj / timestamp / event_on_class`` functions of Fig. 4."""
+
+    def test_type_of(self, figure3_eb):
+        assert str(figure3_eb.type_of(1)) == "create(stock)"
+        assert str(figure3_eb.type_of(5)) == "modify(stock.quantity)"
+        assert str(figure3_eb.type_of(7)) == "delete(stock)"
+
+    def test_obj(self, figure3_eb):
+        assert figure3_eb.obj(3) == "o3"
+        assert figure3_eb.obj(5) == "o1"
+        assert figure3_eb.obj(6) == "o2"
+
+    def test_timestamp(self, figure3_eb):
+        assert figure3_eb.timestamp(5) == 5
+        assert figure3_eb.timestamp(6) == 6
+        assert figure3_eb.timestamp(7) == 7
+
+    def test_event_on_class(self, figure3_eb):
+        assert figure3_eb.event_on_class(1) == "stock"
+        assert figure3_eb.event_on_class(4) == "notFilledOrder"
+
+    def test_unknown_eid_raises(self, figure3_eb):
+        with pytest.raises(EventCalculusError):
+            figure3_eb.get(99)
+
+
+class TestQueries:
+    def test_last_timestamp(self):
+        eb = event_base_from((A, "o1", 1), (A, "o2", 4), (B, "o1", 6))
+        assert eb.last_timestamp(A, 10) == 4
+        assert eb.last_timestamp(A, 3) == 1
+        assert eb.last_timestamp(B, 5) is None
+
+    def test_last_timestamp_on_object(self):
+        eb = event_base_from((A, "o1", 1), (A, "o2", 4))
+        assert eb.last_timestamp_on(A, "o1", 10) == 1
+        assert eb.last_timestamp_on(A, "o2", 10) == 4
+        assert eb.last_timestamp_on(A, "o3", 10) is None
+
+    def test_class_level_modify_matches_attribute_specific(self, figure3_eb):
+        # modify(stock) subscriptions must see modify(stock.quantity) rows.
+        assert figure3_eb.last_timestamp(MODIFY_STOCK, 10) == 6
+        assert figure3_eb.last_timestamp(MODIFY_STOCK_QTY, 10) == 6
+
+    def test_occurrences_of_sorted_by_time(self, figure3_eb):
+        occurrences = figure3_eb.occurrences_of(CREATE_STOCK)
+        assert [occurrence.timestamp for occurrence in occurrences] == [1, 2]
+
+    def test_occurrences_of_with_until(self, figure3_eb):
+        occurrences = figure3_eb.occurrences_of(MODIFY_STOCK_QTY, until=5)
+        assert [occurrence.eid for occurrence in occurrences] == [5]
+
+    def test_objects_affected_by(self, figure3_eb):
+        affected = figure3_eb.objects_affected_by([CREATE_STOCK, MODIFY_STOCK_QTY])
+        assert affected == {"o1", "o2"}
+
+    def test_event_types_and_oids(self, figure3_eb):
+        assert CREATE_STOCK in figure3_eb.event_types()
+        assert figure3_eb.oids() == {"o1", "o2", "o3", "o4"}
+
+    def test_timestamps_deduplicated_and_sorted(self, figure3_eb):
+        assert figure3_eb.timestamps() == [1, 2, 3, 5, 6, 7]
+
+    def test_select_predicate(self, figure3_eb):
+        stock_events = figure3_eb.select(lambda occ: occ.event_on_class == "stock")
+        assert len(stock_events) == 5
+
+
+class TestEventWindow:
+    def test_window_bounds_are_half_open(self, figure3_eb):
+        window = figure3_eb.window(after=2, until=6)
+        assert [occurrence.eid for occurrence in window] == [3, 4, 5, 6]
+
+    def test_window_with_no_bounds_is_full(self, figure3_eb):
+        assert len(figure3_eb.full_window()) == len(figure3_eb)
+
+    def test_window_after_only(self, figure3_eb):
+        window = figure3_eb.window(after=5)
+        assert [occurrence.eid for occurrence in window] == [6, 7]
+
+    def test_window_until_only(self, figure3_eb):
+        window = figure3_eb.window(until=2)
+        assert [occurrence.eid for occurrence in window] == [1, 2]
+
+    def test_invalid_bounds_rejected(self, figure3_eb):
+        with pytest.raises(EventCalculusError):
+            figure3_eb.window(after=5, until=3)
+
+    def test_empty_window(self, figure3_eb):
+        window = figure3_eb.window(after=7)
+        assert window.is_empty()
+        assert window.latest_timestamp() is None
+
+    def test_latest_timestamp(self, figure3_eb):
+        assert figure3_eb.full_window().latest_timestamp() == 7
+
+    def test_window_of_explicit_occurrences(self):
+        window = EventWindow.of([EventOccurrence(1, A, "o1", 2)])
+        assert len(window) == 1
+        assert window.last_timestamp(A, 5) == 2
+
+    def test_window_queries_ignore_out_of_range_events(self, figure3_eb):
+        window = figure3_eb.window(after=2, until=6)
+        # create(stock) occurrences are at t1 and t2, both excluded.
+        assert window.last_timestamp(CREATE_STOCK, 10) is None
+
+    def test_history_helper_sorts_entries(self):
+        window = history((B, "o1", 5), (A, "o1", 1), (C, "o2", 3))
+        assert [occurrence.timestamp for occurrence in window] == [1, 3, 5]

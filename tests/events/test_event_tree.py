@@ -1,0 +1,107 @@
+"""Tests for the Occurred-Events tree maintained by the Event Handler."""
+
+from repro.events.event import EventOccurrence, EventType, Operation
+from repro.events.event_tree import OccurredEventsTree
+
+from tests.conftest import A, B
+
+MODIFY_STOCK_QTY = EventType(Operation.MODIFY, "stock", "quantity")
+MODIFY_STOCK_MIN = EventType(Operation.MODIFY, "stock", "minquantity")
+MODIFY_STOCK = EventType(Operation.MODIFY, "stock")
+CREATE_STOCK = EventType(Operation.CREATE, "stock")
+
+
+def occurrence(eid: int, event_type: EventType, oid: str, timestamp: int) -> EventOccurrence:
+    return EventOccurrence(eid=eid, event_type=event_type, oid=oid, timestamp=timestamp)
+
+
+class TestStorage:
+    def test_store_creates_leaf_per_type(self):
+        tree = OccurredEventsTree()
+        tree.store(occurrence(1, CREATE_STOCK, "o1", 1))
+        tree.store(occurrence(2, MODIFY_STOCK_QTY, "o1", 2))
+        assert tree.event_types("stock") == {CREATE_STOCK, MODIFY_STOCK_QTY}
+
+    def test_len_counts_occurrences(self):
+        tree = OccurredEventsTree()
+        tree.store_all(
+            [occurrence(1, A, "o1", 1), occurrence(2, A, "o2", 2), occurrence(3, B, "o1", 3)]
+        )
+        assert len(tree) == 3
+
+    def test_leaf_keeps_latest_timestamp(self):
+        tree = OccurredEventsTree()
+        tree.store(occurrence(1, CREATE_STOCK, "o1", 1))
+        leaf = tree.store(occurrence(2, CREATE_STOCK, "o2", 5))
+        assert leaf.latest_timestamp == 5
+        assert len(leaf) == 2
+
+    def test_clear(self):
+        tree = OccurredEventsTree()
+        tree.store(occurrence(1, A, "o1", 1))
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.class_names() == set()
+
+    def test_class_names(self):
+        tree = OccurredEventsTree()
+        tree.store(occurrence(1, CREATE_STOCK, "o1", 1))
+        tree.store(occurrence(2, A, "a1", 2))
+        assert tree.class_names() == {"stock", "A"}
+
+
+class TestLookups:
+    def _tree(self) -> OccurredEventsTree:
+        tree = OccurredEventsTree()
+        tree.store_all(
+            [
+                occurrence(1, CREATE_STOCK, "o1", 1),
+                occurrence(2, MODIFY_STOCK_QTY, "o1", 3),
+                occurrence(3, MODIFY_STOCK_MIN, "o2", 4),
+                occurrence(4, MODIFY_STOCK_QTY, "o2", 6),
+            ]
+        )
+        return tree
+
+    def test_leaf_exact_lookup(self):
+        tree = self._tree()
+        leaf = tree.leaf(MODIFY_STOCK_QTY)
+        assert leaf is not None and len(leaf) == 2
+        assert tree.leaf(EventType(Operation.DELETE, "stock")) is None
+
+    def test_leaves_matching_class_level_pattern(self):
+        tree = self._tree()
+        leaves = list(tree.leaves_matching(MODIFY_STOCK))
+        assert len(leaves) == 2
+
+    def test_latest_timestamp_over_pattern(self):
+        tree = self._tree()
+        assert tree.latest_timestamp(MODIFY_STOCK) == 6
+        assert tree.latest_timestamp(MODIFY_STOCK_MIN) == 4
+        assert tree.latest_timestamp(EventType(Operation.DELETE, "stock")) is None
+
+    def test_latest_timestamp_for_class(self):
+        tree = self._tree()
+        assert tree.latest_timestamp_for_class("stock") == 6
+        assert tree.latest_timestamp_for_class("show") is None
+
+    def test_anything_since(self):
+        tree = self._tree()
+        assert tree.anything_since([MODIFY_STOCK_QTY], after=3)
+        assert not tree.anything_since([MODIFY_STOCK_MIN], after=4)
+        assert tree.anything_since([CREATE_STOCK], after=None)
+
+    def test_objects_affected(self):
+        tree = self._tree()
+        assert tree.objects_affected(MODIFY_STOCK) == {"o1", "o2"}
+        assert tree.objects_affected(CREATE_STOCK) == {"o1"}
+
+    def test_leaf_occurrences_since(self):
+        tree = self._tree()
+        leaf = tree.leaf(MODIFY_STOCK_QTY)
+        assert [occ.eid for occ in leaf.occurrences_since(3)] == [4]
+        assert [occ.eid for occ in leaf.occurrences_since(None)] == [2, 4]
+
+    def test_all_occurrences_sorted(self):
+        tree = self._tree()
+        assert [occ.eid for occ in tree.all_occurrences()] == [1, 2, 3, 4]

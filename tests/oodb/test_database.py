@@ -1,0 +1,103 @@
+"""Tests for the ChimeraDatabase facade."""
+
+import pytest
+
+from repro.errors import DuplicateRuleError, UnknownRuleError
+from repro.oodb.database import ChimeraDatabase
+from repro.oodb.query import Attr
+from repro.workloads.stock import CHECK_STOCK_QTY_RULE
+
+
+class TestSchemaAndRules:
+    def test_define_class_and_create(self, stock_db):
+        with stock_db.transaction() as tx:
+            obj = tx.create("stock", {"quantity": 5})
+        assert stock_db.get(obj.oid).class_name == "stock"
+
+    def test_define_rule_from_text(self, stock_db):
+        rule = stock_db.define_rule(CHECK_STOCK_QTY_RULE)
+        assert rule.name == "checkStockQty"
+        assert "checkStockQty" in stock_db.rule_table
+
+    def test_duplicate_rule_rejected(self, stock_db):
+        stock_db.define_rule(CHECK_STOCK_QTY_RULE)
+        with pytest.raises(DuplicateRuleError):
+            stock_db.define_rule(CHECK_STOCK_QTY_RULE)
+
+    def test_drop_rule(self, stock_db):
+        stock_db.define_rule(CHECK_STOCK_QTY_RULE)
+        stock_db.drop_rule("checkStockQty")
+        assert "checkStockQty" not in stock_db.rule_table
+        with pytest.raises(UnknownRuleError):
+            stock_db.drop_rule("checkStockQty")
+
+    def test_define_rules_parses_multiple_definitions(self, stock_db):
+        text = CHECK_STOCK_QTY_RULE + "\n" + CHECK_STOCK_QTY_RULE.replace(
+            "checkStockQty", "checkStockQtyCopy"
+        )
+        rules = stock_db.define_rules(text)
+        assert [rule.name for rule in rules] == ["checkStockQty", "checkStockQtyCopy"]
+
+    def test_enable_disable_rule(self, stock_db):
+        stock_db.define_rule(CHECK_STOCK_QTY_RULE)
+        stock_db.disable_rule("checkStockQty")
+        with stock_db.transaction() as tx:
+            obj = tx.create("stock", {"quantity": 500, "maxquantity": 100})
+        # The rule was disabled, so the quantity was not clamped.
+        assert stock_db.get(obj.oid).get("quantity") == 500
+        stock_db.enable_rule("checkStockQty")
+        with stock_db.transaction() as tx:
+            clamped = tx.create("stock", {"quantity": 500, "maxquantity": 100})
+        assert stock_db.get(clamped.oid).get("quantity") == 100
+
+
+class TestQueries:
+    def test_select_with_predicate(self, stock_db):
+        with stock_db.transaction() as tx:
+            tx.create("stock", {"quantity": 5, "maxquantity": 10})
+            tx.create("stock", {"quantity": 50, "maxquantity": 100})
+        assert len(stock_db.select("stock", Attr("quantity") > 10)) == 1
+
+    def test_select_includes_subclasses(self, stock_db):
+        with stock_db.transaction() as tx:
+            tx.create("order", {"customer": "a", "amount": 1})
+            tx.create("notFilledOrder", {"customer": "b", "amount": 2})
+        assert len(stock_db.select("order")) == 2
+
+    def test_count(self, stock_db):
+        with stock_db.transaction() as tx:
+            tx.create("stock", {"quantity": 1})
+        assert stock_db.count() == 1
+        assert stock_db.count("show") == 0
+
+
+class TestIntrospection:
+    def test_rule_statistics_and_considerations(self, stock_db):
+        stock_db.define_rule(CHECK_STOCK_QTY_RULE)
+        with stock_db.transaction() as tx:
+            tx.create("stock", {"quantity": 500, "maxquantity": 100})
+        stats = stock_db.rule_statistics()["checkStockQty"]
+        assert stats["triggered"] >= 1
+        assert stats["executed"] == 1
+        assert any(record.rule_name == "checkStockQty" for record in stock_db.considerations)
+
+    def test_trigger_statistics_shape(self, stock_db):
+        stock_db.define_rule(CHECK_STOCK_QTY_RULE)
+        with stock_db.transaction() as tx:
+            tx.create("stock", {"quantity": 5, "maxquantity": 100})
+        stats = stock_db.trigger_statistics()
+        assert {"blocks", "ts_computations", "ts_skipped_by_filter"} <= set(stats)
+
+    def test_rule_state_access(self, stock_db):
+        stock_db.define_rule(CHECK_STOCK_QTY_RULE)
+        state = stock_db.rule_state("checkStockQty")
+        assert state.rule.name == "checkStockQty"
+        assert not state.triggered
+
+    def test_static_optimization_can_be_disabled(self):
+        db = ChimeraDatabase(use_static_optimization=False)
+        db.define_class("stock", {"quantity": int, "maxquantity": int})
+        db.define_rule(CHECK_STOCK_QTY_RULE)
+        with db.transaction() as tx:
+            tx.create("stock", {"quantity": 500, "maxquantity": 100})
+        assert db.trigger_statistics()["ts_skipped_by_filter"] == 0

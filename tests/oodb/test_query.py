@@ -1,0 +1,69 @@
+"""Tests for the declarative query predicates."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.oodb.objects import OID, ChimeraObject
+from repro.oodb.query import Attr, Const, Predicate, always, never
+
+
+def stock(quantity=None, minquantity=None) -> ChimeraObject:
+    return ChimeraObject(
+        OID("stock", 1), "stock", {"quantity": quantity, "minquantity": minquantity}
+    )
+
+
+class TestComparisons:
+    def test_attribute_vs_constant(self):
+        predicate = Attr("quantity") > 10
+        assert predicate(stock(quantity=20))
+        assert not predicate(stock(quantity=5))
+
+    def test_attribute_vs_attribute(self):
+        predicate = Attr("quantity") < Attr("minquantity")
+        assert predicate(stock(quantity=3, minquantity=10))
+        assert not predicate(stock(quantity=30, minquantity=10))
+
+    def test_equality_and_inequality(self):
+        assert (Attr("quantity") == 5)(stock(quantity=5))
+        assert (Attr("quantity") != 5)(stock(quantity=6))
+        assert (Attr("quantity") >= 5)(stock(quantity=5))
+        assert (Attr("quantity") <= 5)(stock(quantity=5))
+
+    def test_none_values_never_match(self):
+        assert not (Attr("quantity") > 10)(stock())
+        assert not (Attr("quantity") == Const(None).literal)(stock())
+
+    def test_type_mismatch_raises_query_error(self):
+        predicate = Attr("quantity") > "ten"
+        with pytest.raises(QueryError):
+            predicate(stock(quantity=5))
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = (Attr("quantity") > 1) & (Attr("quantity") < 10)
+        assert predicate(stock(quantity=5))
+        assert not predicate(stock(quantity=50))
+
+    def test_or(self):
+        predicate = (Attr("quantity") < 1) | (Attr("quantity") > 10)
+        assert predicate(stock(quantity=50))
+        assert not predicate(stock(quantity=5))
+
+    def test_not(self):
+        predicate = ~(Attr("quantity") > 10)
+        assert predicate(stock(quantity=5))
+
+    def test_always_and_never(self):
+        assert always(stock())
+        assert not never(stock())
+
+    def test_description_is_informative(self):
+        predicate = (Attr("quantity") > 1) & ~never
+        assert "quantity" in predicate.description
+
+    def test_custom_predicate_from_callable(self):
+        predicate = Predicate(lambda obj: obj.get("quantity") == 7, "is seven")
+        assert predicate(stock(quantity=7))
+        assert predicate.description == "is seven"

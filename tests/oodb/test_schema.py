@@ -1,0 +1,123 @@
+"""Tests for class schemas and inheritance."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownClassError
+from repro.oodb.schema import AttributeDefinition, Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    s = Schema()
+    s.define("order", {"customer": str, "amount": int})
+    s.define("notFilledOrder", {"reason": str}, superclass="order")
+    s.define("urgentOrder", {"deadline": int}, superclass="notFilledOrder")
+    s.define("stock", {"quantity": int, "maxquantity": int})
+    return s
+
+
+class TestDefinition:
+    def test_define_and_contains(self, schema):
+        assert "order" in schema
+        assert "shipment" not in schema
+
+    def test_redefinition_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.define("order")
+
+    def test_invalid_name_rejected(self):
+        s = Schema()
+        with pytest.raises(SchemaError):
+            s.define("not a name")
+        with pytest.raises(SchemaError):
+            s.define("")
+
+    def test_unknown_superclass_rejected(self):
+        s = Schema()
+        with pytest.raises(UnknownClassError):
+            s.define("child", superclass="ghost")
+
+    def test_class_names_in_definition_order(self, schema):
+        assert schema.class_names()[:2] == ["order", "notFilledOrder"]
+
+    def test_attribute_declaration_shapes(self):
+        s = Schema()
+        s.define("mixed", {"typed": int, "defined": AttributeDefinition("defined", str), "defaulted": 5})
+        attributes = s.all_attributes("mixed")
+        assert attributes["typed"].value_type is int
+        assert attributes["defined"].value_type is str
+        assert attributes["defaulted"].default == 5
+
+    def test_attribute_list_declaration(self):
+        s = Schema()
+        s.define("loose", ["a", "b"])
+        assert set(s.all_attributes("loose")) == {"a", "b"}
+
+    def test_get_unknown_class(self, schema):
+        with pytest.raises(UnknownClassError):
+            schema.get("ghost")
+
+
+class TestInheritance:
+    def test_ancestors(self, schema):
+        assert schema.ancestors("urgentOrder") == ["notFilledOrder", "order"]
+        assert schema.ancestors("order") == []
+
+    def test_descendants(self, schema):
+        assert schema.descendants("order") == {"notFilledOrder", "urgentOrder"}
+        assert schema.descendants("urgentOrder") == set()
+
+    def test_is_subclass(self, schema):
+        assert schema.is_subclass("urgentOrder", "order")
+        assert schema.is_subclass("order", "order")
+        assert not schema.is_subclass("order", "urgentOrder")
+        assert not schema.is_subclass("stock", "order")
+
+    def test_all_attributes_includes_inherited(self, schema):
+        attributes = schema.all_attributes("urgentOrder")
+        assert set(attributes) == {"customer", "amount", "reason", "deadline"}
+
+    def test_subclass_overrides_attribute(self):
+        s = Schema()
+        s.define("base", {"value": int})
+        s.define("derived", {"value": str}, superclass="base")
+        assert s.all_attributes("derived")["value"].value_type is str
+
+
+class TestValidation:
+    def test_validate_values_fills_defaults(self, schema):
+        values = schema.validate_values("stock", {"quantity": 5})
+        assert values["quantity"] == 5
+        assert values["maxquantity"] is None
+
+    def test_validate_values_rejects_unknown_attribute(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.validate_values("stock", {"colour": "red"})
+
+    def test_validate_values_rejects_wrong_type(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_values("stock", {"quantity": "many"})
+
+    def test_validate_values_accepts_none(self, schema):
+        assert schema.validate_values("stock", {"quantity": None})["quantity"] is None
+
+    def test_int_accepted_for_float_attributes(self):
+        s = Schema()
+        s.define("measure", {"reading": float})
+        assert s.validate_values("measure", {"reading": 3})["reading"] == 3
+
+    def test_validate_attribute(self, schema):
+        assert schema.validate_attribute("urgentOrder", "customer").name == "customer"
+        with pytest.raises(UnknownAttributeError):
+            schema.validate_attribute("stock", "customer")
+
+    def test_attribute_accepts(self):
+        definition = AttributeDefinition("flag", bool)
+        assert definition.accepts(True)
+        assert definition.accepts(None)
+        assert not definition.accepts("yes")
+
+    def test_untyped_attribute_accepts_anything(self):
+        definition = AttributeDefinition("anything")
+        assert definition.accepts(42)
+        assert definition.accepts("text")

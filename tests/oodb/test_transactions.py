@@ -1,0 +1,111 @@
+"""Tests for transactions, transaction lines and commit/rollback."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.oodb.transactions import TransactionStatus
+
+
+class TestLifecycle:
+    def test_commit_on_context_exit(self, stock_db):
+        with stock_db.transaction() as tx:
+            tx.create("stock", {"quantity": 5})
+        assert tx.status is TransactionStatus.COMMITTED
+        assert stock_db.count("stock") == 1
+
+    def test_rollback_on_exception(self, stock_db):
+        with pytest.raises(RuntimeError):
+            with stock_db.transaction() as tx:
+                tx.create("stock", {"quantity": 5})
+                raise RuntimeError("boom")
+        assert tx.status is TransactionStatus.ROLLED_BACK
+        assert stock_db.count("stock") == 0
+
+    def test_explicit_rollback(self, stock_db):
+        tx = stock_db.transaction()
+        tx.create("stock", {"quantity": 5})
+        tx.rollback()
+        assert stock_db.count("stock") == 0
+
+    def test_operations_after_commit_rejected(self, stock_db):
+        tx = stock_db.transaction()
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.create("stock", {})
+
+    def test_double_commit_rejected(self, stock_db):
+        tx = stock_db.transaction()
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.commit()
+
+    def test_only_one_active_transaction(self, stock_db):
+        tx = stock_db.transaction()
+        with pytest.raises(TransactionError):
+            stock_db.transaction()
+        tx.commit()
+        stock_db.transaction().commit()
+
+    def test_new_transaction_after_commit_starts_fresh_event_base(self, stock_db):
+        with stock_db.transaction() as tx:
+            tx.create("stock", {"quantity": 5})
+        first_eb = stock_db.event_base
+        with stock_db.transaction() as tx:
+            tx.create("stock", {"quantity": 6})
+        assert stock_db.event_base is not first_eb
+
+
+class TestOperations:
+    def test_each_operation_is_a_line(self, stock_db):
+        with stock_db.transaction() as tx:
+            tx.create("stock", {"quantity": 5})
+            tx.create("show", {"quantity": 2})
+            assert tx.lines_executed == 2
+
+    def test_modify_and_delete(self, stock_db):
+        with stock_db.transaction() as tx:
+            obj = tx.create("stock", {"quantity": 5})
+            tx.modify(obj.oid, "quantity", 8)
+            assert stock_db.get(obj.oid).get("quantity") == 8
+            tx.delete(obj.oid)
+        assert stock_db.count("stock") == 0
+
+    def test_specialize_and_generalize(self, stock_db):
+        with stock_db.transaction() as tx:
+            obj = tx.create("order", {"customer": "c", "amount": 1})
+            tx.specialize(obj.oid, "notFilledOrder")
+            assert stock_db.get(obj.oid).class_name == "notFilledOrder"
+            tx.generalize(obj.oid, "order")
+            assert stock_db.get(obj.oid).class_name == "order"
+
+    def test_select_inside_transaction(self, stock_db):
+        with stock_db.transaction() as tx:
+            tx.create("stock", {"quantity": 5})
+            rows = tx.select("stock")
+            assert len(rows) == 1
+
+    def test_line_groups_operations_into_one_block(self, stock_db):
+        with stock_db.transaction() as tx:
+            def block(ops):
+                first = ops.create("stock", {"quantity": 1})
+                ops.modify(first.oid, "quantity", 2)
+                return first
+
+            created = tx.line(block)
+            assert tx.lines_executed == 1
+        assert stock_db.get(created.oid).get("quantity") == 2
+
+    def test_rollback_undoes_rule_free_changes_to_existing_objects(self, stock_db):
+        with stock_db.transaction() as tx:
+            obj = tx.create("stock", {"quantity": 5})
+        tx2 = stock_db.transaction()
+        tx2.modify(obj.oid, "quantity", 99)
+        tx2.rollback()
+        assert stock_db.get(obj.oid).get("quantity") == 5
+
+    def test_run_transaction_helper(self, stock_db):
+        stock_db.run_transaction(
+            lambda ops: ops.create("stock", {"quantity": 5}),
+            lambda ops: ops.create("show", {"quantity": 1}),
+        )
+        assert stock_db.count() == 2

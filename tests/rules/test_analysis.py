@@ -1,0 +1,204 @@
+"""Tests for the rule-set static analysis (triggering graph, termination)."""
+
+import pytest
+
+from repro.core.parser import parse_expression
+from repro.events.event import EventType, Operation
+from repro.rules.actions import (
+    Action,
+    CallableStatement,
+    CreateStatement,
+    DeleteStatement,
+    ModifyStatement,
+    NO_ACTION,
+)
+from repro.rules.analysis import (
+    action_event_types,
+    analyze_rules,
+    can_trigger,
+    positive_trigger_types,
+)
+from repro.rules.conditions import TRUE_CONDITION
+from repro.rules.language import parse_rule
+from repro.rules.rule import Rule
+from repro.rules.terms import Const, VarRef
+from repro.workloads.stock import CHECK_STOCK_QTY_RULE, REORDER_RULE, SHELF_REFILL_RULE
+
+
+def rule(name: str, events: str, action: Action = NO_ACTION) -> Rule:
+    return Rule(name=name, events=parse_expression(events), condition=TRUE_CONDITION, action=action)
+
+
+MODIFY_QTY_ACTION = Action(
+    (ModifyStatement("stock", "quantity", VarRef("S"), Const(0)),)
+)
+CREATE_ORDER_ACTION = Action((CreateStatement("stockOrder", (("delquantity", Const(0)),)),))
+
+
+class TestActionEventTypes:
+    def test_modify_and_create_statements(self):
+        generated = action_event_types(
+            Action(
+                (
+                    ModifyStatement("stock", "quantity", VarRef("S"), Const(0)),
+                    CreateStatement("stockOrder", ()),
+                )
+            )
+        )
+        assert EventType(Operation.MODIFY, "stock", "quantity") in generated
+        assert EventType(Operation.CREATE, "stockOrder") in generated
+
+    def test_delete_statement_is_class_agnostic(self):
+        generated = action_event_types(Action((DeleteStatement(VarRef("S")),)))
+        assert any(et.operation is Operation.DELETE for et in generated)
+
+    def test_callable_statement_generates_nothing_statically(self):
+        generated = action_event_types(
+            Action((CallableStatement(lambda binding, ops: None),))
+        )
+        assert generated == set()
+
+    def test_empty_action(self):
+        assert action_event_types(NO_ACTION) == set()
+
+
+class TestPositiveTriggerTypes:
+    def test_plain_events(self):
+        r = rule("r", "create(stock) , modify(stock.quantity)")
+        assert positive_trigger_types(r) == {
+            EventType(Operation.CREATE, "stock"),
+            EventType(Operation.MODIFY, "stock", "quantity"),
+        }
+
+    def test_negated_events_are_excluded(self):
+        r = rule("r", "create(stock) + -create(order)")
+        assert positive_trigger_types(r) == {EventType(Operation.CREATE, "stock")}
+
+
+class TestCanTrigger:
+    def test_action_feeding_another_rule(self):
+        source = rule("source", "create(stock)", CREATE_ORDER_ACTION)
+        target = rule("target", "create(stockOrder)")
+        assert can_trigger(source, target)
+
+    def test_unrelated_rules_do_not_trigger(self):
+        source = rule("source", "create(stock)", MODIFY_QTY_ACTION)
+        target = rule("target", "create(stockOrder)")
+        assert not can_trigger(source, target)
+
+    def test_rule_with_no_action_triggers_nothing(self):
+        source = rule("source", "create(stock)")
+        target = rule("target", "create(stock)")
+        assert not can_trigger(source, target)
+
+    def test_self_triggering_rule(self):
+        looping = rule("loop", "modify(stock.quantity)", MODIFY_QTY_ACTION)
+        assert can_trigger(looping, looping)
+
+    def test_vacuously_activatable_target_is_triggered_by_anything(self):
+        source = rule("source", "create(stock)", MODIFY_QTY_ACTION)
+        watchdog = rule("watchdog", "-create(order)")
+        assert can_trigger(source, watchdog)
+
+    def test_class_level_modify_matches_attribute_level_subscription(self):
+        source = rule("source", "create(stock)", MODIFY_QTY_ACTION)
+        target = rule("target", "modify(stock)")
+        assert can_trigger(source, target)
+
+
+class TestTriggeringGraph:
+    def build(self) -> list[Rule]:
+        return [
+            rule("creator", "create(stock)", CREATE_ORDER_ACTION),
+            rule("acknowledger", "create(stockOrder)", MODIFY_QTY_ACTION),
+            rule("monitor", "modify(stock.quantity)"),
+        ]
+
+    def test_edges(self):
+        graph = analyze_rules(self.build())
+        assert graph.successors("creator") == {"acknowledger"}
+        assert graph.successors("acknowledger") == {"monitor"}
+        assert graph.successors("monitor") == set()
+        assert graph.predecessors("monitor") == {"acknowledger"}
+
+    def test_edge_via_event_types(self):
+        graph = analyze_rules(self.build())
+        edge = next(edge for edge in graph.edges if edge.source == "creator")
+        assert any(event_type.class_name == "stockOrder" for event_type in edge.via)
+
+    def test_acyclic_graph_terminates(self):
+        graph = analyze_rules(self.build())
+        assert graph.is_acyclic()
+        assert graph.guaranteed_to_terminate()
+        assert graph.cycles() == []
+
+    def test_stratification(self):
+        graph = analyze_rules(self.build())
+        strata = graph.stratification()
+        assert strata == [["creator"], ["acknowledger"], ["monitor"]]
+
+    def test_reachability(self):
+        graph = analyze_rules(self.build())
+        assert graph.reachable_from("creator") == {"acknowledger", "monitor"}
+        assert graph.reachable_from("monitor") == set()
+
+    def test_cycle_detection(self):
+        ping = rule("ping", "modify(stock.quantity)", MODIFY_QTY_ACTION)
+        graph = analyze_rules([ping])
+        assert not graph.is_acyclic()
+        assert graph.cycles() == [["ping"]]
+        assert graph.stratification() is None
+
+    def test_two_rule_cycle(self):
+        a = rule(
+            "a",
+            "create(stockOrder)",
+            Action((ModifyStatement("stock", "quantity", VarRef("S"), Const(0)),)),
+        )
+        b = rule("b", "modify(stock.quantity)", CREATE_ORDER_ACTION)
+        graph = analyze_rules([a, b])
+        assert not graph.is_acyclic()
+        assert ["a", "b"] in graph.cycles()
+
+    def test_opaque_actions_flagged(self):
+        opaque = Rule(
+            name="opaque",
+            events=parse_expression("create(stock)"),
+            condition=TRUE_CONDITION,
+            action=Action((CallableStatement(lambda binding, ops: None),)),
+        )
+        graph = analyze_rules([opaque])
+        assert graph.has_opaque_actions
+        assert not graph.guaranteed_to_terminate()
+
+    def test_networkx_export(self):
+        graph = analyze_rules(self.build())
+        exported = graph.to_networkx()
+        assert set(exported.nodes) == {"creator", "acknowledger", "monitor"}
+        assert exported.has_edge("creator", "acknowledger")
+
+    def test_describe_mentions_cycles_or_termination(self):
+        acyclic = analyze_rules(self.build())
+        assert "terminates" in acyclic.describe()
+        looping = analyze_rules([rule("loop", "modify(stock.quantity)", MODIFY_QTY_ACTION)])
+        assert "cycles:" in looping.describe()
+
+
+class TestPaperRuleSet:
+    def test_stock_rule_set_triggering_graph(self):
+        rules = [
+            parse_rule(text)
+            for text in (CHECK_STOCK_QTY_RULE, REORDER_RULE, SHELF_REFILL_RULE)
+        ]
+        graph = analyze_rules(rules)
+        # checkStockQty clamps stock.quantity, which is exactly what
+        # reorderStock's instance precedence waits for.
+        assert "reorderStock" in graph.successors("checkStockQty")
+        # shelfRefill rewrites show.quantity, its own triggering event: the
+        # static analysis conservatively reports a self-loop (at run time the
+        # condition P.quantity < 5 makes it quiesce after one execution).
+        assert ["shelfRefill"] in graph.cycles()
+        assert not graph.guaranteed_to_terminate()
+        # reorderStock only creates stockOrder objects and touches
+        # stock.onorder; neither can activate the other rules.
+        assert graph.successors("reorderStock") == set()

@@ -1,0 +1,219 @@
+"""Tests for the Block Executor / rule-processing loop (engine-level behaviour)."""
+
+import pytest
+
+from repro.errors import NonTerminationError
+from repro.oodb.database import ChimeraDatabase
+from repro.workloads.stock import CHECK_STOCK_QTY_RULE
+
+
+def make_db(**kwargs) -> ChimeraDatabase:
+    db = ChimeraDatabase(**kwargs)
+    db.define_class(
+        "stock",
+        {"name": str, "quantity": int, "minquantity": int, "maxquantity": int, "onorder": int},
+    )
+    db.define_class("show", {"quantity": int})
+    db.define_class("order", {"amount": int})
+    db.define_class("stockOrder", {"item": object, "delquantity": int})
+    db.define_class("log", {"entries": int})
+    return db
+
+
+class TestImmediateProcessing:
+    def test_paper_rule_clamps_quantity_in_the_same_transaction(self):
+        db = make_db()
+        db.define_rule(CHECK_STOCK_QTY_RULE)
+        with db.transaction() as tx:
+            over = tx.create("stock", {"quantity": 140, "maxquantity": 100})
+            # The rule ran immediately after the create line: by the time the
+            # next line executes the quantity is already clamped.
+            assert db.get(over.oid).get("quantity") == 100
+
+    def test_rule_not_executed_when_condition_fails(self):
+        db = make_db()
+        db.define_rule(CHECK_STOCK_QTY_RULE)
+        with db.transaction() as tx:
+            ok = tx.create("stock", {"quantity": 50, "maxquantity": 100})
+        state = db.rule_state("checkStockQty")
+        assert state.times_considered == 1
+        assert state.times_executed == 0
+        assert db.get(ok.oid).get("quantity") == 50
+
+    def test_set_oriented_execution_processes_all_pending_objects(self):
+        db = make_db()
+        db.define_rule(CHECK_STOCK_QTY_RULE)
+        with db.transaction() as tx:
+            created = tx.line(
+                lambda ops: [
+                    ops.create("stock", {"quantity": 140, "maxquantity": 100}),
+                    ops.create("stock", {"quantity": 200, "maxquantity": 100}),
+                ]
+            )
+        # Both objects were created in a single block; one consideration fixes both.
+        assert all(db.get(obj.oid).get("quantity") == 100 for obj in created)
+        assert db.rule_state("checkStockQty").times_executed == 1
+
+    def test_untargeted_composite_rule(self):
+        db = make_db()
+        db.define_rule(
+            """
+            define immediate logOrder
+            events create(order) < modify(show.quantity)
+            condition show(P)
+            action modify(show.quantity, P, 0)
+            end
+            """
+        )
+        with db.transaction() as tx:
+            shelf = tx.create("show", {"quantity": 9})
+            tx.create("order", {"amount": 1})
+            assert db.get(shelf.oid).get("quantity") == 9  # sequence not complete yet
+            tx.modify(shelf.oid, "quantity", 5)
+        assert db.get(shelf.oid).get("quantity") == 0
+
+
+class TestDeferredProcessing:
+    def test_deferred_rule_runs_only_at_commit(self):
+        db = make_db()
+        db.define_rule(
+            """
+            define deferred auditQty for stock
+            events create
+            condition stock(S), occurred(create(stock), S)
+            action modify(stock.onorder, S, 1)
+            end
+            """
+        )
+        with db.transaction() as tx:
+            obj = tx.create("stock", {"quantity": 5, "onorder": 0})
+            # Still untouched inside the transaction.
+            assert db.get(obj.oid).get("onorder") == 0
+        # At commit the deferred rule ran.
+        assert db.get(obj.oid).get("onorder") == 1
+
+    def test_deferred_rule_sees_all_transaction_events(self):
+        db = make_db()
+        db.define_rule(
+            """
+            define deferred preserving countCreates for stock
+            events create
+            condition stock(S), occurred(create(stock), S)
+            action modify(stock.onorder, S, 1)
+            end
+            """
+        )
+        with db.transaction() as tx:
+            first = tx.create("stock", {"onorder": 0})
+            second = tx.create("stock", {"onorder": 0})
+        assert db.get(first.oid).get("onorder") == 1
+        assert db.get(second.oid).get("onorder") == 1
+
+
+class TestCascadingAndTermination:
+    def test_rule_triggering_another_rule(self):
+        db = make_db()
+        db.define_rule(
+            """
+            define immediate placeOrder for stock
+            events create
+            condition stock(S), occurred(create(stock), S), S.quantity < S.minquantity
+            action create(stockOrder, item = S, delquantity = 0)
+            end
+            """
+        )
+        db.define_rule(
+            """
+            define immediate ackOrder for stockOrder
+            events create
+            condition stockOrder(O), occurred(create(stockOrder), O)
+            action modify(stockOrder.delquantity, O, 1)
+            end
+            """
+        )
+        with db.transaction() as tx:
+            tx.create("stock", {"quantity": 1, "minquantity": 10})
+        orders = db.select("stockOrder")
+        assert len(orders) == 1
+        assert orders[0].get("delquantity") == 1
+        assert db.rule_state("ackOrder").times_executed == 1
+
+    def test_self_triggering_rule_hits_the_execution_budget(self):
+        db = make_db(max_rule_executions=25)
+        db.define_rule(
+            """
+            define immediate runaway for log
+            events modify(entries)
+            condition log(L), occurred(modify(log.entries), L)
+            action modify(log.entries, L, L.entries + 1)
+            end
+            """
+        )
+        with pytest.raises(NonTerminationError):
+            with db.transaction() as tx:
+                counter = tx.create("log", {"entries": 0})
+                tx.modify(counter.oid, "entries", 1)
+
+    def test_consuming_rule_does_not_reprocess_old_events(self):
+        db = make_db()
+        db.define_rule(
+            """
+            define immediate markOnOrder for stock
+            events modify(quantity)
+            condition stock(S), occurred(modify(stock.quantity), S)
+            action modify(stock.onorder, S, S.onorder + 1)
+            end
+            """
+        )
+        with db.transaction() as tx:
+            obj = tx.create("stock", {"quantity": 5, "onorder": 0})
+            tx.modify(obj.oid, "quantity", 6)
+            first_count = db.get(obj.oid).get("onorder")
+            tx.create("order", {"amount": 1})  # unrelated event; rule must not rerun
+            second_count = db.get(obj.oid).get("onorder")
+        assert first_count == 1
+        assert second_count == 1
+
+
+class TestPriorities:
+    def test_higher_priority_rule_considered_first(self):
+        db = make_db()
+        db.define_rule(
+            """
+            define immediate second for stock
+            events create
+            condition stock(S), occurred(create(stock), S)
+            action modify(stock.name, S, 'second')
+            priority 1
+            end
+            """
+        )
+        db.define_rule(
+            """
+            define immediate first for stock
+            events create
+            condition stock(S), occurred(create(stock), S)
+            action modify(stock.name, S, 'first')
+            priority 9
+            end
+            """
+        )
+        with db.transaction() as tx:
+            obj = tx.create("stock", {"quantity": 1})
+        # Both executed; the lower-priority rule ran last and wins the final write.
+        assert db.get(obj.oid).get("name") == "second"
+        order = [record.rule_name for record in db.considerations]
+        assert order.index("first") < order.index("second")
+
+
+class TestTransactionIsolationOfRuleState:
+    def test_rule_state_resets_between_transactions(self):
+        db = make_db()
+        db.define_rule(CHECK_STOCK_QTY_RULE)
+        with db.transaction() as tx:
+            tx.create("stock", {"quantity": 140, "maxquantity": 100})
+        first_considerations = db.rule_state("checkStockQty").times_considered
+        with db.transaction() as tx:
+            tx.create("stock", {"quantity": 150, "maxquantity": 100})
+        assert db.rule_state("checkStockQty").times_considered == first_considerations + 1
+        assert db.count("stock") == 2

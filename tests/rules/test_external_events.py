@@ -1,0 +1,69 @@
+"""Rules reacting to external / temporal events (extension integration)."""
+
+from repro.oodb.database import ChimeraDatabase
+
+
+def make_db() -> ChimeraDatabase:
+    db = ChimeraDatabase()
+    db.define_class("stock", {"name": str, "quantity": int, "onorder": int})
+    return db
+
+
+class TestExternalEventRules:
+    def test_rule_triggered_by_external_event(self):
+        db = make_db()
+        db.define_rule(
+            """
+            define immediate nightlyReset
+            events raise(endOfDay)
+            condition stock(S)
+            action modify(stock.onorder, S, 0)
+            end
+            """
+        )
+        with db.transaction() as tx:
+            item = tx.create("stock", {"quantity": 5, "onorder": 3})
+            assert db.get(item.oid).get("onorder") == 3
+            db.raise_event(tx, "endOfDay")
+            assert db.get(item.oid).get("onorder") == 0
+
+    def test_composite_of_internal_and_external_events(self):
+        db = make_db()
+        db.define_rule(
+            """
+            define deferred unansweredDeadline
+            events create(stock) < raise(deadline)
+            condition stock(S), occurred(create(stock), S)
+            action modify(stock.onorder, S, 1)
+            end
+            """
+        )
+        with db.transaction() as tx:
+            item = tx.create("stock", {"quantity": 5, "onorder": 0})
+            db.raise_event(tx, "deadline")
+        assert db.get(item.oid).get("onorder") == 1
+
+    def test_external_event_alone_does_not_satisfy_the_sequence(self):
+        db = make_db()
+        db.define_rule(
+            """
+            define deferred unansweredDeadline
+            events create(stock) < raise(deadline)
+            condition stock(S)
+            action modify(stock.onorder, S, 1)
+            end
+            """
+        )
+        with db.transaction() as tx:
+            db.raise_event(tx, "deadline")
+            item = tx.create("stock", {"quantity": 5, "onorder": 0})
+        # The deadline fired before the creation: the precedence never held.
+        assert db.get(item.oid).get("onorder") == 0
+
+    def test_external_event_payload_reaches_the_event_base(self):
+        db = make_db()
+        with db.transaction() as tx:
+            occurrence = db.raise_event(tx, "alarm", subject="sensor-7", payload={"level": 2})
+            assert occurrence.payload["level"] == 2
+            assert occurrence.oid == "sensor-7"
+            assert str(occurrence.event_type) == "raise(alarm)"

@@ -1,0 +1,171 @@
+"""Tests for rule definitions, rule state and the Rule Table."""
+
+import pytest
+
+from repro.core.parser import parse_expression
+from repro.errors import DuplicateRuleError, RuleDefinitionError, UnknownRuleError
+from repro.rules.actions import NO_ACTION
+from repro.rules.conditions import TRUE_CONDITION
+from repro.rules.rule import ConsumptionMode, ECCoupling, Rule, RuleState
+from repro.rules.rule_table import RuleTable
+
+
+def make_rule(name: str, events: str = "create(stock)", priority: int = 0, **kwargs) -> Rule:
+    return Rule(
+        name=name,
+        events=parse_expression(events),
+        condition=TRUE_CONDITION,
+        action=NO_ACTION,
+        priority=priority,
+        **kwargs,
+    )
+
+
+class TestRuleDefinition:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(RuleDefinitionError):
+            make_rule("not a name")
+
+    def test_targeted_rule_checks_event_classes(self):
+        with pytest.raises(RuleDefinitionError):
+            Rule(
+                name="bad",
+                events=parse_expression("create(show)"),
+                condition=TRUE_CONDITION,
+                action=NO_ACTION,
+                target_class="stock",
+            )
+
+    def test_describe_mentions_every_part(self):
+        rule = make_rule("ok", coupling=ECCoupling.DEFERRED, target_class="stock")
+        description = rule.describe()
+        assert "deferred" in description
+        assert "create(stock)" in description
+        assert "for stock" in description
+
+
+class TestRuleState:
+    def test_mark_triggered_and_considered(self):
+        state = RuleState(rule=make_rule("r"))
+        state.mark_triggered(5)
+        assert state.triggered and state.times_triggered == 1
+        state.mark_considered(6, executed=True)
+        assert not state.triggered
+        assert state.last_consideration == 6
+        assert state.times_executed == 1
+        assert [kind for kind, _ in state.history] == ["triggered", "executed"]
+
+    def test_consuming_rule_advances_last_consumption(self):
+        state = RuleState(rule=make_rule("r", consumption=ConsumptionMode.CONSUMING))
+        state.mark_considered(6, executed=False)
+        assert state.last_consumption == 6
+
+    def test_preserving_rule_keeps_last_consumption(self):
+        state = RuleState(rule=make_rule("r", consumption=ConsumptionMode.PRESERVING))
+        state.reset(transaction_start=1)
+        state.mark_considered(6, executed=False)
+        assert state.last_consumption == 1
+
+    def test_observation_window_start(self):
+        consuming = RuleState(rule=make_rule("r"))
+        consuming.reset(transaction_start=2)
+        consuming.mark_considered(7, executed=False)
+        assert consuming.observation_window_start(transaction_start=2) == 7
+
+        preserving = RuleState(rule=make_rule("p", consumption=ConsumptionMode.PRESERVING))
+        preserving.reset(transaction_start=2)
+        preserving.mark_considered(7, executed=False)
+        assert preserving.observation_window_start(transaction_start=2) == 2
+
+    def test_reset_clears_flags(self):
+        state = RuleState(rule=make_rule("r"))
+        state.mark_triggered(3)
+        state.had_nonempty_window = True
+        state.reset(transaction_start=10)
+        assert not state.triggered
+        assert not state.had_nonempty_window
+        assert state.triggering_window_start(10) == 10
+
+
+class TestRuleTable:
+    def test_add_and_get(self):
+        table = RuleTable()
+        table.add(make_rule("a"))
+        assert "a" in table
+        assert table.get("a").rule.name == "a"
+        assert len(table) == 1
+
+    def test_duplicate_rejected(self):
+        table = RuleTable()
+        table.add(make_rule("a"))
+        with pytest.raises(DuplicateRuleError):
+            table.add(make_rule("a"))
+
+    def test_remove(self):
+        table = RuleTable()
+        table.add(make_rule("a"))
+        removed = table.remove("a")
+        assert removed.name == "a"
+        with pytest.raises(UnknownRuleError):
+            table.remove("a")
+        with pytest.raises(UnknownRuleError):
+            table.get("a")
+
+    def test_rules_in_definition_order(self):
+        table = RuleTable()
+        for name in ("a", "b", "c"):
+            table.add(make_rule(name))
+        assert [rule.name for rule in table.rules()] == ["a", "b", "c"]
+
+    def test_priority_order_selection(self):
+        table = RuleTable()
+        table.add(make_rule("low", priority=1))
+        table.add(make_rule("high", priority=9))
+        table.add(make_rule("mid", priority=5))
+        for state in table.states():
+            state.mark_triggered(1)
+        assert table.select_for_consideration().rule.name == "high"
+        ordered = [state.rule.name for state in table.triggered_states()]
+        assert ordered == ["high", "mid", "low"]
+
+    def test_ties_broken_by_definition_order(self):
+        table = RuleTable()
+        table.add(make_rule("first", priority=3))
+        table.add(make_rule("second", priority=3))
+        for state in table.states():
+            state.mark_triggered(1)
+        assert table.select_for_consideration().rule.name == "first"
+
+    def test_selection_filters_by_coupling(self):
+        table = RuleTable()
+        table.add(make_rule("now", coupling=ECCoupling.IMMEDIATE))
+        table.add(make_rule("later", coupling=ECCoupling.DEFERRED, priority=10))
+        for state in table.states():
+            state.mark_triggered(1)
+        assert table.select_for_consideration(ECCoupling.IMMEDIATE).rule.name == "now"
+        assert table.select_for_consideration(ECCoupling.DEFERRED).rule.name == "later"
+        assert table.select_for_consideration().rule.name == "later"
+
+    def test_disabled_rules_are_not_selected(self):
+        table = RuleTable()
+        table.add(make_rule("a"))
+        table.get("a").mark_triggered(1)
+        table.disable("a")
+        assert table.select_for_consideration() is None
+        table.enable("a")
+        assert table.untriggered_states()[0].rule.name == "a"
+
+    def test_untriggered_states(self):
+        table = RuleTable()
+        table.add(make_rule("a"))
+        table.add(make_rule("b"))
+        table.get("a").mark_triggered(1)
+        assert [state.rule.name for state in table.untriggered_states()] == ["b"]
+
+    def test_reset_all(self):
+        table = RuleTable()
+        table.add(make_rule("a"))
+        table.get("a").mark_triggered(1)
+        table.reset_all(transaction_start=5)
+        assert not table.get("a").triggered
+        assert table.get("a").last_consideration == 5

@@ -1,0 +1,76 @@
+"""Tests for value terms used by conditions and actions."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.oodb.objects import ObjectStore
+from repro.rules.terms import AttrRef, BinOp, Const, VarRef
+
+
+@pytest.fixture
+def store_and_binding():
+    store = ObjectStore()
+    obj = store.insert("stock", {"quantity": 5, "maxquantity": 100}, timestamp=1)
+    return store, {"S": obj.oid, "T": 7}
+
+
+class TestConst:
+    def test_value(self, store_and_binding):
+        store, binding = store_and_binding
+        assert Const(42).evaluate(binding, store) == 42
+        assert Const("x").variables() == set()
+
+
+class TestVarRef:
+    def test_bound_variable(self, store_and_binding):
+        store, binding = store_and_binding
+        assert VarRef("T").evaluate(binding, store) == 7
+        assert VarRef("T").variables() == {"T"}
+
+    def test_unbound_variable_raises(self, store_and_binding):
+        store, binding = store_and_binding
+        with pytest.raises(ConditionError):
+            VarRef("missing").evaluate(binding, store)
+
+
+class TestAttrRef:
+    def test_reads_attribute_of_bound_object(self, store_and_binding):
+        store, binding = store_and_binding
+        assert AttrRef("S", "quantity").evaluate(binding, store) == 5
+
+    def test_unbound_variable_raises(self, store_and_binding):
+        store, binding = store_and_binding
+        with pytest.raises(ConditionError):
+            AttrRef("X", "quantity").evaluate(binding, store)
+
+    def test_non_object_binding_raises(self, store_and_binding):
+        store, binding = store_and_binding
+        with pytest.raises(ConditionError):
+            AttrRef("T", "quantity").evaluate(binding, store)
+
+    def test_str(self):
+        assert str(AttrRef("S", "quantity")) == "S.quantity"
+
+
+class TestBinOp:
+    def test_arithmetic(self, store_and_binding):
+        store, binding = store_and_binding
+        term = BinOp("+", AttrRef("S", "quantity"), Const(3))
+        assert term.evaluate(binding, store) == 8
+        assert BinOp("*", Const(2), Const(5)).evaluate(binding, store) == 10
+        assert BinOp("-", Const(2), Const(5)).evaluate(binding, store) == -3
+        assert BinOp("/", Const(10), Const(4)).evaluate(binding, store) == 2.5
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConditionError):
+            BinOp("%", Const(1), Const(2))
+
+    def test_none_operand_raises(self, store_and_binding):
+        store, binding = store_and_binding
+        term = BinOp("+", AttrRef("S", "minquantity"), Const(3))
+        with pytest.raises(ConditionError):
+            term.evaluate(binding, store)
+
+    def test_variables_are_collected(self):
+        term = BinOp("+", AttrRef("S", "quantity"), VarRef("T"))
+        assert term.variables() == {"S", "T"}

@@ -1,0 +1,143 @@
+"""Tests for the Event Handler and the Trigger Support."""
+
+from repro.core.parser import parse_expression
+from repro.events.event import EventType, Operation
+from repro.events.event_base import EventBase
+from repro.rules.actions import NO_ACTION
+from repro.rules.conditions import TRUE_CONDITION
+from repro.rules.event_handler import EventHandler
+from repro.rules.rule import Rule
+from repro.rules.rule_table import RuleTable
+from repro.rules.trigger_support import TriggerSupport
+
+CREATE_STOCK = EventType(Operation.CREATE, "stock")
+MODIFY_QTY = EventType(Operation.MODIFY, "stock", "quantity")
+CREATE_ORDER = EventType(Operation.CREATE, "order")
+
+
+def make_rule(name: str, events: str) -> Rule:
+    return Rule(name=name, events=parse_expression(events), condition=TRUE_CONDITION, action=NO_ACTION)
+
+
+def setup(*rules: Rule, optimized: bool = True):
+    event_base = EventBase()
+    table = RuleTable()
+    for rule in rules:
+        state = table.add(rule)
+        state.reset(0)
+    handler = EventHandler(event_base)
+    support = TriggerSupport(table, event_base, use_static_optimization=optimized)
+    return event_base, table, handler, support
+
+
+class TestEventHandler:
+    def test_flush_block_returns_only_new_occurrences(self):
+        event_base, _, handler, _ = setup()
+        event_base.record(CREATE_STOCK, "o1", 1)
+        first = handler.flush_block()
+        event_base.record(MODIFY_QTY, "o1", 2)
+        second = handler.flush_block()
+        assert [occ.timestamp for occ in first] == [1]
+        assert [occ.timestamp for occ in second] == [2]
+        assert handler.pending_count() == 0
+        assert handler.blocks_processed == 2
+
+    def test_flush_block_feeds_the_occurred_events_tree(self):
+        event_base, _, handler, _ = setup()
+        event_base.record(CREATE_STOCK, "o1", 1)
+        handler.flush_block()
+        assert handler.occurred_events.latest_timestamp(CREATE_STOCK) == 1
+
+    def test_reset_clears_the_tree(self):
+        event_base, _, handler, _ = setup()
+        event_base.record(CREATE_STOCK, "o1", 1)
+        handler.flush_block()
+        handler.reset()
+        assert len(handler.occurred_events) == 0
+
+    def test_store_external(self):
+        event_base, _, handler, _ = setup()
+        from repro.events.event import EventOccurrence
+
+        batch = handler.store_external([EventOccurrence(1, CREATE_STOCK, "o1", 1)])
+        assert len(batch) == 1
+        assert len(event_base) == 1
+
+
+class TestTriggerSupport:
+    def test_rule_becomes_triggered_by_matching_event(self):
+        event_base, table, handler, support = setup(make_rule("r", "create(stock)"))
+        event_base.record(CREATE_STOCK, "o1", 1)
+        newly = support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
+        assert [state.rule.name for state in newly] == ["r"]
+        assert table.get("r").triggered
+
+    def test_non_matching_event_is_filtered_without_recomputation(self):
+        event_base, table, handler, support = setup(make_rule("r", "create(stock)"))
+        event_base.record(CREATE_ORDER, "o9", 1)
+        # First block: the filter is not applicable yet (window never seen),
+        # so one computation happens; the second irrelevant block is skipped.
+        support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
+        event_base.record(CREATE_ORDER, "o9", 2)
+        support.check_after_block(handler.flush_block(), now=2, transaction_start=0)
+        assert support.stats.ts_computations == 1
+        assert support.stats.ts_skipped_by_filter == 1
+        assert not table.get("r").triggered
+
+    def test_without_optimization_every_block_recomputes(self):
+        event_base, table, handler, support = setup(
+            make_rule("r", "create(stock)"), optimized=False
+        )
+        for timestamp in (1, 2, 3):
+            event_base.record(CREATE_ORDER, "o9", timestamp)
+            support.check_after_block(handler.flush_block(), now=timestamp, transaction_start=0)
+        assert support.stats.ts_computations == 3
+        assert support.stats.ts_skipped_by_filter == 0
+
+    def test_triggered_rule_is_not_rechecked(self):
+        event_base, table, handler, support = setup(make_rule("r", "create(stock)"))
+        event_base.record(CREATE_STOCK, "o1", 1)
+        support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
+        event_base.record(CREATE_STOCK, "o2", 2)
+        support.check_after_block(handler.flush_block(), now=2, transaction_start=0)
+        assert support.stats.ts_computations == 1
+        assert table.get("r").times_triggered == 1
+
+    def test_negation_rule_triggers_on_any_event_when_window_was_empty(self):
+        """The V(E) filter must not hide the R != {} unblocking (see DESIGN.md)."""
+        event_base, table, handler, support = setup(
+            make_rule("watchdog", "-create(stock)")
+        )
+        event_base.record(CREATE_ORDER, "o9", 1)  # unrelated event type
+        newly = support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
+        assert [state.rule.name for state in newly] == ["watchdog"]
+
+    def test_empty_block_changes_nothing(self):
+        event_base, table, handler, support = setup(make_rule("r", "create(stock)"))
+        assert support.check_after_block([], now=1, transaction_start=0) == []
+        assert support.stats.ts_computations == 0
+
+    def test_conjunction_rule_triggers_only_when_complete(self):
+        event_base, table, handler, support = setup(
+            make_rule("r", "create(stock) + modify(stock.quantity)")
+        )
+        event_base.record(CREATE_STOCK, "o1", 1)
+        support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
+        assert not table.get("r").triggered
+        event_base.record(MODIFY_QTY, "o2", 2)
+        support.check_after_block(handler.flush_block(), now=2, transaction_start=0)
+        assert table.get("r").triggered
+
+    def test_recheck_all_catches_pending_rules(self):
+        event_base, table, handler, support = setup(make_rule("r", "create(stock)"))
+        event_base.record(CREATE_STOCK, "o1", 1)
+        handler.flush_block()
+        # check_after_block was never called (e.g. the block check was skipped);
+        # recheck_all at commit still finds the triggering.
+        newly = support.recheck_all(now=2, transaction_start=0)
+        assert [state.rule.name for state in newly] == ["r"]
+
+    def test_stats_as_dict(self):
+        _, _, _, support = setup(make_rule("r", "create(stock)"))
+        stats = support.stats.as_dict()
+        assert {"blocks", "rules_checked", "ts_computations"} <= set(stats)
