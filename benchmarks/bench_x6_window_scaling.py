@@ -1,0 +1,308 @@
+"""X6 — trigger-check throughput: materialized windows vs. zero-copy views.
+
+The seed implementation rebuilt an :class:`EventWindow` — a full copy and
+re-index of the Event Base slice — for every rule on every execution block,
+and sampled ``ts`` at every distinct instant of that window.  This bench
+quantifies the effect of the PR-1 hot-path rework (zero-copy
+:class:`BoundedView` + per-rule incremental :class:`TriggerMemo`): steady-state
+trigger-check throughput as a function of event-base size and rule count, old
+copy path vs. new view path.
+
+The rule pool is half "monitor" rules that never trigger (their expression is
+conjoined with an event type that never occurs — the worst case: every check
+must scan) and half "reactive" rules that trigger and consume normally.  The
+old path is measured on a sub-sample of rules/blocks (it is far too slow for
+the full grid) and reported as a per-check rate, which is fair because its
+per-check cost does not depend on how many checks are run.
+
+Run as a script to execute the full sweep and write machine-readable results
+to ``BENCH_PR1.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_x6_window_scaling.py
+
+The pytest entry point runs a reduced configuration and asserts the ≥5x
+acceptance criterion plus old/new decision equivalence.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import render_table
+from repro.core.expressions import EventExpression, Primitive, SetConjunction
+from repro.core.triggering import TriggerMemo, is_triggered
+from repro.events.clock import Timestamp
+from repro.events.event import EventType, Operation
+from repro.events.event_base import EventBase, EventWindow
+from repro.workloads.generator import EventStreamGenerator, ExpressionGenerator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_FILE = REPO_ROOT / "BENCH_PR1.json"
+
+#: An event type that never occurs in the generated streams: conjoining it
+#: keeps a rule forever untriggered, forcing the full existential scan.
+GHOST = EventType(Operation.CREATE, "ghost")
+
+EVENT_SWEEP = [2_000, 10_000, 50_000]
+RULE_SWEEP = [25, 50, 100]
+HEADLINE_EVENTS = 50_000
+HEADLINE_RULES = 100
+
+
+@dataclass
+class _RuleState:
+    """Minimal per-rule state shared by both measured paths."""
+
+    expression: EventExpression
+    last_consideration: Timestamp | None = None
+    triggerings: int = 0
+    memo: TriggerMemo = field(default_factory=TriggerMemo)
+
+    def consume(self, now: Timestamp) -> None:
+        self.triggerings += 1
+        self.last_consideration = now
+        self.memo.clear()
+
+
+def build_rules(count: int, seed: int = 61) -> list[_RuleState]:
+    generator = ExpressionGenerator(seed=seed, instance_probability=0.15)
+    rules: list[_RuleState] = []
+    for index, expression in enumerate(generator.expressions(count, operators=2)):
+        if index % 2 == 0:
+            expression = SetConjunction(expression, Primitive(GHOST))
+        rules.append(_RuleState(expression))
+    return rules
+
+
+def build_history(events: int, measured_blocks: int, events_per_block: int = 4):
+    """Pre-filled EB plus the blocks to measure over (same generated stream)."""
+    generator = EventStreamGenerator(seed=29, events_per_block=events_per_block)
+    event_base = EventBase()
+    prefill_blocks = max(0, events // events_per_block - measured_blocks)
+    for block in generator.blocks(prefill_blocks):
+        event_base.extend(block)
+    measured = generator.blocks(measured_blocks)
+    return event_base, measured
+
+
+def run_old_path(event_base: EventBase, blocks, rules: list[_RuleState]) -> dict:
+    """The seed hot path: materialize an EventWindow per rule per block.
+
+    The untimed warm-up round mirrors run_new_path so the two paths face the
+    measured blocks with identical rule state (it does not change the old
+    path's per-check cost, which is stateless).
+    """
+    warmup_now = event_base.latest_timestamp()
+    if warmup_now is not None:
+        for rule in rules:
+            window = EventWindow(
+                event_base, after=rule.last_consideration, until=warmup_now
+            )
+            decision = is_triggered(
+                rule.expression, window, rule.last_consideration, warmup_now
+            )
+            if decision.triggered:
+                rule.consume(warmup_now)
+    checks = 0
+    started = time.perf_counter()
+    for block in blocks:
+        event_base.extend(block)
+        now = block[-1].timestamp
+        for rule in rules:
+            window = EventWindow(
+                event_base, after=rule.last_consideration, until=now
+            )
+            decision = is_triggered(rule.expression, window, rule.last_consideration, now)
+            checks += 1
+            if decision.triggered:
+                rule.consume(now)
+    elapsed = time.perf_counter() - started
+    return {"checks": checks, "seconds": elapsed, "checks_per_sec": checks / elapsed}
+
+
+def run_new_path(event_base: EventBase, blocks, rules: list[_RuleState]) -> dict:
+    """The PR-1 hot path: zero-copy view + incremental memo.
+
+    One untimed check round runs first so every rule's memo covers the
+    pre-filled history: that is the steady state of a Trigger Support that has
+    been running since the transaction began (it checks after every block, so
+    it never faces a cold multi-thousand-instant scan).  The old path needs no
+    warm-up — it is stateless and every check costs the same.
+    """
+    warmup_now = event_base.latest_timestamp()
+    if warmup_now is not None:
+        for rule in rules:
+            decision = is_triggered(
+                rule.expression,
+                event_base,
+                rule.last_consideration,
+                warmup_now,
+                memo=rule.memo,
+            )
+            if decision.triggered:
+                rule.consume(warmup_now)
+    checks = 0
+    started = time.perf_counter()
+    for block in blocks:
+        event_base.extend(block)
+        now = block[-1].timestamp
+        for rule in rules:
+            decision = is_triggered(
+                rule.expression,
+                event_base,
+                rule.last_consideration,
+                now,
+                memo=rule.memo,
+            )
+            checks += 1
+            if decision.triggered:
+                rule.consume(now)
+    elapsed = time.perf_counter() - started
+    return {"checks": checks, "seconds": elapsed, "checks_per_sec": checks / elapsed}
+
+
+def measure_configuration(
+    events: int,
+    rules: int,
+    new_blocks: int = 25,
+    old_blocks: int = 2,
+    old_rules_cap: int = 10,
+) -> dict:
+    """Throughput of both paths at one (events, rules) grid point."""
+    old_rule_count = min(rules, old_rules_cap)
+    event_base, blocks = build_history(events, old_blocks)
+    old = run_old_path(event_base, blocks, build_rules(old_rule_count))
+    event_base, blocks = build_history(events, new_blocks)
+    new = run_new_path(event_base, blocks, build_rules(rules))
+    return {
+        "events": events,
+        "rules": rules,
+        "old_rules_measured": old_rule_count,
+        "old_blocks_measured": old_blocks,
+        "new_blocks_measured": new_blocks,
+        "old_checks_per_sec": round(old["checks_per_sec"], 1),
+        "new_checks_per_sec": round(new["checks_per_sec"], 1),
+        "speedup": round(new["checks_per_sec"] / old["checks_per_sec"], 1),
+    }
+
+
+def check_equivalence(events: int = 800, rules: int = 12, blocks: int = 12) -> dict:
+    """Both paths must make identical decisions on an identical scenario."""
+    event_base, measured = build_history(events, blocks)
+    old_rules = build_rules(rules)
+    old = run_old_path(event_base, measured, old_rules)
+    event_base, measured = build_history(events, blocks)
+    new_rules = build_rules(rules)
+    new = run_new_path(event_base, measured, new_rules)
+    old_counts = [rule.triggerings for rule in old_rules]
+    new_counts = [rule.triggerings for rule in new_rules]
+    assert old_counts == new_counts, (
+        f"old/new trigger decisions diverged: {old_counts} vs {new_counts}"
+    )
+    assert old["checks"] == new["checks"]
+    return {
+        "events": events,
+        "rules": rules,
+        "blocks": blocks,
+        "triggerings": sum(new_counts),
+    }
+
+
+def run_sweeps() -> dict:
+    """Full grid: event-base size sweep, rule-count sweep, headline point."""
+    event_rows = [measure_configuration(events, HEADLINE_RULES) for events in EVENT_SWEEP]
+    rule_rows = [measure_configuration(10_000, rules) for rules in RULE_SWEEP]
+    headline = next(row for row in event_rows if row["events"] == HEADLINE_EVENTS)
+    return {
+        "benchmark": "x6_window_scaling",
+        "description": (
+            "Steady-state trigger-check throughput (checks/sec), seed copy path "
+            "(EventWindow per rule per block, full instant scan) vs. PR-1 view "
+            "path (BoundedView + incremental TriggerMemo)."
+        ),
+        "headline": headline,
+        "event_base_sweep": event_rows,
+        "rule_count_sweep": rule_rows,
+        "equivalence": check_equivalence(),
+    }
+
+
+def render(results: dict) -> str:
+    rows = [
+        [
+            row["events"],
+            row["rules"],
+            row["old_checks_per_sec"],
+            row["new_checks_per_sec"],
+            f"{row['speedup']}x",
+        ]
+        for row in results["event_base_sweep"] + results["rule_count_sweep"]
+    ]
+    return render_table(
+        ["events", "rules", "old checks/s", "new checks/s", "speedup"],
+        rows,
+        title="X6 — trigger-check throughput, copy path vs. view path",
+    )
+
+
+def main() -> None:
+    results = run_sweeps()
+    print(render(results))
+    RESULTS_FILE.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {RESULTS_FILE}")
+    headline = results["headline"]
+    print(
+        f"headline: {headline['events']} events x {headline['rules']} rules -> "
+        f"{headline['speedup']}x"
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (reduced configuration)
+# ---------------------------------------------------------------------------
+
+
+def test_x6_decisions_are_identical_between_paths():
+    check_equivalence()
+
+
+def test_x6_view_path_is_at_least_5x_faster(benchmark):
+    row = measure_configuration(5_000, 20, new_blocks=15, old_blocks=2)
+    print()
+    print(
+        render_table(
+            ["events", "rules", "old checks/s", "new checks/s", "speedup"],
+            [[
+                row["events"],
+                row["rules"],
+                row["old_checks_per_sec"],
+                row["new_checks_per_sec"],
+                f"{row['speedup']}x",
+            ]],
+            title="X6 (reduced) — trigger-check throughput",
+        )
+    )
+    assert row["speedup"] >= 5.0
+
+    event_base, blocks = build_history(5_000, 15)
+    rules = build_rules(20)
+
+    def steady_state():
+        # Re-check every rule against the current EB without growing it:
+        # pure view + memo overhead.
+        now = event_base.latest_timestamp() or 1
+        for rule in rules:
+            is_triggered(
+                rule.expression, event_base, rule.last_consideration, now, memo=rule.memo
+            )
+
+    for block in blocks:
+        event_base.extend(block)
+    benchmark(steady_state)
+
+
+if __name__ == "__main__":
+    main()

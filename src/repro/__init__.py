@@ -51,18 +51,21 @@ from repro.core import (
 )
 from repro.errors import ChimeraError
 from repro.events import (
+    BoundedView,
     EventBase,
     EventOccurrence,
     EventType,
     EventWindow,
     Operation,
     TransactionClock,
+    WindowLike,
     parse_event_type,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BoundedView",
     "ChimeraDatabase",
     "ChimeraError",
     "EvaluationMode",
@@ -76,6 +79,7 @@ __all__ = [
     "RecomputationFilter",
     "TransactionClock",
     "TsValue",
+    "WindowLike",
     "__version__",
     "active_objects",
     "evaluate",

@@ -15,7 +15,7 @@ from typing import Any, Sequence
 from repro.core.evaluation import EvaluationMode, ots, ts
 from repro.core.expressions import EventExpression
 from repro.events.clock import Timestamp
-from repro.events.event_base import EventWindow
+from repro.events.event_base import WindowLike
 
 __all__ = ["TracePoint", "Trace", "sample_instants", "ts_trace", "ots_trace"]
 
@@ -55,7 +55,7 @@ class Trace:
         return len(self.points)
 
 
-def sample_instants(window: EventWindow, padding: int = 1) -> list[Timestamp]:
+def sample_instants(window: WindowLike, padding: int = 1) -> list[Timestamp]:
     """Sampling instants for a window: every occurrence stamp plus ``padding`` after.
 
     The ``ts`` functions are piecewise constant between occurrence time stamps,
@@ -72,7 +72,7 @@ def sample_instants(window: EventWindow, padding: int = 1) -> list[Timestamp]:
 
 def ts_trace(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instants: Sequence[Timestamp] | None = None,
     label: str | None = None,
     mode: EvaluationMode = EvaluationMode.LOGICAL,
@@ -87,7 +87,7 @@ def ts_trace(
 
 def ots_trace(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     oid: Any,
     instants: Sequence[Timestamp] | None = None,
     label: str | None = None,

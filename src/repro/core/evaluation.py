@@ -42,7 +42,7 @@ from repro.core.expressions import (
 )
 from repro.core.ts import TsValue, unit_step
 from repro.events.clock import Timestamp
-from repro.events.event_base import EventWindow
+from repro.events.event_base import WindowLike
 
 __all__ = [
     "EvaluationMode",
@@ -102,7 +102,7 @@ _NULL_STATS = EvaluationStats()
 
 def ts(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     mode: EvaluationMode = EvaluationMode.LOGICAL,
     stats: EvaluationStats | None = None,
@@ -122,7 +122,7 @@ def ts(
 
 def _ts(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     mode: EvaluationMode,
     stats: EvaluationStats,
@@ -202,7 +202,7 @@ def _combine_precedence(
 
 def ots(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     oid: Any,
     mode: EvaluationMode = EvaluationMode.LOGICAL,
@@ -227,7 +227,7 @@ def ots(
 
 def _ots(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     oid: Any,
     mode: EvaluationMode,
@@ -269,7 +269,7 @@ def _ots(
 
 def _lift(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     mode: EvaluationMode,
     stats: EvaluationStats,
@@ -306,7 +306,7 @@ def _lift(
 
 def evaluate(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     oid: Any | None = None,
     mode: EvaluationMode = EvaluationMode.LOGICAL,
@@ -326,7 +326,7 @@ def evaluate(
 
 def is_active(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     oid: Any | None = None,
     mode: EvaluationMode = EvaluationMode.LOGICAL,
@@ -337,7 +337,7 @@ def is_active(
 
 def active_objects(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     candidates: Iterable[Any] | None = None,
     mode: EvaluationMode = EvaluationMode.LOGICAL,
@@ -364,7 +364,7 @@ def active_objects(
 
 def activation_instants(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     oid: Any,
     until: Timestamp,
     mode: EvaluationMode = EvaluationMode.LOGICAL,

@@ -35,7 +35,7 @@ from repro.core.expressions import (
 )
 from repro.events.clock import Timestamp
 from repro.events.event import EventOccurrence
-from repro.events.event_base import EventWindow
+from repro.events.event_base import WindowLike
 
 __all__ = ["Explanation", "explain"]
 
@@ -103,7 +103,7 @@ class Explanation:
 
 
 def _last_occurrence(
-    window: EventWindow, primitive: Primitive, instant: Timestamp, oid: Any | None
+    window: WindowLike, primitive: Primitive, instant: Timestamp, oid: Any | None
 ) -> EventOccurrence | None:
     occurrences = window.occurrences_of(primitive.event_type, until=instant)
     if oid is not None:
@@ -113,7 +113,7 @@ def _last_occurrence(
 
 def explain(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     oid: Any | None = None,
     mode: EvaluationMode = EvaluationMode.LOGICAL,
@@ -175,7 +175,7 @@ def explain(
 
 def _explain_lifted(
     expression: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     mode: EvaluationMode,
 ) -> Explanation:

@@ -48,7 +48,7 @@ from repro.core.expressions import (
     SetPrecedence,
 )
 from repro.events.clock import Timestamp
-from repro.events.event_base import EventWindow
+from repro.events.event_base import WindowLike
 
 __all__ = [
     "ACTIVATION",
@@ -246,7 +246,7 @@ def law_by_name(name: str) -> Law:
 def check_law(
     law: Law,
     operands: Sequence[EventExpression],
-    window: EventWindow,
+    window: WindowLike,
     instant: Timestamp,
     mode: EvaluationMode = EvaluationMode.LOGICAL,
 ) -> LawCheckResult:
@@ -261,7 +261,7 @@ def check_law(
 def expressions_equivalent(
     left: EventExpression,
     right: EventExpression,
-    window: EventWindow,
+    window: WindowLike,
     instants: Sequence[Timestamp],
     mode: EvaluationMode = EvaluationMode.LOGICAL,
     exact: bool = True,

@@ -8,7 +8,7 @@ from repro.events.event import (
     Operation,
     parse_event_type,
 )
-from repro.events.event_base import EventBase, EventWindow
+from repro.events.event_base import BoundedView, EventBase, EventWindow, WindowLike
 from repro.events.event_tree import EventLeaf, OccurredEventsTree
 from repro.events.persistence import (
     load_event_base,
@@ -23,12 +23,14 @@ from repro.events.timers import (
 )
 
 __all__ = [
+    "BoundedView",
     "EidGenerator",
     "EventBase",
     "EventLeaf",
     "EventOccurrence",
     "EventType",
     "EventWindow",
+    "WindowLike",
     "ExternalEventSource",
     "OccurredEventsTree",
     "Operation",

@@ -1,11 +1,21 @@
-"""The Event Base (EB) and event windows.
+"""The Event Base (EB), event windows and zero-copy bounded views.
 
 The Event Base is "the log containing all the event occurrences since the
 beginning of the transaction" (paper §4.1, Fig. 3).  The composite-event
 calculus, however, is never applied to the whole EB directly: the triggering
 semantics (paper §4.5) selects a *window* ``R`` of occurrences — typically the
 occurrences newer than a rule's last consideration — and the ``ts`` / ``ots``
-functions are computed over that window.  :class:`EventWindow` is that view.
+functions are computed over that window.
+
+Two window structures are provided:
+
+* :class:`EventWindow` — a materialized, re-indexed copy of the slice.  Useful
+  for building ad-hoc histories in tests and for detached analysis, but O(n)
+  to construct;
+* :class:`BoundedView` — a zero-copy lazy view that answers every calculus
+  query by bisecting its ``(after, until]`` bounds against the parent store's
+  sorted indexes.  O(1) to construct, O(log n) per query.  This is what the
+  Trigger Support uses on its hot path (see PERFORMANCE.md).
 
 Both structures index occurrences by event type and by (event type, OID) so
 that the calculus can answer its two fundamental questions in O(log n):
@@ -24,7 +34,7 @@ from repro.errors import EventCalculusError
 from repro.events.clock import Timestamp
 from repro.events.event import EidGenerator, EventOccurrence, EventType
 
-__all__ = ["EventBase", "EventWindow"]
+__all__ = ["EventBase", "EventWindow", "BoundedView", "WindowLike"]
 
 
 class _TypeIndex:
@@ -32,6 +42,8 @@ class _TypeIndex:
 
     Keeps parallel lists of time stamps and occurrences (sorted by time stamp,
     ties broken by insertion order) plus a per-OID sub-index of time stamps.
+    The keys of ``per_oid`` double as the set of OIDs affected by the type, so
+    affected-object queries never need to materialize occurrence lists.
     """
 
     __slots__ = ("timestamps", "occurrences", "per_oid")
@@ -42,12 +54,26 @@ class _TypeIndex:
         self.per_oid: dict[Any, list[Timestamp]] = defaultdict(list)
 
     def add(self, occurrence: EventOccurrence) -> None:
-        position = bisect.bisect_right(self.timestamps, occurrence.timestamp)
-        self.timestamps.insert(position, occurrence.timestamp)
-        self.occurrences.insert(position, occurrence)
+        stamp = occurrence.timestamp
+        if not self.timestamps or stamp >= self.timestamps[-1]:
+            # Append fast path: the EB log grows in non-decreasing time-stamp
+            # order (EventBase.append enforces it, EventWindow sorts on
+            # construction), so the common case is O(1).
+            self.timestamps.append(stamp)
+            self.occurrences.append(occurrence)
+        else:
+            # Out-of-order insertion.  Unreachable through _OccurrenceStore
+            # (whose _insert requires ordered input); kept for direct reuse of
+            # the index by future ingestion paths that cannot pre-sort.
+            position = bisect.bisect_right(self.timestamps, stamp)
+            self.timestamps.insert(position, stamp)
+            self.occurrences.insert(position, occurrence)
         oid_times = self.per_oid[occurrence.oid]
-        oid_position = bisect.bisect_right(oid_times, occurrence.timestamp)
-        oid_times.insert(oid_position, occurrence.timestamp)
+        if not oid_times or stamp >= oid_times[-1]:
+            oid_times.append(stamp)
+        else:
+            oid_position = bisect.bisect_right(oid_times, stamp)
+            oid_times.insert(oid_position, stamp)
 
     def last_at_or_before(self, instant: Timestamp) -> Timestamp | None:
         position = bisect.bisect_right(self.timestamps, instant)
@@ -68,21 +94,98 @@ class _TypeIndex:
         position = bisect.bisect_right(self.timestamps, instant)
         return self.occurrences[:position]
 
+    # -- bounded access (used by BoundedView) ---------------------------------
+    def span(self, after: Timestamp | None, until: Timestamp | None) -> tuple[int, int]:
+        """Index range ``[start, stop)`` of the occurrences in ``(after, until]``."""
+        start = 0 if after is None else bisect.bisect_right(self.timestamps, after)
+        stop = (
+            len(self.timestamps)
+            if until is None
+            else bisect.bisect_right(self.timestamps, until)
+        )
+        return start, stop
+
+    def last_in_bounds(
+        self, after: Timestamp | None, instant: Timestamp
+    ) -> Timestamp | None:
+        """Most recent time stamp in ``(after, instant]``, or None."""
+        last = self.last_at_or_before(instant)
+        if last is None or (after is not None and last <= after):
+            return None
+        return last
+
+    def last_on_oid_in_bounds(
+        self, oid: Any, after: Timestamp | None, instant: Timestamp
+    ) -> Timestamp | None:
+        """Most recent time stamp on ``oid`` in ``(after, instant]``, or None."""
+        last = self.last_on_oid_at_or_before(oid, instant)
+        if last is None or (after is not None and last <= after):
+            return None
+        return last
+
+    def oid_in_bounds(
+        self, oid: Any, after: Timestamp | None, until: Timestamp | None
+    ) -> bool:
+        """True when ``oid`` has an occurrence of this type in ``(after, until]``."""
+        times = self.per_oid.get(oid)
+        if not times:
+            return False
+        if after is None and until is None:
+            return True
+        start = 0 if after is None else bisect.bisect_right(times, after)
+        stop = len(times) if until is None else bisect.bisect_right(times, until)
+        return stop > start
+
 
 class _OccurrenceStore:
-    """Shared implementation of occurrence storage and indexed lookups."""
+    """Shared implementation of occurrence storage and indexed lookups.
+
+    Beyond the per-type indexes, the store incrementally maintains:
+
+    * ``_all_timestamps`` — the time stamps of ``_occurrences`` (always
+      non-decreasing: the EB enforces log order and EventWindow sorts on
+      construction), so bounded views can locate a slice by bisection;
+    * ``_distinct_timestamps`` — the sorted, deduplicated time stamps, so
+      :meth:`timestamps` is O(1) per call instead of O(n log n);
+    * a cache of :meth:`_indexes_matching` resolutions, invalidated whenever a
+      new event type is registered (class-level patterns may match it);
+    * a cached tuple for :attr:`occurrences`, so repeated access (window
+      construction, iteration-heavy analyses) does not copy the log each time.
+    """
 
     def __init__(self) -> None:
         self._occurrences: list[EventOccurrence] = []
         self._by_type: dict[EventType, _TypeIndex] = {}
         self._oids: set[Any] = set()
+        self._all_timestamps: list[Timestamp] = []
+        self._distinct_timestamps: list[Timestamp] = []
+        self._match_cache: dict[EventType, tuple[_TypeIndex, ...]] = {}
+        self._occurrences_cache: tuple[EventOccurrence, ...] | None = None
 
     # -- mutation ------------------------------------------------------
     def _insert(self, occurrence: EventOccurrence) -> None:
+        stamp = occurrence.timestamp
+        if self._all_timestamps and stamp < self._all_timestamps[-1]:
+            # The sorted-timestamp caches (and BoundedView's bisections over
+            # them) rely on insertion order; both callers guarantee it —
+            # EventBase.append rejects decreasing stamps with a friendlier
+            # message before reaching here, EventWindow sorts on construction.
+            raise EventCalculusError(
+                "occurrence store requires non-decreasing time-stamp inserts "
+                f"(last={self._all_timestamps[-1]}, new={stamp})"
+            )
         self._occurrences.append(occurrence)
+        self._occurrences_cache = None
+        self._all_timestamps.append(stamp)
+        distinct = self._distinct_timestamps
+        if not distinct or stamp > distinct[-1]:
+            distinct.append(stamp)
         index = self._by_type.get(occurrence.event_type)
         if index is None:
             index = self._by_type[occurrence.event_type] = _TypeIndex()
+            # A new concrete type may be matched by previously resolved
+            # class-level patterns: drop every memoized resolution.
+            self._match_cache.clear()
         index.add(occurrence)
         self._oids.add(occurrence.oid)
 
@@ -97,9 +200,15 @@ class _OccurrenceStore:
         return bool(self._occurrences)
 
     @property
-    def occurrences(self) -> Sequence[EventOccurrence]:
-        """All stored occurrences in insertion order."""
-        return tuple(self._occurrences)
+    def occurrences(self) -> tuple[EventOccurrence, ...]:
+        """All stored occurrences in insertion order (cached, read-only)."""
+        if self._occurrences_cache is None:
+            self._occurrences_cache = tuple(self._occurrences)
+        return self._occurrences_cache
+
+    def occurrence_at(self, position: int) -> EventOccurrence:
+        """The occurrence at ``position`` in insertion order."""
+        return self._occurrences[position]
 
     def event_types(self) -> set[EventType]:
         """The set of event types with at least one stored occurrence."""
@@ -111,18 +220,44 @@ class _OccurrenceStore:
 
     def timestamps(self) -> list[Timestamp]:
         """All time stamps present, sorted and deduplicated."""
-        return sorted({occurrence.timestamp for occurrence in self._occurrences})
+        return list(self._distinct_timestamps)
+
+    def timestamps_after(self, lower: Timestamp) -> list[Timestamp]:
+        """The distinct time stamps strictly greater than ``lower``."""
+        position = bisect.bisect_right(self._distinct_timestamps, lower)
+        return self._distinct_timestamps[position:]
+
+    def is_empty(self) -> bool:
+        """True when no occurrence is stored (``R = {}``)."""
+        return not self._occurrences
+
+    def latest_timestamp(self) -> Timestamp | None:
+        """The greatest time stamp stored, or None when empty."""
+        if not self._distinct_timestamps:
+            return None
+        return self._distinct_timestamps[-1]
 
     # -- matching over type patterns -------------------------------------
-    def _indexes_matching(self, event_type: EventType) -> Iterator[_TypeIndex]:
-        """Indexes whose concrete type matches the (possibly class-level) pattern."""
+    def _indexes_matching(self, event_type: EventType) -> tuple[_TypeIndex, ...]:
+        """Indexes whose concrete type matches the (possibly class-level) pattern.
+
+        Resolutions are memoized; the cache is dropped whenever a new event
+        type registers an index (see :meth:`_insert`).
+        """
+        cached = self._match_cache.get(event_type)
+        if cached is not None:
+            return cached
+        matched: list[_TypeIndex] = []
         exact = self._by_type.get(event_type)
         if exact is not None:
-            yield exact
+            matched.append(exact)
         if event_type.attribute is None:
             for stored_type, index in self._by_type.items():
                 if stored_type != event_type and event_type.matches(stored_type):
-                    yield index
+                    matched.append(index)
+        resolved = tuple(matched)
+        self._match_cache[event_type] = resolved
+        return resolved
 
     # -- queries used by the calculus ------------------------------------
     def last_timestamp(self, event_type: EventType, instant: Timestamp) -> Timestamp | None:
@@ -165,11 +300,22 @@ class _OccurrenceStore:
         event_types: Iterable[EventType],
         until: Timestamp | None = None,
     ) -> set[Any]:
-        """OIDs affected by any of ``event_types`` (optionally at/before ``until``)."""
+        """OIDs affected by any of ``event_types`` (optionally at/before ``until``).
+
+        Answered from the per-type OID sub-indexes: with no bound the keys of
+        ``per_oid`` are the affected set, with a bound an OID qualifies when
+        its earliest occurrence is at/before ``until`` — no occurrence list is
+        materialized either way.
+        """
         affected: set[Any] = set()
         for event_type in event_types:
-            for occurrence in self.occurrences_of(event_type, until):
-                affected.add(occurrence.oid)
+            for index in self._indexes_matching(event_type):
+                if until is None:
+                    affected.update(index.per_oid)
+                else:
+                    for oid, times in index.per_oid.items():
+                        if times[0] <= until:
+                            affected.add(oid)
         return affected
 
     def select(
@@ -261,28 +407,44 @@ class EventBase(_OccurrenceStore):
         after: Timestamp | None = None,
         until: Timestamp | None = None,
     ) -> "EventWindow":
-        """Build the window ``R`` of occurrences with ``after < timestamp <= until``.
+        """Materialize the window ``R`` of occurrences with ``after < timestamp <= until``.
 
         ``after=None`` means "since the beginning of the transaction";
         ``until=None`` means "up to the latest recorded occurrence".  This is
         exactly the set the triggering predicate ``T(r, t)`` quantifies over:
-        ``R = {e in EB | last_consideration < timestamp(e) <= t}``.
+        ``R = {e in EB | last_consideration < timestamp(e) <= t}``.  Prefer
+        :meth:`view` when the window is only queried, not kept: it answers the
+        same questions without copying the log.
         """
         return EventWindow(self, after=after, until=until)
 
     def full_window(self) -> "EventWindow":
-        """Window spanning the whole transaction (preserving-rule view)."""
+        """Materialized window spanning the whole transaction."""
         return self.window(after=None, until=None)
+
+    def view(
+        self,
+        after: Timestamp | None = None,
+        until: Timestamp | None = None,
+    ) -> "BoundedView":
+        """Zero-copy view of the occurrences with ``after < timestamp <= until``."""
+        return BoundedView(self, after=after, until=until)
+
+    def full_view(self) -> "BoundedView":
+        """Zero-copy view spanning the whole transaction (preserving-rule view)."""
+        return self.view(after=None, until=None)
 
 
 class EventWindow(_OccurrenceStore):
-    """An immutable view over a slice of the Event Base.
+    """An immutable, materialized view over a slice of the Event Base.
 
-    The window materializes (and re-indexes) the occurrences that fall in the
+    The window copies (and re-indexes) the occurrences that fall in the
     half-open interval ``(after, until]``; the calculus then only ever talks to
     the window.  Keeping the window explicit mirrors the paper's remark that
     "the event calculus can be applied to a generic set of event occurrences;
-    orthogonally, the triggering semantics defines this set".
+    orthogonally, the triggering semantics defines this set".  Construction is
+    O(n): on hot paths use :class:`BoundedView` instead, which answers the
+    same query API by bisecting the parent's indexes.
     """
 
     def __init__(
@@ -314,12 +476,182 @@ class EventWindow(_OccurrenceStore):
         """Window over an explicit collection of occurrences (no bounds)."""
         return cls(list(occurrences))
 
+
+class BoundedView:
+    """A zero-copy lazy window over a shared occurrence store.
+
+    The view holds only its ``(after, until]`` bounds plus a reference to the
+    parent store (usually the :class:`EventBase`); every query is answered by
+    bisecting the bounds against the parent's sorted indexes.  It supports the
+    full query API of :class:`EventWindow` — ``ts``/``ots`` and the condition
+    formulas accept either structure — but costs O(1) to build, which is what
+    makes per-rule, per-block triggering checks affordable on large event
+    bases (see PERFORMANCE.md).
+
+    The view is *live*: occurrences appended to the parent afterwards become
+    visible when they fall inside the bounds.  With ``until`` set this cannot
+    happen for EB parents (the log grows in non-decreasing time-stamp order),
+    so a bounded view over an EB behaves exactly like a frozen window.
+    """
+
+    __slots__ = ("_parent", "after", "until")
+
+    def __init__(
+        self,
+        parent: _OccurrenceStore,
+        after: Timestamp | None = None,
+        until: Timestamp | None = None,
+    ) -> None:
+        if after is not None and until is not None and after > until:
+            raise EventCalculusError(
+                f"invalid window bounds: after={after} is later than until={until}"
+            )
+        self._parent = parent
+        self.after = after
+        self.until = until
+
+    # -- bound helpers -----------------------------------------------------
+    def _effective_until(self, instant: Timestamp | None) -> Timestamp | None:
+        """Tighter of the view's ``until`` and a per-query ``instant`` bound."""
+        if instant is None:
+            return self.until
+        if self.until is None:
+            return instant
+        return min(instant, self.until)
+
+    def _span(self) -> tuple[int, int]:
+        """Index range ``[start, stop)`` of the view inside the parent log."""
+        stamps = self._parent._all_timestamps
+        start = 0 if self.after is None else bisect.bisect_right(stamps, self.after)
+        stop = len(stamps) if self.until is None else bisect.bisect_right(stamps, self.until)
+        return start, max(start, stop)
+
+    # -- basic introspection ------------------------------------------------
+    def __len__(self) -> int:
+        start, stop = self._span()
+        return stop - start
+
+    def __iter__(self) -> Iterator[EventOccurrence]:
+        start, stop = self._span()
+        occurrences = self._parent._occurrences
+        for position in range(start, stop):
+            yield occurrences[position]
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @property
+    def occurrences(self) -> tuple[EventOccurrence, ...]:
+        """The occurrences inside the bounds (materializes the slice)."""
+        start, stop = self._span()
+        return tuple(self._parent._occurrences[start:stop])
+
     def is_empty(self) -> bool:
-        """True when the window contains no occurrence (``R = {}``)."""
-        return not self._occurrences
+        """True when no occurrence falls inside the bounds (``R = {}``)."""
+        return len(self) == 0
 
     def latest_timestamp(self) -> Timestamp | None:
-        """The greatest time stamp in the window, or None when empty."""
-        if not self._occurrences:
+        """The greatest time stamp in the view, or None when empty."""
+        start, stop = self._span()
+        if stop == start:
             return None
-        return max(occurrence.timestamp for occurrence in self._occurrences)
+        return self._parent._all_timestamps[stop - 1]
+
+    def event_types(self) -> set[EventType]:
+        """Event types with at least one occurrence inside the bounds."""
+        present: set[EventType] = set()
+        for event_type, index in self._parent._by_type.items():
+            start, stop = index.span(self.after, self.until)
+            if stop > start:
+                present.add(event_type)
+        return present
+
+    def oids(self) -> set[Any]:
+        """OIDs affected by at least one occurrence inside the bounds."""
+        affected: set[Any] = set()
+        for index in self._parent._by_type.values():
+            for oid in index.per_oid:
+                if oid not in affected and index.oid_in_bounds(oid, self.after, self.until):
+                    affected.add(oid)
+        return affected
+
+    def timestamps(self) -> list[Timestamp]:
+        """Distinct time stamps inside the bounds, sorted."""
+        distinct = self._parent._distinct_timestamps
+        start = 0 if self.after is None else bisect.bisect_right(distinct, self.after)
+        stop = len(distinct) if self.until is None else bisect.bisect_right(distinct, self.until)
+        return distinct[start:stop]
+
+    def timestamps_after(self, lower: Timestamp) -> list[Timestamp]:
+        """Distinct in-bounds time stamps strictly greater than ``lower``."""
+        if self.after is not None and self.after > lower:
+            lower = self.after
+        distinct = self._parent._distinct_timestamps
+        start = bisect.bisect_right(distinct, lower)
+        stop = len(distinct) if self.until is None else bisect.bisect_right(distinct, self.until)
+        return distinct[start:stop]
+
+    # -- queries used by the calculus ----------------------------------------
+    def last_timestamp(self, event_type: EventType, instant: Timestamp) -> Timestamp | None:
+        """Most recent in-bounds occurrence of ``event_type`` at/before ``instant``."""
+        bound = self._effective_until(instant)
+        best: Timestamp | None = None
+        for index in self._parent._indexes_matching(event_type):
+            candidate = index.last_in_bounds(self.after, bound)
+            if candidate is not None and (best is None or candidate > best):
+                best = candidate
+        return best
+
+    def last_timestamp_on(
+        self, event_type: EventType, oid: Any, instant: Timestamp
+    ) -> Timestamp | None:
+        """Most recent in-bounds occurrence of ``event_type`` on ``oid`` at/before ``instant``."""
+        bound = self._effective_until(instant)
+        best: Timestamp | None = None
+        for index in self._parent._indexes_matching(event_type):
+            candidate = index.last_on_oid_in_bounds(oid, self.after, bound)
+            if candidate is not None and (best is None or candidate > best):
+                best = candidate
+        return best
+
+    def occurrences_of(
+        self,
+        event_type: EventType,
+        until: Timestamp | None = None,
+    ) -> list[EventOccurrence]:
+        """In-bounds occurrences matching ``event_type`` (optionally at/before ``until``)."""
+        bound = self._effective_until(until)
+        matched: list[EventOccurrence] = []
+        for index in self._parent._indexes_matching(event_type):
+            start, stop = index.span(self.after, bound)
+            matched.extend(index.occurrences[start:stop])
+        matched.sort(key=lambda occurrence: (occurrence.timestamp, occurrence.eid))
+        return matched
+
+    def objects_affected_by(
+        self,
+        event_types: Iterable[EventType],
+        until: Timestamp | None = None,
+    ) -> set[Any]:
+        """OIDs affected in-bounds by any of ``event_types`` (optionally at/before ``until``)."""
+        bound = self._effective_until(until)
+        affected: set[Any] = set()
+        for event_type in event_types:
+            for index in self._parent._indexes_matching(event_type):
+                for oid in index.per_oid:
+                    if oid not in affected and index.oid_in_bounds(oid, self.after, bound):
+                        affected.add(oid)
+        return affected
+
+    def select(
+        self, predicate: Callable[[EventOccurrence], bool]
+    ) -> list[EventOccurrence]:
+        """All in-bounds occurrences satisfying ``predicate`` (in log order)."""
+        return [occurrence for occurrence in self if predicate(occurrence)]
+
+
+#: The structures the calculus (``ts``/``ots``, condition formulas, traces)
+#: accepts as its occurrence set ``R``.  The full :class:`EventBase` also
+#: satisfies the same query protocol and may be passed wherever a whole-log
+#: window is intended.
+WindowLike = EventWindow | BoundedView

@@ -27,7 +27,7 @@ from typing import Any, Mapping, Sequence
 from repro.errors import EventCalculusError
 from repro.events.clock import Timestamp, TransactionClock
 from repro.events.event import EventOccurrence, EventType, Operation
-from repro.events.event_base import EventBase, EventWindow
+from repro.events.event_base import BoundedView, EventBase, EventWindow
 
 __all__ = ["external_event_type", "ExternalEventSource", "TemporalEventPlanner"]
 
@@ -121,7 +121,7 @@ class TemporalEventPlanner:
         name: str,
         delay: int,
         after: EventType,
-        history: EventBase | EventWindow | Sequence[EventOccurrence],
+        history: EventBase | EventWindow | BoundedView | Sequence[EventOccurrence],
         until: Timestamp | None = None,
     ) -> list[EventOccurrence]:
         """One occurrence of ``name`` a fixed ``delay`` after each ``after`` occurrence.
@@ -132,7 +132,7 @@ class TemporalEventPlanner:
         """
         if delay <= 0:
             raise EventCalculusError("the delay of a relative event must be positive")
-        if isinstance(history, (EventBase, EventWindow)):
+        if isinstance(history, (EventBase, EventWindow, BoundedView)):
             references = history.occurrences_of(after)
         else:
             references = [

@@ -31,7 +31,7 @@ from repro.errors import ConditionError
 from repro.core.evaluation import activation_instants, active_objects
 from repro.core.expressions import EventExpression
 from repro.events.clock import Timestamp
-from repro.events.event_base import EventWindow
+from repro.events.event_base import WindowLike
 from repro.oodb.objects import ObjectStore
 from repro.oodb.schema import Schema
 from repro.rules.terms import Binding, Term
@@ -55,7 +55,7 @@ class ConditionContext:
 
     schema: Schema
     store: ObjectStore
-    window: EventWindow
+    window: WindowLike
     now: Timestamp
 
 

@@ -86,6 +86,8 @@ class RuleEngine:
         self.event_base = event_base
         self.operations.event_base = event_base
         self.trigger_support.event_base = event_base
+        # Incremental trigger memos describe the old log; drop them.
+        self.trigger_support.forget_incremental_state()
         self.event_handler.reset(event_base)
 
     # -- block execution ----------------------------------------------------------
@@ -132,7 +134,7 @@ class RuleEngine:
         """Consider one rule: evaluate its condition and maybe run its action."""
         rule = state.rule
         now = self.clock.now()
-        window = self.event_base.window(
+        window = self.event_base.view(
             after=state.observation_window_start(self.transaction_start),
             until=now,
         )

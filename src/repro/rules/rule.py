@@ -14,6 +14,7 @@ from enum import Enum
 
 from repro.core.expressions import EventExpression
 from repro.core.optimization import RecomputationFilter
+from repro.core.triggering import TriggerMemo
 from repro.errors import RuleDefinitionError
 from repro.events.clock import Timestamp
 from repro.rules.actions import Action
@@ -101,6 +102,11 @@ class RuleState:
     #: negation — is only blocked by the ``R != {}`` condition, so *any* new
     #: occurrence can trigger it, whatever its type.
     had_nonempty_window: bool = False
+    #: Incremental state of the exact triggering check: which instants of the
+    #: current window have already been sampled negative.  Only valid between
+    #: considerations — cleared by mark_considered/reset (the window start
+    #: moves) and by the check itself when the rule triggers.
+    trigger_memo: TriggerMemo = field(default_factory=TriggerMemo, repr=False)
     # bookkeeping for experiments
     times_triggered: int = 0
     times_considered: int = 0
@@ -121,6 +127,7 @@ class RuleState:
         self.times_considered += 1
         self.last_consideration = instant
         self.had_nonempty_window = False
+        self.trigger_memo.clear()
         if self.rule.consumption is ConsumptionMode.CONSUMING:
             self.last_consumption = instant
         if executed:
@@ -135,6 +142,7 @@ class RuleState:
         self.last_consideration = transaction_start
         self.last_consumption = transaction_start
         self.had_nonempty_window = False
+        self.trigger_memo.clear()
 
     def observation_window_start(self, transaction_start: Timestamp) -> Timestamp:
         """Lower bound of the window visible to the rule's event formulas."""

@@ -38,8 +38,15 @@ class TriggerSupportStats:
     rules_checked: int = 0
     ts_computations: int = 0
     ts_skipped_by_filter: int = 0
+    #: Exact checks that observed an empty window, on *either* path (per-block
+    #: checks and commit-time rechecks share one helper since PR 1, so unlike
+    #: the seed this also counts empty windows seen by recheck_all).
     ts_skipped_empty_window: int = 0
     rules_triggered: int = 0
+    #: Candidate instants actually sampled across all exact checks.  With the
+    #: incremental memo this stays proportional to the number of new
+    #: occurrences rather than to the window size (see PERFORMANCE.md).
+    instants_sampled: int = 0
     evaluation: EvaluationStats = field(default_factory=EvaluationStats)
 
     def as_dict(self) -> dict[str, int]:
@@ -51,6 +58,7 @@ class TriggerSupportStats:
             "ts_skipped_by_filter": self.ts_skipped_by_filter,
             "ts_skipped_empty_window": self.ts_skipped_empty_window,
             "rules_triggered": self.rules_triggered,
+            "instants_sampled": self.instants_sampled,
             "primitive_lookups": self.evaluation.primitive_lookups,
             "node_visits": self.evaluation.node_visits,
         }
@@ -115,26 +123,12 @@ class TriggerSupport:
             )
             if filter_applicable:
                 if not state.recomputation_filter.needs_recomputation(new_occurrences):
+                    # The rule's trigger memo is deliberately NOT advanced: the
+                    # skipped block's instants stay unsampled and a later check
+                    # covers them, so correctness never rests on the filter.
                     self.stats.ts_skipped_by_filter += 1
                     continue
-            window_start = state.triggering_window_start(transaction_start)
-            decision = is_triggered(
-                state.rule.events,
-                self.event_base,
-                window_start,
-                now,
-                self.mode,
-                self.stats.evaluation,
-            )
-            state.ts_computations += 1
-            self.stats.ts_computations += 1
-            if decision.window_size == 0:
-                self.stats.ts_skipped_empty_window += 1
-            else:
-                state.had_nonempty_window = True
-            if decision.triggered:
-                state.mark_triggered(now)
-                self.stats.rules_triggered += 1
+            if self._check_rule(state, now, transaction_start):
                 newly_triggered.append(state)
         return newly_triggered
 
@@ -146,21 +140,48 @@ class TriggerSupport:
         """
         newly_triggered: list[RuleState] = []
         for state in self.rule_table.untriggered_states():
-            window_start = state.triggering_window_start(transaction_start)
-            decision = is_triggered(
-                state.rule.events,
-                self.event_base,
-                window_start,
-                now,
-                self.mode,
-                self.stats.evaluation,
-            )
-            state.ts_computations += 1
-            self.stats.ts_computations += 1
-            if decision.window_size > 0:
-                state.had_nonempty_window = True
-            if decision.triggered:
-                state.mark_triggered(now)
-                self.stats.rules_triggered += 1
+            if self._check_rule(state, now, transaction_start):
                 newly_triggered.append(state)
         return newly_triggered
+
+    def _check_rule(
+        self, state: RuleState, now: Timestamp, transaction_start: Timestamp
+    ) -> bool:
+        """Run the exact triggering check for one rule and update all state.
+
+        Shared by :meth:`check_after_block` and :meth:`recheck_all` so the
+        incremental memo, the non-empty-window flag and the counters are
+        maintained consistently whichever path evaluated the rule.  Returns
+        True when the rule became triggered.
+        """
+        window_start = state.triggering_window_start(transaction_start)
+        decision = is_triggered(
+            state.rule.events,
+            self.event_base,
+            window_start,
+            now,
+            self.mode,
+            self.stats.evaluation,
+            memo=state.trigger_memo,
+        )
+        state.ts_computations += 1
+        self.stats.ts_computations += 1
+        self.stats.instants_sampled += decision.instants_sampled
+        if decision.window_size == 0:
+            self.stats.ts_skipped_empty_window += 1
+        else:
+            state.had_nonempty_window = True
+        if decision.triggered:
+            state.mark_triggered(now)
+            self.stats.rules_triggered += 1
+            return True
+        return False
+
+    def forget_incremental_state(self) -> None:
+        """Drop every rule's trigger memo (e.g. after rebinding the Event Base).
+
+        The memo records how much of a specific EB log a check has seen; a new
+        log invalidates that bookkeeping even if the rule state survives.
+        """
+        for state in self.rule_table.states():
+            state.trigger_memo.clear()
