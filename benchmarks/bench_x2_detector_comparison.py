@@ -5,7 +5,10 @@ calculus with Ode's automaton detection and Snoop's occurrence trees.  On the
 fragment all three share (negation-free, set-oriented conjunction /
 disjunction / sequence), this bench feeds the same synthetic stream to:
 
-* the ts-calculus detector with the V(E) filter (this paper),
+* the ts-calculus detector with the V(E) filter (this paper) — once over
+  materialized window copies (the labelled baseline implementation) and once
+  over zero-copy bounded views (the PR-1 window structure on otherwise
+  identical detection logic),
 * the Ode-style incremental automaton baseline,
 * the Snoop-style occurrence-tree baseline,
 
@@ -25,6 +28,7 @@ from repro.baselines import (
     FilteredDetector,
     SnoopTreeDetector,
     Subscription,
+    ViewFilteredDetector,
 )
 from repro.workloads.generator import EventStreamGenerator, ExpressionGenerator
 
@@ -44,7 +48,10 @@ def workload():
 def build_detectors(expressions):
     named = [(f"r{i}", expression) for i, expression in enumerate(expressions)]
     return {
-        "ts calculus + V(E)": FilteredDetector(
+        "ts calculus + V(E), window copies": FilteredDetector(
+            [Subscription(name, expression) for name, expression in named]
+        ),
+        "ts calculus + V(E), zero-copy views": ViewFilteredDetector(
             [Subscription(name, expression) for name, expression in named]
         ),
         "automaton (Ode-style)": AutomatonDetector(named),
@@ -63,7 +70,7 @@ def test_x2_detector_comparison(benchmark, workload):
         elapsed = time.perf_counter() - start
         results[name] = (report.triggerings, elapsed)
 
-    calculus_detector = build_detectors(expressions)["ts calculus + V(E)"]
+    calculus_detector = build_detectors(expressions)["ts calculus + V(E), zero-copy views"]
 
     def run_calculus():
         calculus_detector.reset()

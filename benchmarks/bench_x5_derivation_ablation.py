@@ -75,6 +75,7 @@ class LiteralRecomputationFilter(RecomputationFilter):
             for variation in self.variations
             if variation.sign.includes_positive()
         )
+        self._match_cache = {}
         self.checks = 0
         self.skipped = 0
 

@@ -6,6 +6,8 @@ from repro.baselines.naive import (
     FilteredDetector,
     NaiveDetector,
     Subscription,
+    ViewFilteredDetector,
+    ViewNaiveDetector,
 )
 from repro.baselines.snoop_tree import CompositeOccurrence, SnoopReport, SnoopTreeDetector
 
@@ -19,5 +21,7 @@ __all__ = [
     "SnoopReport",
     "SnoopTreeDetector",
     "Subscription",
+    "ViewFilteredDetector",
+    "ViewNaiveDetector",
     "supports_expression",
 ]

@@ -10,6 +10,15 @@ compare detectors independently of the full database machinery.
 The detector is deliberately simple (linear scans over the occurrence list);
 the comparison of interest in X1 is the *number of ts computations*, which is
 implementation-independent, plus the resulting wall-clock effect.
+
+The copying detectors (:class:`NaiveDetector`, :class:`FilteredDetector`)
+materialize an :class:`EventWindow` per evaluation — by design, they are the
+labelled baseline.  Their view-based counterparts
+(:class:`ViewNaiveDetector`, :class:`ViewFilteredDetector`) keep the history
+in an :class:`EventBase` (fed through the bulk ``extend`` fast path) and
+evaluate over zero-copy :class:`BoundedView` windows instead, so the X2
+comparison can show what the window structure alone is worth on otherwise
+identical detection logic.
 """
 
 from __future__ import annotations
@@ -22,9 +31,16 @@ from repro.core.expressions import EventExpression
 from repro.core.optimization import RecomputationFilter
 from repro.events.clock import Timestamp
 from repro.events.event import EventOccurrence
-from repro.events.event_base import EventWindow
+from repro.events.event_base import EventBase, EventWindow, WindowLike
 
-__all__ = ["Subscription", "DetectionReport", "NaiveDetector", "FilteredDetector"]
+__all__ = [
+    "Subscription",
+    "DetectionReport",
+    "NaiveDetector",
+    "FilteredDetector",
+    "ViewNaiveDetector",
+    "ViewFilteredDetector",
+]
 
 
 @dataclass
@@ -86,6 +102,7 @@ class _DetectorBase:
         self.consume_on_trigger = consume_on_trigger
         self.report = DetectionReport()
         self._history: list[EventOccurrence] = []
+        self._clear_history()
 
     # -- hooks ------------------------------------------------------------
     def _should_evaluate(
@@ -93,12 +110,25 @@ class _DetectorBase:
     ) -> bool:
         raise NotImplementedError
 
+    def _store_block(self, batch: Sequence[EventOccurrence]) -> None:
+        """Record a block into the detector's history (copying baseline: a list)."""
+        self._history.extend(batch)
+
+    def _window_for(self, subscription: Subscription, now: Timestamp) -> WindowLike:
+        """The window a subscription is evaluated over (baseline: a full copy)."""
+        return EventWindow(
+            self._history, after=subscription.last_consideration, until=now
+        )
+
+    def _clear_history(self) -> None:
+        self._history = []
+
     # -- feeding ------------------------------------------------------------
     def feed_block(self, batch: Sequence[EventOccurrence]) -> list[Subscription]:
         """Process one block of occurrences; returns the subscriptions that fired."""
         self.report.blocks += 1
         self.report.occurrences += len(batch)
-        self._history.extend(batch)
+        self._store_block(batch)
         if not batch:
             return []
         now = max(occurrence.timestamp for occurrence in batch)
@@ -110,9 +140,7 @@ class _DetectorBase:
             if filter_applicable and not self._should_evaluate(subscription, batch):
                 self.report.filter_skips += 1
                 continue
-            window = EventWindow(
-                self._history, after=subscription.last_consideration, until=now
-            )
+            window = self._window_for(subscription, now)
             self.report.ts_computations += 1
             if window.is_empty():
                 continue
@@ -142,9 +170,29 @@ class _DetectorBase:
     def reset(self) -> None:
         """Reset detector and subscription state (new run over a new stream)."""
         self.report = DetectionReport()
-        self._history = []
+        self._clear_history()
         for subscription in self.subscriptions:
             subscription.reset()
+
+
+class _ViewHistoryMixin:
+    """Keeps the history in an Event Base and evaluates over zero-copy views.
+
+    Drop-in replacement for the copying storage of :class:`_DetectorBase`:
+    blocks enter through the bulk ``extend`` fast path and each evaluation
+    window is an O(1) :class:`BoundedView` instead of an O(n) copy.  The
+    detection logic (and therefore every counter except wall clock) is
+    inherited unchanged.
+    """
+
+    def _store_block(self, batch: Sequence[EventOccurrence]) -> None:
+        self._event_base.extend(batch)
+
+    def _window_for(self, subscription: Subscription, now: Timestamp) -> WindowLike:
+        return self._event_base.view(after=subscription.last_consideration, until=now)
+
+    def _clear_history(self) -> None:
+        self._event_base = EventBase()
 
 
 class NaiveDetector(_DetectorBase):
@@ -175,3 +223,11 @@ class FilteredDetector(_DetectorBase):
         self, subscription: Subscription, batch: Sequence[EventOccurrence]
     ) -> bool:
         return self._filters[subscription.name].needs_recomputation(batch)
+
+
+class ViewNaiveDetector(_ViewHistoryMixin, NaiveDetector):
+    """:class:`NaiveDetector` over zero-copy views instead of window copies."""
+
+
+class ViewFilteredDetector(_ViewHistoryMixin, FilteredDetector):
+    """:class:`FilteredDetector` over zero-copy views instead of window copies."""

@@ -19,6 +19,14 @@ Installed as the ``chimera-events`` console script (or run with
 ``stock-demo``
     Run the stock-management workload for a few simulated days and print the
     rule and Trigger Support statistics.
+``workload``
+    Drive a synthetic rule/stream workload through the full block→trigger
+    pipeline (subscription-index planning, priority heaps); ``--bulk-ingest``
+    routes blocks through the Event Base's batched ``extend`` fast path and
+    ``--full-scan`` disables the subscription index for comparison.
+``bench``
+    Run a benchmark sweep from the installed package (currently ``x7``, the
+    rule-count scaling / bulk-ingestion bench; ``--smoke`` for a tiny grid).
 """
 
 from __future__ import annotations
@@ -84,6 +92,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the V(E) static optimization in the Trigger Support",
     )
+
+    workload_parser = commands.add_parser(
+        "workload", help="run a synthetic rule/stream workload through the block pipeline"
+    )
+    workload_parser.add_argument("--rules", type=int, default=200)
+    workload_parser.add_argument("--blocks", type=int, default=100)
+    workload_parser.add_argument("--events-per-block", type=int, default=6)
+    workload_parser.add_argument("--seed", type=int, default=7)
+    workload_parser.add_argument(
+        "--bulk-ingest",
+        action="store_true",
+        help="ingest each block through the Event Base's batched extend fast path",
+    )
+    workload_parser.add_argument(
+        "--full-scan",
+        action="store_true",
+        help="disable the subscription index (visit every untriggered rule per block)",
+    )
+
+    bench_parser = commands.add_parser("bench", help="run a benchmark sweep")
+    bench_parser.add_argument("which", choices=["x7"], help="benchmark to run")
+    bench_parser.add_argument("--smoke", action="store_true", help="tiny grid (seconds)")
+    bench_parser.add_argument("--out", default=None, help="write the JSON results here")
     return parser
 
 
@@ -163,6 +194,59 @@ def _command_stock_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_workload(args: argparse.Namespace) -> int:
+    from repro.workloads.generator import EventStreamGenerator
+    from repro.workloads.rule_scaling import (
+        ScalingWorkload,
+        build_scaling_rules,
+        build_scaling_universe,
+    )
+
+    universe = build_scaling_universe(args.rules)
+    workload = ScalingWorkload(
+        build_scaling_rules(args.rules, universe, seed=args.seed),
+        use_subscription_index=not args.full_scan,
+        bulk_ingest=args.bulk_ingest,
+    )
+    stream = EventStreamGenerator(
+        event_types=universe, seed=args.seed + 1, events_per_block=args.events_per_block
+    ).blocks(args.blocks)
+    outcome = workload.run(stream)
+    print(
+        render_kv(
+            {
+                "rules": args.rules,
+                "blocks": outcome.blocks,
+                "events": outcome.events,
+                "ingest mode": "bulk extend" if args.bulk_ingest else "per-append loop",
+                "planning": "full scan" if args.full_scan else "subscription index",
+                "ingest ms": round(outcome.ingest_seconds * 1e3, 2),
+                "check ms": round(outcome.check_seconds * 1e3, 2),
+                "select ms": round(outcome.select_seconds * 1e3, 2),
+                "considerations": len(outcome.considerations),
+            },
+            title="workload",
+        )
+    )
+    print(render_kv(outcome.stats, title="Trigger Support"))
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads.rule_scaling import render_x7, run_x7_sweeps
+
+    results = run_x7_sweeps(smoke=args.smoke)
+    print(render_x7(results))
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "evaluate": _command_evaluate,
     "explain": _command_explain,
@@ -170,6 +254,8 @@ _COMMANDS = {
     "simplify": _command_simplify,
     "replay": _command_replay,
     "stock-demo": _command_stock_demo,
+    "workload": _command_workload,
+    "bench": _command_bench,
 }
 
 

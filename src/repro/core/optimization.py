@@ -254,6 +254,10 @@ class RecomputationFilter:
             for variation in self.variations
             if variation.sign.includes_positive()
         )
+        # The watched set is fixed at construction, so the verdict per concrete
+        # event type never changes: memoize it instead of re-running the
+        # O(|V(E)|) pattern loop for every occurrence type of every block.
+        self._match_cache: dict[EventType, bool] = {}
         self.checks = 0
         self.skipped = 0
 
@@ -263,10 +267,14 @@ class RecomputationFilter:
 
     def matches(self, event_type: EventType) -> bool:
         """True when a new occurrence of ``event_type`` may activate the rule."""
-        return any(
-            watched.matches(event_type) or event_type.matches(watched)
-            for watched in self._positive_types
-        )
+        verdict = self._match_cache.get(event_type)
+        if verdict is None:
+            verdict = any(
+                watched.matches(event_type) or event_type.matches(watched)
+                for watched in self._positive_types
+            )
+            self._match_cache[event_type] = verdict
+        return verdict
 
     def needs_recomputation(
         self, occurrences: Iterable[EventOccurrence | EventType]

@@ -27,6 +27,7 @@ that the calculus can answer its two fundamental questions in O(log n):
 from __future__ import annotations
 
 import bisect
+import operator
 from collections import defaultdict
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
@@ -35,6 +36,16 @@ from repro.events.clock import Timestamp
 from repro.events.event import EidGenerator, EventOccurrence, EventType
 
 __all__ = ["EventBase", "EventWindow", "BoundedView", "WindowLike"]
+
+#: ``True`` where an adjacent time-stamp pair decreases — used with ``map``
+#: over a batch and its one-shifted self to order-check in C instead of a
+#: Python comparison loop.
+_stamp_decreases = operator.gt
+
+#: Below this batch size, ``extend`` inserts item by item (after batch
+#: validation): segmenting a handful of occurrences by type costs more than
+#: the per-item index maintenance it saves.
+_BULK_SEGMENT_THRESHOLD = 128
 
 
 class _TypeIndex:
@@ -74,6 +85,17 @@ class _TypeIndex:
         else:
             oid_position = bisect.bisect_right(oid_times, stamp)
             oid_times.insert(oid_position, stamp)
+
+    def extend_ordered(self, occurrences: Sequence[EventOccurrence]) -> None:
+        """Bulk-append occurrences whose stamps are non-decreasing and no
+        earlier than anything already indexed (the store validates both before
+        calling).  One list growth per parallel structure instead of a
+        per-occurrence ``add`` cascade."""
+        self.occurrences.extend(occurrences)
+        self.timestamps.extend([occurrence.timestamp for occurrence in occurrences])
+        per_oid = self.per_oid
+        for occurrence in occurrences:
+            per_oid[occurrence.oid].append(occurrence.timestamp)
 
     def last_at_or_before(self, instant: Timestamp) -> Timestamp | None:
         position = bisect.bisect_right(self.timestamps, instant)
@@ -188,6 +210,48 @@ class _OccurrenceStore:
             self._match_cache.clear()
         index.add(occurrence)
         self._oids.add(occurrence.oid)
+
+    def _extend_ordered(
+        self, batch: Sequence[EventOccurrence], stamps: Sequence[Timestamp]
+    ) -> None:
+        """Bulk insert of a validated batch (non-decreasing stamps, none
+        earlier than the stored log; ``stamps`` are the batch's time stamps,
+        already extracted by the validating caller).
+
+        The per-append path re-runs the whole maintenance cascade — cache
+        invalidation, distinct-stamp check, per-type index dispatch — once per
+        occurrence.  Here the batch is segmented by event type first, every
+        parallel structure grows once, and the caches are invalidated a single
+        time; new event types drop the pattern-match cache once, not once per
+        occurrence.
+        """
+        if not batch:
+            return
+        self._occurrences.extend(batch)
+        self._occurrences_cache = None
+        self._all_timestamps.extend(stamps)
+        # Non-decreasing stamps make duplicates adjacent, so an order-keeping
+        # dedup of the batch is the new distinct suffix — minus a leading
+        # stamp that ties the last one already recorded.
+        distinct = self._distinct_timestamps
+        unique = list(dict.fromkeys(stamps))
+        if distinct and unique[0] == distinct[-1]:
+            del unique[0]
+        distinct.extend(unique)
+        segments: defaultdict[EventType, list[EventOccurrence]] = defaultdict(list)
+        for occurrence in batch:
+            segments[occurrence.event_type].append(occurrence)
+        by_type = self._by_type
+        new_types = [event_type for event_type in segments if event_type not in by_type]
+        if new_types:
+            # New concrete types may be matched by previously resolved
+            # class-level patterns: one cache drop covers the whole batch.
+            self._match_cache.clear()
+            for event_type in new_types:
+                by_type[event_type] = _TypeIndex()
+        for event_type, segment in segments.items():
+            by_type[event_type].extend_ordered(segment)
+        self._oids.update(occurrence.oid for occurrence in batch)
 
     # -- basic introspection -------------------------------------------
     def __len__(self) -> int:
@@ -373,9 +437,45 @@ class EventBase(_OccurrenceStore):
         self._by_eid[occurrence.eid] = occurrence
 
     def extend(self, occurrences: Iterable[EventOccurrence]) -> None:
-        """Append several occurrences."""
-        for occurrence in occurrences:
-            self.append(occurrence)
+        """Bulk-append a batch of occurrences.
+
+        Validates the whole batch up front (unique EIDs, non-decreasing time
+        stamps continuing the log order) and only then inserts it through the
+        segmented bulk path, so the indexes and caches are maintained once per
+        batch instead of once per occurrence — and a rejected batch leaves the
+        EB untouched (the old per-append loop applied a prefix before
+        failing).
+        """
+        batch = occurrences if isinstance(occurrences, (list, tuple)) else list(occurrences)
+        if not batch:
+            return
+        if len(batch) == 1:
+            self.append(batch[0])
+            return
+        eids = [occurrence.eid for occurrence in batch]
+        if len(set(eids)) != len(eids) or not self._by_eid.keys().isdisjoint(eids):
+            seen: set[int] = set(self._by_eid)
+            duplicate = next(eid for eid in eids if eid in seen or seen.add(eid))
+            raise EventCalculusError(f"duplicate EID {duplicate}")
+        stamps = [occurrence.timestamp for occurrence in batch]
+        previous = self._occurrences[-1].timestamp if self._occurrences else stamps[0]
+        if stamps[0] < previous or any(map(_stamp_decreases, stamps, stamps[1:])):
+            for stamp in stamps:
+                if stamp < previous:
+                    raise EventCalculusError(
+                        "event occurrences must be appended in non-decreasing "
+                        f"time-stamp order (last={previous}, new={stamp})"
+                    )
+                previous = stamp
+        if len(batch) < _BULK_SEGMENT_THRESHOLD:
+            # Tiny batches: the per-type segmentation overhead exceeds what it
+            # amortizes — validated per-item inserts are faster and equally
+            # atomic (validation already happened above).
+            for occurrence in batch:
+                self._insert(occurrence)
+        else:
+            self._extend_ordered(batch, stamps)
+        self._by_eid.update(zip(eids, batch))
 
     # -- Fig. 4 accessor functions ---------------------------------------
     def get(self, eid: int) -> EventOccurrence:

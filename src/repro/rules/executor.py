@@ -20,7 +20,7 @@ budget guards against non-terminating rule sets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.errors import NonTerminationError
 from repro.events.clock import Timestamp, TransactionClock
@@ -97,6 +97,19 @@ class RuleEngine:
         self._after_block(ECCoupling.IMMEDIATE, phase="transaction")
         return outcome
 
+    def run_stream_block(
+        self, occurrences: Sequence[EventOccurrence], bulk: bool = True
+    ) -> None:
+        """Ingest externally produced occurrences as one execution block.
+
+        The batch enters the Event Base through the bulk ``extend`` fast path
+        (``bulk=False`` keeps the per-append loop for comparison), is flushed
+        as a single block and processed exactly like a user block — the
+        streaming seam the ROADMAP's batch-ingestion item calls for.
+        """
+        self.event_handler.ingest(occurrences, bulk=bulk)
+        self._after_block(ECCoupling.IMMEDIATE, phase="stream")
+
     def process_commit(self) -> None:
         """Process deferred (and any remaining triggered) rules at commit time."""
         # Make sure anything recorded since the last flush is accounted for.
@@ -107,12 +120,19 @@ class RuleEngine:
 
     # -- internals -------------------------------------------------------------------
     def _after_block(self, coupling: ECCoupling | None, phase: str) -> None:
-        new_occurrences = self.event_handler.flush_block()
+        self._flush_and_check()
+        self._processing_loop(coupling, phase)
+
+    def _flush_and_check(self) -> None:
+        """Flush the finished block and hand it — signature included — to the planner."""
+        batch = self.event_handler.flush_block()
         now = self.clock.now()
         self.trigger_support.check_after_block(
-            new_occurrences, now, self.transaction_start
+            batch,
+            now,
+            self.transaction_start,
+            type_signature=batch.type_signature,
         )
-        self._processing_loop(coupling, phase)
 
     def _processing_loop(self, coupling: ECCoupling | None, phase: str) -> None:
         """Consider and execute triggered rules until quiescence."""
@@ -124,11 +144,7 @@ class RuleEngine:
             # The consideration (and possible action) is itself a block: flush
             # its occurrences and look for newly triggered rules before picking
             # the next one.
-            new_occurrences = self.event_handler.flush_block()
-            now = self.clock.now()
-            self.trigger_support.check_after_block(
-                new_occurrences, now, self.transaction_start
-            )
+            self._flush_and_check()
 
     def _consider(self, state: RuleState, phase: str) -> None:
         """Consider one rule: evaluate its condition and maybe run its action."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Protocol
 
 from repro.core.expressions import EventExpression
 from repro.core.optimization import RecomputationFilter
@@ -20,7 +21,7 @@ from repro.events.clock import Timestamp
 from repro.rules.actions import Action
 from repro.rules.conditions import Condition
 
-__all__ = ["ECCoupling", "ConsumptionMode", "Rule", "RuleState"]
+__all__ = ["ECCoupling", "ConsumptionMode", "Rule", "RuleState", "RuleStateObserver"]
 
 
 class ECCoupling(Enum):
@@ -85,6 +86,19 @@ class Rule:
         return f"Rule({self.name})"
 
 
+class RuleStateObserver(Protocol):
+    """Who gets told when a rule state's triggering flags change.
+
+    The Rule Table registers itself as the observer of every state it owns so
+    its derived structures (the priority queue of triggered rules and the set
+    of rules whose ``V(E)`` filter is not yet applicable) stay consistent
+    without rescanning the whole table.  States created outside a table have
+    no observer and behave exactly as before.
+    """
+
+    def state_changed(self, state: "RuleState") -> None: ...
+
+
 @dataclass
 class RuleState:
     """The dynamic part of a rule (paper §5: Rule Table entry)."""
@@ -107,6 +121,9 @@ class RuleState:
     #: considerations — cleared by mark_considered/reset (the window start
     #: moves) and by the check itself when the rule triggers.
     trigger_memo: TriggerMemo = field(default_factory=TriggerMemo, repr=False)
+    #: Set by the owning Rule Table; notified whenever the triggered flag or
+    #: the window bookkeeping changes so derived indexes stay in sync.
+    observer: RuleStateObserver | None = field(default=None, repr=False, compare=False)
     # bookkeeping for experiments
     times_triggered: int = 0
     times_considered: int = 0
@@ -115,11 +132,16 @@ class RuleState:
     ts_skipped: int = 0
     history: list[tuple[str, Timestamp]] = field(default_factory=list, repr=False)
 
+    def _notify(self) -> None:
+        if self.observer is not None:
+            self.observer.state_changed(self)
+
     def mark_triggered(self, instant: Timestamp) -> None:
         """Record the rule's transition to the triggered state."""
         self.triggered = True
         self.times_triggered += 1
         self.history.append(("triggered", instant))
+        self._notify()
 
     def mark_considered(self, instant: Timestamp, executed: bool) -> None:
         """Record a consideration (and possible execution) and detrigger the rule."""
@@ -135,6 +157,7 @@ class RuleState:
             self.history.append(("executed", instant))
         else:
             self.history.append(("considered", instant))
+        self._notify()
 
     def reset(self, transaction_start: Timestamp) -> None:
         """Reset the state at a transaction boundary."""
@@ -143,6 +166,7 @@ class RuleState:
         self.last_consumption = transaction_start
         self.had_nonempty_window = False
         self.trigger_memo.clear()
+        self._notify()
 
     def observation_window_start(self, transaction_start: Timestamp) -> Timestamp:
         """Lower bound of the window visible to the rule's event formulas."""

@@ -3,28 +3,82 @@
 Paper §5: "The Trigger Support maintains in the Rule Table the current status
 of all defined rules; this table is managed by means of a hash table for fast
 access, but rules are also linked together by means of a queue on the basis of
-the priority order."  Here the hash table is a dict keyed by rule name and the
-priority queue is realised by sorting triggered rules on
-``(-priority, definition_order)`` when one must be selected.
+the priority order."  Here the hash table is a dict keyed by rule name; the
+priority queue is a real structure — one lazily-invalidated binary heap per
+coupling mode keyed on ``(-priority, definition_order)`` — instead of a sort
+of the triggered set on every selection.
+
+The table additionally maintains the *inverted subscription index* that the
+:class:`~repro.rules.trigger_support.TriggerPlanner` consults after every
+execution block: for every primitive event type a rule's ``V(E)`` watches
+(``RecomputationFilter.relevant_event_types()``), the rule is registered under
+
+* the exact watched type, and
+* the ``(operation, class name)`` bucket of that type,
+
+so a block's type signature can be routed to the subscribed rules without
+scanning the whole table.  Class-level patterns such as ``modify(stock)``
+reach attribute-specific occurrences (``modify(stock.quantity)``) through the
+class bucket, and attribute-specific patterns are reached by class-level
+occurrences the same way — mirroring :meth:`EventType.matches` in both
+directions, which is exactly the matching the ``V(E)`` run-time filter
+performs one rule at a time.
+
+Consistency is kept through the observer hook on :class:`RuleState`: every
+``mark_triggered`` / ``mark_considered`` / ``reset`` notifies the owning
+table, which updates the triggered set, pushes fresh heap entries and re-arms
+the *pending-full-check* set (rules whose ``V(E)`` filter is not applicable
+yet and therefore must be visited on every block — see
+:mod:`repro.core.optimization` for why).  Heap entries are invalidated lazily:
+a stale entry (rule considered, disabled, removed or re-triggered since it was
+pushed) is discarded when it surfaces.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import heapq
+from typing import Iterable, Iterator
 
+from repro.core.optimization import RecomputationFilter
 from repro.errors import DuplicateRuleError, UnknownRuleError
 from repro.events.clock import Timestamp
+from repro.events.event import EventType, Operation
 from repro.rules.rule import ECCoupling, Rule, RuleState
 
 __all__ = ["RuleTable"]
 
+#: A heap entry: ``(-priority, definition_order, token, rule name)``.  The
+#: token makes entries of superseded pushes (rule re-triggered after a
+#: consideration) detectably stale.
+_HeapEntry = tuple[int, int, int, str]
+
 
 class RuleTable:
-    """Registry of rules, their run-time state and the priority order."""
+    """Registry of rules, their run-time state, priority order and subscriptions."""
 
     def __init__(self) -> None:
         self._states: dict[str, RuleState] = {}
         self._definition_counter = 0
+        # -- inverted subscription index (event type -> subscribed states) --
+        self._subscriptions_exact: dict[EventType, dict[str, RuleState]] = {}
+        self._subscriptions_class: dict[tuple[Operation, str], dict[str, RuleState]] = {}
+        #: Rules that must be visited on *every* non-empty block because their
+        #: V(E) filter is not applicable yet (window never evaluated non-empty
+        #: since the last consideration).  Over-approximating: entries whose
+        #: flag has since been set are pruned lazily by the planner accessor.
+        self._pending_full_check: dict[str, RuleState] = {}
+        # -- priority structure over the triggered set --
+        self._triggered: dict[str, RuleState] = {}
+        self._heaps: dict[ECCoupling, list[_HeapEntry]] = {
+            coupling: [] for coupling in ECCoupling
+        }
+        self._heap_tokens: dict[str, int] = {}
+        #: Table-global monotonic source of heap tokens.  Global, not
+        #: per-name: if a rule is removed and its name re-added, a per-name
+        #: counter would restart and a surviving stale entry (old rule's
+        #: priority, same token value) could pass the validity check.
+        self._token_counter = 0
+        self._disabled: set[str] = set()
 
     # -- registration -------------------------------------------------------
     def add(self, rule: Rule) -> RuleState:
@@ -33,7 +87,12 @@ class RuleTable:
             raise DuplicateRuleError(rule.name)
         state = RuleState(rule=rule, definition_order=self._definition_counter)
         self._definition_counter += 1
+        state.recomputation_filter = RecomputationFilter(rule.events)
+        state.observer = self
         self._states[rule.name] = state
+        self._index_subscriptions(state)
+        # A fresh rule has never seen a non-empty window: full-check until then.
+        self._pending_full_check[rule.name] = state
         return state
 
     def remove(self, name: str) -> Rule:
@@ -41,7 +100,108 @@ class RuleTable:
         state = self._states.pop(name, None)
         if state is None:
             raise UnknownRuleError(name)
+        state.observer = None
+        self._unindex_subscriptions(state)
+        self._pending_full_check.pop(name, None)
+        self._triggered.pop(name, None)
+        self._heap_tokens.pop(name, None)  # surviving heap entries go stale
+        self._disabled.discard(name)
         return state.rule
+
+    # -- subscription index ---------------------------------------------------
+    def _index_subscriptions(self, state: RuleState) -> None:
+        name = state.rule.name
+        for watched in state.recomputation_filter.relevant_event_types():
+            self._subscriptions_exact.setdefault(watched, {})[name] = state
+            class_key = (watched.operation, watched.class_name)
+            self._subscriptions_class.setdefault(class_key, {})[name] = state
+
+    def _unindex_subscriptions(self, state: RuleState) -> None:
+        name = state.rule.name
+        for watched in state.recomputation_filter.relevant_event_types():
+            bucket = self._subscriptions_exact.get(watched)
+            if bucket is not None:
+                bucket.pop(name, None)
+                if not bucket:
+                    del self._subscriptions_exact[watched]
+            class_key = (watched.operation, watched.class_name)
+            class_bucket = self._subscriptions_class.get(class_key)
+            if class_bucket is not None:
+                class_bucket.pop(name, None)
+                if not class_bucket:
+                    del self._subscriptions_class[class_key]
+
+    def subscribers_for_signature(
+        self, type_signature: Iterable[EventType]
+    ) -> dict[str, RuleState]:
+        """States whose ``V(E)`` may match an occurrence of any signature type.
+
+        Exactly the rules for which ``RecomputationFilter.matches`` would
+        return True for some type of the signature: an attribute-specific
+        occurrence reaches exact subscribers plus class-level subscribers; a
+        class-level occurrence reaches every subscriber of its ``(operation,
+        class)`` bucket (it matches any attribute-specific watch).
+        """
+        matched: dict[str, RuleState] = {}
+        for event_type in type_signature:
+            if event_type.attribute is None:
+                bucket = self._subscriptions_class.get(
+                    (event_type.operation, event_type.class_name)
+                )
+                if bucket:
+                    matched.update(bucket)
+            else:
+                bucket = self._subscriptions_exact.get(event_type)
+                if bucket:
+                    matched.update(bucket)
+                class_level = EventType(event_type.operation, event_type.class_name)
+                bucket = self._subscriptions_exact.get(class_level)
+                if bucket:
+                    matched.update(bucket)
+        return matched
+
+    def pending_full_check_states(self) -> dict[str, RuleState]:
+        """States whose ``V(E)`` filter cannot be applied yet (lazily pruned).
+
+        A state leaves the set as soon as its window has been evaluated
+        non-empty (the flag is set by the Trigger Support without a
+        notification; pruning here keeps the set tight) and re-enters it on
+        consideration / reset through the observer hook.
+        """
+        pruned = [
+            name
+            for name, state in self._pending_full_check.items()
+            if state.had_nonempty_window or self._states.get(name) is not state
+        ]
+        for name in pruned:
+            del self._pending_full_check[name]
+        return self._pending_full_check
+
+    # -- observer hook (called by RuleState on flag transitions) ----------------
+    def state_changed(self, state: RuleState) -> None:
+        """Re-derive the triggered set, heaps and pending set for one state."""
+        name = state.rule.name
+        if self._states.get(name) is not state:
+            return  # detached state (removed rule): nothing to maintain
+        if state.enabled and state.triggered:
+            if name not in self._triggered:
+                self._triggered[name] = state
+                self._token_counter += 1
+                token = self._token_counter
+                self._heap_tokens[name] = token
+                heapq.heappush(
+                    self._heaps[state.rule.coupling],
+                    (-state.rule.priority, state.definition_order, token, name),
+                )
+        else:
+            self._triggered.pop(name, None)
+        if state.enabled and not state.triggered and not state.had_nonempty_window:
+            self._pending_full_check[name] = state
+        elif not state.enabled:
+            # A disabled rule is never a candidate; without this the planner
+            # would keep re-scanning it every block (it is re-armed by the
+            # enable() notification).
+            self._pending_full_check.pop(name, None)
 
     # -- access ---------------------------------------------------------------
     def __contains__(self, name: str) -> bool:
@@ -62,7 +222,7 @@ class RuleTable:
 
     def rules(self) -> list[Rule]:
         """Every registered rule, in definition order."""
-        return [state.rule for state in sorted(self._states.values(), key=lambda s: s.definition_order)]
+        return [state.rule for state in self.states()]
 
     def states(self) -> list[RuleState]:
         """Every state record, in definition order."""
@@ -71,13 +231,18 @@ class RuleTable:
     # -- enable / disable -------------------------------------------------------
     def enable(self, name: str) -> None:
         """Re-enable a disabled rule."""
-        self.get(name).enabled = True
+        state = self.get(name)
+        state.enabled = True
+        self._disabled.discard(name)
+        self.state_changed(state)
 
     def disable(self, name: str) -> None:
         """Disable a rule: it keeps its definition but never triggers."""
         state = self.get(name)
         state.enabled = False
         state.triggered = False
+        self._disabled.add(name)
+        self.state_changed(state)
 
     # -- selection ----------------------------------------------------------------
     def untriggered_states(self) -> list[RuleState]:
@@ -86,11 +251,22 @@ class RuleTable:
             state for state in self.states() if state.enabled and not state.triggered
         ]
 
+    def untriggered_count(self) -> int:
+        """How many enabled rules are currently not triggered (O(1))."""
+        # Disabled rules are never triggered (disable() clears the flag) and
+        # the triggered set only holds enabled rules, so the three sets
+        # partition the table.
+        return len(self._states) - len(self._triggered) - len(self._disabled)
+
     def triggered_states(self, coupling: ECCoupling | None = None) -> list[RuleState]:
-        """Triggered rules, optionally filtered by coupling mode, in priority order."""
+        """Triggered rules, optionally filtered by coupling mode, in priority order.
+
+        Sorts only the triggered set (maintained incrementally via the state
+        observer), not the whole table.
+        """
         candidates = [
             state
-            for state in self.states()
+            for state in self._triggered.values()
             if state.enabled
             and state.triggered
             and (coupling is None or state.rule.coupling is coupling)
@@ -98,13 +274,44 @@ class RuleTable:
         candidates.sort(key=lambda state: (-state.rule.priority, state.definition_order))
         return candidates
 
+    def _peek(self, heap: list[_HeapEntry]) -> _HeapEntry | None:
+        """Top valid entry of one heap, discarding stale entries on the way."""
+        while heap:
+            _, _, token, name = heap[0]
+            state = self._states.get(name)
+            if (
+                state is not None
+                and state.enabled
+                and state.triggered
+                and self._heap_tokens.get(name) == token
+            ):
+                return heap[0]
+            heapq.heappop(heap)
+        return None
+
     def select_for_consideration(self, coupling: ECCoupling | None = None) -> RuleState | None:
-        """The highest-priority triggered rule, or None when nothing is triggered."""
-        candidates = self.triggered_states(coupling)
-        return candidates[0] if candidates else None
+        """The highest-priority triggered rule, or None when nothing is triggered.
+
+        O(log k) amortized via the per-coupling heaps (k = triggered rules);
+        the selected rule stays queued — its entry goes stale when the rule is
+        actually considered (``mark_considered`` clears the flag).
+        """
+        if coupling is not None:
+            entry = self._peek(self._heaps[coupling])
+            return self._states[entry[3]] if entry is not None else None
+        best: _HeapEntry | None = None
+        for heap in self._heaps.values():
+            entry = self._peek(heap)
+            if entry is not None and (best is None or entry[:2] < best[:2]):
+                best = entry
+        return self._states[best[3]] if best is not None else None
 
     # -- transaction boundaries -------------------------------------------------------
     def reset_all(self, transaction_start: Timestamp) -> None:
         """Reset every rule's dynamic state at a transaction boundary."""
         for state in self._states.values():
             state.reset(transaction_start)
+        # The notifications above emptied the triggered set; drop the stale
+        # heap entries wholesale instead of leaking them until they surface.
+        for heap in self._heaps.values():
+            heap.clear()

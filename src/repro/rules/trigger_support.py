@@ -11,23 +11,34 @@ The static optimization of §5.1 plugs in here: each rule carries a
 :class:`~repro.core.optimization.RecomputationFilter` built from ``V(E)``, and
 the ``ts`` recomputation is skipped whenever the block's occurrences cannot
 possibly flip the rule's ``ts`` positive.
+
+Since PR 2 the filter is applied *wholesale* through the Rule Table's inverted
+subscription index instead of rule by rule: the :class:`TriggerPlanner` takes
+the block's type signature (the set of event types it contains) and asks the
+table which untriggered rules are subscribed to any of them, plus the rules
+whose filter is not applicable yet (window never evaluated non-empty — they
+must be visited on every block).  Per-block planning cost therefore scales
+with the rules *actually subscribed* to the block's types, not with the whole
+table; ``use_subscription_index=False`` keeps the PR-1 full-scan path (visit
+every untriggered rule, apply its filter individually) for benchmarks and the
+routed-vs-scan equivalence tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.core.evaluation import EvaluationMode, EvaluationStats
 from repro.core.optimization import RecomputationFilter
 from repro.core.triggering import is_triggered
 from repro.events.clock import Timestamp
-from repro.events.event import EventOccurrence
+from repro.events.event import EventOccurrence, EventType
 from repro.events.event_base import EventBase
 from repro.rules.rule import RuleState
 from repro.rules.rule_table import RuleTable
 
-__all__ = ["TriggerSupportStats", "TriggerSupport"]
+__all__ = ["TriggerSupportStats", "TriggerPlan", "TriggerPlanner", "TriggerSupport"]
 
 
 @dataclass
@@ -47,6 +58,13 @@ class TriggerSupportStats:
     #: incremental memo this stays proportional to the number of new
     #: occurrences rather than to the window size (see PERFORMANCE.md).
     instants_sampled: int = 0
+    #: Untriggered rules reached through the subscription index (visited
+    #: because the block's type signature matched their ``V(E)``, or because
+    #: their filter was not applicable yet).
+    rules_routed: int = 0
+    #: Untriggered rules the index proved irrelevant to a block — the rules a
+    #: full scan would have iterated (and filter-skipped) one at a time.
+    rules_bypassed_by_index: int = 0
     evaluation: EvaluationStats = field(default_factory=EvaluationStats)
 
     def as_dict(self) -> dict[str, int]:
@@ -59,9 +77,62 @@ class TriggerSupportStats:
             "ts_skipped_empty_window": self.ts_skipped_empty_window,
             "rules_triggered": self.rules_triggered,
             "instants_sampled": self.instants_sampled,
+            "rules_routed": self.rules_routed,
+            "rules_bypassed_by_index": self.rules_bypassed_by_index,
             "primitive_lookups": self.evaluation.primitive_lookups,
             "node_visits": self.evaluation.node_visits,
         }
+
+
+@dataclass
+class TriggerPlan:
+    """Which rules a block's type signature obliges the Trigger Support to visit."""
+
+    #: Untriggered, enabled rules to check, in definition order (the same
+    #: order the exhaustive scan visits them, so observable side effects —
+    #: the newly-triggered list, counters — line up exactly).
+    candidates: list[RuleState]
+    #: How many candidates the subscription index routed (signature matched
+    #: their ``V(E)``; the rest are full-check rules whose filter is not
+    #: applicable yet).
+    routed: int
+    #: Untriggered rules the index proved irrelevant — a full scan would have
+    #: visited each and skipped it via its individual filter.
+    bypassed: int
+
+
+class TriggerPlanner:
+    """Routes a block's type signature to the subscribed rules.
+
+    Thin façade over the Rule Table's inverted subscription index: given the
+    set of event types a block produced, it returns the untriggered rules
+    whose ``V(E)`` may match any of them — plus every rule whose filter is not
+    applicable yet (those are blocked only by ``R != {}`` and can be
+    triggered by an occurrence of *any* type, so the index must not hide
+    them).  The routing decision is exactly ``RecomputationFilter.matches``
+    evaluated via the index, so a planned visit set is semantically identical
+    to the full scan with per-rule filters (pinned by the property tests).
+    """
+
+    def __init__(self, rule_table: RuleTable) -> None:
+        self.rule_table = rule_table
+
+    def plan(self, type_signature: Iterable[EventType]) -> TriggerPlan:
+        """The visit plan for one block with the given type signature."""
+        table = self.rule_table
+        subscribed = table.subscribers_for_signature(type_signature)
+        chosen: dict[str, RuleState] = {
+            name: state
+            for name, state in subscribed.items()
+            if state.enabled and not state.triggered
+        }
+        routed = len(chosen)
+        for name, state in table.pending_full_check_states().items():
+            if state.enabled and not state.triggered and name not in chosen:
+                chosen[name] = state
+        candidates = sorted(chosen.values(), key=lambda state: state.definition_order)
+        bypassed = table.untriggered_count() - len(candidates)
+        return TriggerPlan(candidates=candidates, routed=routed, bypassed=bypassed)
 
 
 class TriggerSupport:
@@ -73,11 +144,14 @@ class TriggerSupport:
         event_base: EventBase,
         use_static_optimization: bool = True,
         mode: EvaluationMode = EvaluationMode.LOGICAL,
+        use_subscription_index: bool = True,
     ) -> None:
         self.rule_table = rule_table
         self.event_base = event_base
         self.use_static_optimization = use_static_optimization
+        self.use_subscription_index = use_subscription_index
         self.mode = mode
+        self.planner = TriggerPlanner(rule_table)
         self.stats = TriggerSupportStats()
 
     # -- set-up -----------------------------------------------------------
@@ -92,13 +166,17 @@ class TriggerSupport:
         new_occurrences: Sequence[EventOccurrence],
         now: Timestamp,
         transaction_start: Timestamp,
+        type_signature: frozenset[EventType] | None = None,
     ) -> list[RuleState]:
         """Update the triggered flag of every untriggered rule; return the new ones.
 
         ``new_occurrences`` is the batch produced by the block that just
         finished; with static optimization enabled it drives the ``V(E)``
-        filter.  The triggering window of each rule spans from its last
-        consideration (or the transaction start) to ``now``.
+        filter.  ``type_signature`` is the set of event types in the batch —
+        pass it when already known (``BlockIngest`` computes it at ingestion
+        time) so it is never re-derived; it is derived here otherwise.  The
+        triggering window of each rule spans from its last consideration (or
+        the transaction start) to ``now``.
         """
         self.stats.blocks += 1
         newly_triggered: list[RuleState] = []
@@ -107,6 +185,25 @@ class TriggerSupport:
             # (T(r, t) requires at least one new occurrence for untriggered
             # rules whose window was already evaluated; rules whose window was
             # non-empty were evaluated when those occurrences arrived).
+            return newly_triggered
+
+        if self.use_static_optimization and self.use_subscription_index:
+            if type_signature is None:
+                type_signature = frozenset(
+                    occurrence.event_type for occurrence in new_occurrences
+                )
+            plan = self.planner.plan(type_signature)
+            self.stats.rules_routed += plan.routed
+            self.stats.rules_bypassed_by_index += plan.bypassed
+            # A bypass is the V(E) filter applied wholesale: the index proved
+            # no occurrence of the block can flip those rules' ts positive,
+            # which is exactly what the per-rule filter would have concluded.
+            self.stats.ts_skipped_by_filter += plan.bypassed
+            for state in plan.candidates:
+                self.stats.rules_checked += 1
+                self.prepare_rule(state)
+                if self._check_rule(state, now, transaction_start):
+                    newly_triggered.append(state)
             return newly_triggered
 
         for state in self.rule_table.untriggered_states():

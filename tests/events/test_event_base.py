@@ -53,6 +53,104 @@ class TestEventBaseRecording:
         assert len(eb) == 1
 
 
+class TestBulkExtend:
+    """The segmented bulk ``extend`` fast path must be indistinguishable from
+    a per-occurrence ``append`` loop — same indexes, same query answers — and
+    must reject a bad batch atomically."""
+
+    def stream(self, count: int, start_eid: int = 1, start_stamp: int = 1):
+        types = [A, B, C, MODIFY_STOCK_QTY, MODIFY_STOCK]
+        return [
+            EventOccurrence(
+                eid=start_eid + index,
+                event_type=types[index % len(types)],
+                oid=f"o{index % 7}",
+                timestamp=start_stamp + index // 3,  # plenty of stamp ties
+            )
+            for index in range(count)
+        ]
+
+    def test_bulk_matches_per_append(self):
+        # Above the segmentation threshold so the bulk path actually runs.
+        batch = self.stream(300)
+        bulk, loop = EventBase(), EventBase()
+        bulk.extend(batch)
+        for occurrence in batch:
+            loop.append(occurrence)
+        assert bulk.occurrences == loop.occurrences
+        assert bulk.timestamps() == loop.timestamps()
+        assert bulk.event_types() == loop.event_types()
+        assert bulk.oids() == loop.oids()
+        latest = bulk.latest_timestamp()
+        for event_type in (A, MODIFY_STOCK, MODIFY_STOCK_QTY):
+            assert bulk.last_timestamp(event_type, latest) == loop.last_timestamp(
+                event_type, latest
+            )
+            assert bulk.occurrences_of(event_type) == loop.occurrences_of(event_type)
+        for oid in bulk.oids():
+            assert bulk.last_timestamp_on(A, oid, latest) == loop.last_timestamp_on(
+                A, oid, latest
+            )
+
+    def test_bulk_extend_after_appends_continues_the_log(self):
+        eb = EventBase()
+        eb.record(A, "o1", 1)
+        eb.extend(self.stream(200, start_eid=100, start_stamp=2))
+        assert len(eb) == 201
+        assert eb.get(100).timestamp == 2
+
+    def test_bulk_extend_is_atomic_on_decreasing_stamp(self):
+        eb = EventBase()
+        eb.record(A, "o1", 5)
+        bad = self.stream(200, start_eid=10, start_stamp=6)
+        bad[150] = EventOccurrence(999, B, "o1", 1)  # stamp goes backwards
+        with pytest.raises(EventCalculusError):
+            eb.extend(bad)
+        assert len(eb) == 1  # nothing of the batch was applied
+        with pytest.raises(EventCalculusError):
+            eb.get(10)
+
+    def test_bulk_extend_is_atomic_on_duplicate_eid(self):
+        eb = EventBase()
+        eb.record(A, "o1", 1)  # takes EID 1
+        bad = self.stream(200, start_eid=2, start_stamp=2)
+        bad[40] = EventOccurrence(1, B, "o9", 3)  # clashes with the stored EID
+        with pytest.raises(EventCalculusError):
+            eb.extend(bad)
+        assert len(eb) == 1
+
+    def test_bulk_extend_rejects_intra_batch_duplicate_eids(self):
+        eb = EventBase()
+        batch = self.stream(200)
+        batch[199] = EventOccurrence(batch[0].eid, B, "o9", batch[199].timestamp)
+        with pytest.raises(EventCalculusError):
+            eb.extend(batch)
+        assert len(eb) == 0
+
+    def test_small_batches_take_the_per_item_path(self):
+        # Below the threshold the behaviour must still be atomic + identical.
+        eb = EventBase()
+        batch = self.stream(5)
+        eb.extend(batch)
+        assert len(eb) == 5
+        bad = self.stream(5, start_eid=50, start_stamp=1)  # stamp 1 < current 2
+        with pytest.raises(EventCalculusError):
+            eb.extend(bad)
+        assert len(eb) == 5
+
+    def test_bulk_extend_registers_new_types_for_class_patterns(self):
+        # A class-level pattern resolved before the bulk insert must see the
+        # attribute-specific types the batch introduces (match-cache drop).
+        eb = EventBase()
+        eb.record(CREATE_STOCK, "o1", 1)
+        assert eb.last_timestamp(MODIFY_STOCK, 10) is None  # primes the cache
+        batch = [
+            EventOccurrence(100 + i, MODIFY_STOCK_QTY, "o1", 2 + i) for i in range(150)
+        ]
+        eb.extend(batch)
+        assert eb.last_timestamp(MODIFY_STOCK, 1000) == batch[-1].timestamp
+
+
 class TestFigure4Accessors:
     """The ``type / obj / timestamp / event_on_class`` functions of Fig. 4."""
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.parser import parse_expression
 from repro.errors import DuplicateRuleError, RuleDefinitionError, UnknownRuleError
+from repro.events.event import EventType, Operation
 from repro.rules.actions import NO_ACTION
 from repro.rules.conditions import TRUE_CONDITION
 from repro.rules.rule import ConsumptionMode, ECCoupling, Rule, RuleState
@@ -169,3 +170,159 @@ class TestRuleTable:
         table.reset_all(transaction_start=5)
         assert not table.get("a").triggered
         assert table.get("a").last_consideration == 5
+
+    def test_untriggered_count_tracks_transitions(self):
+        table = RuleTable()
+        for name in ("a", "b", "c"):
+            table.add(make_rule(name))
+        assert table.untriggered_count() == 3
+        table.get("a").mark_triggered(1)
+        assert table.untriggered_count() == 2
+        table.disable("b")
+        assert table.untriggered_count() == 1
+        table.get("a").mark_considered(2, executed=False)
+        assert table.untriggered_count() == 2
+        table.enable("b")
+        assert table.untriggered_count() == 3
+        table.remove("c")
+        assert table.untriggered_count() == 2
+
+
+class TestSubscriptionIndex:
+    """The inverted event-type → rule index used by the TriggerPlanner."""
+
+    CREATE_STOCK = EventType(Operation.CREATE, "stock")
+    MODIFY_STOCK = EventType(Operation.MODIFY, "stock")
+    MODIFY_QTY = EventType(Operation.MODIFY, "stock", "quantity")
+    MODIFY_NAME = EventType(Operation.MODIFY, "stock", "name")
+    CREATE_ORDER = EventType(Operation.CREATE, "order")
+
+    def build(self) -> RuleTable:
+        table = RuleTable()
+        table.add(make_rule("on_create", "create(stock)"))
+        table.add(make_rule("on_class_modify", "modify(stock)"))
+        table.add(make_rule("on_qty", "modify(stock.quantity)"))
+        table.add(make_rule("on_order", "create(order)"))
+        return table
+
+    def names(self, table, *types):
+        return sorted(table.subscribers_for_signature(frozenset(types)))
+
+    def test_exact_match(self):
+        table = self.build()
+        assert self.names(table, self.CREATE_STOCK) == ["on_create"]
+        assert self.names(table, self.CREATE_ORDER) == ["on_order"]
+
+    def test_attribute_occurrence_reaches_class_level_watcher(self):
+        table = self.build()
+        assert self.names(table, self.MODIFY_QTY) == ["on_class_modify", "on_qty"]
+
+    def test_class_level_occurrence_reaches_attribute_watcher(self):
+        table = self.build()
+        assert self.names(table, self.MODIFY_STOCK) == ["on_class_modify", "on_qty"]
+
+    def test_unrelated_attribute_does_not_reach_attribute_watcher(self):
+        table = self.build()
+        assert self.names(table, self.MODIFY_NAME) == ["on_class_modify"]
+
+    def test_signature_union(self):
+        table = self.build()
+        assert self.names(table, self.CREATE_STOCK, self.CREATE_ORDER) == [
+            "on_create",
+            "on_order",
+        ]
+
+    def test_negation_flips_subscription_sign(self):
+        # -create(stock): a new create(stock) is a negative variation only —
+        # it can never activate the rule, so the index must not route it.
+        table = RuleTable()
+        table.add(make_rule("neg", "-create(stock)"))
+        assert self.names(table, self.CREATE_STOCK) == []
+
+    def test_remove_unindexes(self):
+        table = self.build()
+        table.remove("on_qty")
+        assert self.names(table, self.MODIFY_QTY) == ["on_class_modify"]
+
+    def test_new_rules_start_in_pending_full_check(self):
+        table = self.build()
+        assert sorted(table.pending_full_check_states()) == [
+            "on_class_modify",
+            "on_create",
+            "on_order",
+            "on_qty",
+        ]
+
+    def test_pending_full_check_prunes_and_rearms(self):
+        table = self.build()
+        state = table.get("on_create")
+        state.had_nonempty_window = True
+        assert "on_create" not in table.pending_full_check_states()
+        # Consideration clears the flag: the rule must be full-checked again.
+        state.mark_considered(5, executed=False)
+        assert "on_create" in table.pending_full_check_states()
+
+
+class TestPriorityHeaps:
+    """Lazy-invalidation heap selection against re-trigger/disable/remove churn."""
+
+    def test_retrigger_after_consideration_uses_fresh_entry(self):
+        table = RuleTable()
+        table.add(make_rule("a", priority=5))
+        table.add(make_rule("b", priority=1))
+        table.get("a").mark_triggered(1)
+        table.get("b").mark_triggered(1)
+        assert table.select_for_consideration().rule.name == "a"
+        table.get("a").mark_considered(2, executed=False)
+        assert table.select_for_consideration().rule.name == "b"
+        table.get("a").mark_triggered(3)
+        assert table.select_for_consideration().rule.name == "a"
+
+    def test_disable_hides_triggered_rule_enable_does_not_resurrect(self):
+        table = RuleTable()
+        table.add(make_rule("a", priority=5))
+        table.get("a").mark_triggered(1)
+        table.disable("a")
+        assert table.select_for_consideration() is None
+        # disable() clears the triggered flag (paper semantics), so re-enabling
+        # must not bring the stale heap entry back to life.
+        table.enable("a")
+        assert table.select_for_consideration() is None
+        table.get("a").mark_triggered(2)
+        assert table.select_for_consideration().rule.name == "a"
+
+    def test_selection_is_stable_under_repeated_peeks(self):
+        table = RuleTable()
+        table.add(make_rule("a", priority=2))
+        table.get("a").mark_triggered(1)
+        assert table.select_for_consideration() is table.select_for_consideration()
+
+    def test_readding_a_removed_name_does_not_resurrect_stale_entries(self):
+        # The old rule's heap entry must not survive a remove + re-add under
+        # the same name (tokens are table-global, not per-name).
+        table = RuleTable()
+        table.add(make_rule("x", priority=10))
+        table.add(make_rule("y", priority=5))
+        table.get("x").mark_triggered(1)
+        table.remove("x")
+        table.add(make_rule("x", priority=1))
+        table.get("x").mark_triggered(2)
+        table.get("y").mark_triggered(2)
+        assert table.select_for_consideration().rule.name == "y"
+
+    def test_disable_evicts_from_pending_full_check(self):
+        table = RuleTable()
+        table.add(make_rule("a"))
+        assert "a" in table.pending_full_check_states()
+        table.disable("a")
+        assert "a" not in table.pending_full_check_states()
+        table.enable("a")
+        assert "a" in table.pending_full_check_states()
+
+    def test_reset_all_clears_heaps(self):
+        table = RuleTable()
+        table.add(make_rule("a", priority=2))
+        table.get("a").mark_triggered(1)
+        table.reset_all(transaction_start=4)
+        assert table.select_for_consideration() is None
+        assert table.triggered_states() == []

@@ -140,4 +140,68 @@ class TestTriggerSupport:
     def test_stats_as_dict(self):
         _, _, _, support = setup(make_rule("r", "create(stock)"))
         stats = support.stats.as_dict()
-        assert {"blocks", "rules_checked", "ts_computations"} <= set(stats)
+        assert {
+            "blocks",
+            "rules_checked",
+            "ts_computations",
+            "rules_routed",
+            "rules_bypassed_by_index",
+        } <= set(stats)
+
+
+class TestTriggerPlannerRouting:
+    def test_block_ingest_carries_the_type_signature(self):
+        event_base, _, handler, _ = setup()
+        event_base.record(CREATE_STOCK, "o1", 1)
+        event_base.record(MODIFY_QTY, "o1", 1)
+        batch = handler.flush_block()
+        assert batch.type_signature == {CREATE_STOCK, MODIFY_QTY}
+        assert len(batch) == 2 and list(batch)[0].event_type is CREATE_STOCK
+
+    def test_unsubscribed_rules_are_bypassed_not_visited(self):
+        # The order rule needs both conjuncts, so create(order) occurrences
+        # route to it without triggering it (it stays a candidate).
+        event_base, table, handler, support = setup(
+            make_rule("stock_rule", "create(stock)"),
+            make_rule("order_rule", "create(order) + modify(stock.quantity)"),
+        )
+        # First block: both rules are pending full-check (no window seen yet).
+        event_base.record(CREATE_ORDER, "o1", 1)
+        support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
+        assert support.stats.rules_routed == 1  # order_rule, via the index
+        assert support.stats.rules_checked == 2  # + stock_rule, full-check
+        # Second block: both windows were seen non-empty, so only the
+        # subscribed rule is visited and the other is bypassed by the index.
+        event_base.record(CREATE_ORDER, "o2", 2)
+        support.check_after_block(handler.flush_block(), now=2, transaction_start=0)
+        assert support.stats.rules_checked == 3
+        assert support.stats.rules_bypassed_by_index == 1
+        assert support.stats.ts_skipped_by_filter == 1
+
+    def test_index_routes_class_level_patterns_to_attribute_occurrences(self):
+        event_base, table, handler, support = setup(
+            make_rule("class_watch", "modify(stock)"),
+            make_rule("qty_watch", "modify(stock.quantity)"),
+            make_rule("other", "create(order)"),
+        )
+        event_base.record(CREATE_STOCK, "o1", 1)  # gives everyone a window
+        support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
+        before = support.stats.rules_checked
+        event_base.record(MODIFY_QTY, "o1", 2)
+        newly = support.check_after_block(handler.flush_block(), now=2, transaction_start=0)
+        assert sorted(state.rule.name for state in newly) == ["class_watch", "qty_watch"]
+        assert support.stats.rules_checked - before == 2  # "other" bypassed
+
+    def test_disabling_the_index_keeps_the_full_scan_path(self):
+        event_base, table, handler, support = setup(
+            make_rule("a", "create(stock)"), make_rule("b", "create(order)")
+        )
+        support.use_subscription_index = False
+        event_base.record(CREATE_ORDER, "o1", 1)
+        support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
+        event_base.record(CREATE_ORDER, "o2", 2)
+        support.check_after_block(handler.flush_block(), now=2, transaction_start=0)
+        assert support.stats.rules_routed == 0
+        assert support.stats.rules_bypassed_by_index == 0
+        assert support.stats.ts_skipped_by_filter == 1  # per-rule filter still works
+        assert table.get("b").triggered
