@@ -1,0 +1,29 @@
+"""Root pytest configuration: the ``--shards`` sharded-suite switch.
+
+``pytest --shards N`` exports ``CHIMERA_SHARDS=N`` before the suite imports
+the package, which makes every :class:`repro.oodb.database.ChimeraDatabase`
+construct a :class:`repro.cluster.sharding.ShardedRuleTable` and a
+:class:`repro.cluster.coordinator.ShardCoordinator` by default — the whole
+suite then exercises the sharded planner (CI runs it with ``--shards 4``
+alongside the plain run).  Defined here, not in ``tests/conftest.py``,
+because option registration must happen in an initial conftest.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shards",
+        type=int,
+        default=0,
+        help="run the suite with every ChimeraDatabase sharded across N shards",
+    )
+
+
+def pytest_configure(config):
+    shards = config.getoption("--shards")
+    if shards:
+        os.environ["CHIMERA_SHARDS"] = str(shards)

@@ -22,11 +22,14 @@ Installed as the ``chimera-events`` console script (or run with
 ``workload``
     Drive a synthetic rule/stream workload through the full block→trigger
     pipeline (subscription-index planning, priority heaps); ``--bulk-ingest``
-    routes blocks through the Event Base's batched ``extend`` fast path and
-    ``--full-scan`` disables the subscription index for comparison.
+    routes blocks through the Event Base's batched ``extend`` fast path,
+    ``--full-scan`` disables the subscription index for comparison, and
+    ``--shards N`` partitions the planning across a shard coordinator
+    (``--parallel-shards`` dispatches the per-shard checks to a worker pool).
 ``bench``
-    Run a benchmark sweep from the installed package (currently ``x7``, the
-    rule-count scaling / bulk-ingestion bench; ``--smoke`` for a tiny grid).
+    Run a benchmark sweep from the installed package (``x7``, the rule-count
+    scaling / bulk-ingestion bench, or ``x8``, the shard-scaling /
+    pipelined-ingestion bench; ``--smoke`` for a tiny grid).
 """
 
 from __future__ import annotations
@@ -110,9 +113,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the subscription index (visit every untriggered rule per block)",
     )
+    workload_parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition trigger planning across N shards (0 = single table)",
+    )
+    workload_parser.add_argument(
+        "--parallel-shards",
+        action="store_true",
+        help="run per-shard checks on a thread worker pool (requires --shards)",
+    )
 
     bench_parser = commands.add_parser("bench", help="run a benchmark sweep")
-    bench_parser.add_argument("which", choices=["x7"], help="benchmark to run")
+    bench_parser.add_argument(
+        "which", choices=["x7", "x8"], help="benchmark to run"
+    )
     bench_parser.add_argument("--smoke", action="store_true", help="tiny grid (seconds)")
     bench_parser.add_argument("--out", default=None, help="write the JSON results here")
     return parser
@@ -195,6 +211,14 @@ def _command_stock_demo(args: argparse.Namespace) -> int:
 
 
 def _command_workload(args: argparse.Namespace) -> int:
+    if args.parallel_shards and not args.shards:
+        print("error: --parallel-shards requires --shards", file=sys.stderr)
+        return 2
+    if args.full_scan and args.shards:
+        # The shard coordinator has nothing to fan out without the
+        # subscription index; refuse rather than silently run the scan.
+        print("error: --full-scan and --shards are mutually exclusive", file=sys.stderr)
+        return 2
     from repro.workloads.generator import EventStreamGenerator
     from repro.workloads.rule_scaling import (
         ScalingWorkload,
@@ -207,11 +231,19 @@ def _command_workload(args: argparse.Namespace) -> int:
         build_scaling_rules(args.rules, universe, seed=args.seed),
         use_subscription_index=not args.full_scan,
         bulk_ingest=args.bulk_ingest,
+        shards=args.shards,
+        parallel_shards=args.parallel_shards,
     )
     stream = EventStreamGenerator(
         event_types=universe, seed=args.seed + 1, events_per_block=args.events_per_block
     ).blocks(args.blocks)
     outcome = workload.run(stream)
+    if args.shards > 0:
+        planning = f"sharded x{args.shards}" + (
+            " (worker pool)" if args.parallel_shards else " (serial)"
+        )
+    else:
+        planning = "full scan" if args.full_scan else "subscription index"
     print(
         render_kv(
             {
@@ -219,7 +251,7 @@ def _command_workload(args: argparse.Namespace) -> int:
                 "blocks": outcome.blocks,
                 "events": outcome.events,
                 "ingest mode": "bulk extend" if args.bulk_ingest else "per-append loop",
-                "planning": "full scan" if args.full_scan else "subscription index",
+                "planning": planning,
                 "ingest ms": round(outcome.ingest_seconds * 1e3, 2),
                 "check ms": round(outcome.check_seconds * 1e3, 2),
                 "select ms": round(outcome.select_seconds * 1e3, 2),
@@ -229,16 +261,27 @@ def _command_workload(args: argparse.Namespace) -> int:
         )
     )
     print(render_kv(outcome.stats, title="Trigger Support"))
+    if args.shards > 0:
+        cluster = dict(workload.support.cluster_stats.as_dict())
+        cluster["plan_cache_hits"] = workload.rule_table.plan_cache_hits
+        cluster["plan_cache_misses"] = workload.rule_table.plan_cache_misses
+        print(render_kv(cluster, title="Shard Coordinator"))
     return 0
 
 
 def _command_bench(args: argparse.Namespace) -> int:
     import json
 
-    from repro.workloads.rule_scaling import render_x7, run_x7_sweeps
+    if args.which == "x8":
+        from repro.workloads.shard_scaling import render_x8, run_x8_sweeps
 
-    results = run_x7_sweeps(smoke=args.smoke)
-    print(render_x7(results))
+        results = run_x8_sweeps(smoke=args.smoke)
+        print(render_x8(results))
+    else:
+        from repro.workloads.rule_scaling import render_x7, run_x7_sweeps
+
+        results = run_x7_sweeps(smoke=args.smoke)
+        print(render_x7(results))
     if args.out:
         from pathlib import Path
 

@@ -1,0 +1,43 @@
+"""Scale-out subsystem: sharded trigger planning and pipelined ingestion.
+
+The paper's Event Handler / Trigger Support split (§5) is the seam this
+package scales along:
+
+* :mod:`repro.cluster.sharding` — :class:`ShardedRuleTable`, the Rule Table
+  with its inverted subscription index partitioned across N shards by
+  ``(operation, class)`` bucket hash, with per-shard sub-signature plan
+  caches;
+* :mod:`repro.cluster.coordinator` — :class:`ShardCoordinator`, the Trigger
+  Support that fans each block's type signature out to the owning shards,
+  runs the per-shard checks over shared zero-copy ``BoundedView`` windows
+  (serial deterministic mode or a thread worker pool) and merges the
+  triggered sets back deterministically;
+* :mod:`repro.cluster.streaming` — :class:`StreamIngestor`, the bounded-queue
+  pipeline that decouples producers from rule evaluation.
+
+See PERFORMANCE.md ("Sharded trigger planning") for the architecture notes
+and BENCH_PR3.json / ``benchmarks/bench_x8_shard_scaling.py`` for numbers.
+"""
+
+from repro.cluster.coordinator import ShardCoordinator, ShardCoordinatorStats, ShardedPlan
+from repro.cluster.sharding import (
+    DEFAULT_SHARD_ENV_VAR,
+    ShardedRuleTable,
+    default_shard_count,
+    home_shard,
+    shard_of_bucket,
+)
+from repro.cluster.streaming import StreamIngestStats, StreamIngestor
+
+__all__ = [
+    "DEFAULT_SHARD_ENV_VAR",
+    "ShardCoordinator",
+    "ShardCoordinatorStats",
+    "ShardedPlan",
+    "ShardedRuleTable",
+    "StreamIngestStats",
+    "StreamIngestor",
+    "default_shard_count",
+    "home_shard",
+    "shard_of_bucket",
+]

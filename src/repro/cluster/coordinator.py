@@ -1,0 +1,280 @@
+"""The Shard Coordinator: fan a block's type signature out to the owning shards.
+
+After the Event Handler flushes a block, the coordinator takes the block's
+type signature (computed once by :class:`~repro.rules.event_handler.BlockIngest`),
+expands it through the table's schema binding, and routes each type to the
+single shard owning its ``(operation, class)`` bucket.  Per consulted shard
+the candidate set comes from the shard's memoized sub-signature plan
+(:meth:`~repro.cluster.sharding.ShardedRuleTable.shard_plan`); a rule
+registered on several shards is checked exactly once (the lowest consulted
+owning shard wins, deterministically), and pending-full-check rules — which
+every block must visit regardless of signature — ride on their name's home
+shard.
+
+The exact checks run over shared zero-copy :class:`~repro.events.event_base.BoundedView`
+windows carved out of the one Event Base — shards receive *handles*, never
+copies.  Two execution modes:
+
+* **serial deterministic** (default) — shard batches are evaluated inline in
+  shard order.  The check path is index-bisection-bound (pure-Python
+  ``bisect`` over the shared indexes), so this is also the fastest mode on a
+  GIL-bound interpreter;
+* **worker pool** (``parallel=True``) — shard batches are dispatched to a
+  thread pool.  Each worker touches only per-rule state (the
+  :class:`~repro.core.triggering.TriggerMemo`) plus a worker-local
+  :class:`~repro.core.evaluation.EvaluationStats`; shared-store reads are
+  safe (the EB is frozen during a check) and its pattern-match memo tolerates
+  benign duplicate computation.
+
+Either way the decisions are **applied serially in definition order**, so the
+triggered set, the priority heaps, every counter and the returned
+newly-triggered list are byte-for-byte identical to the single-table
+``check_after_block`` — the equivalence the ``tests/cluster`` property tests
+pin for shard counts 1–8 under rule churn.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.evaluation import EvaluationMode, EvaluationStats
+from repro.core.triggering import TriggeringDecision
+from repro.cluster.sharding import ShardedRuleTable
+from repro.events.clock import Timestamp
+from repro.events.event import EventOccurrence, EventType
+from repro.events.event_base import EventBase
+from repro.rules.rule import RuleState
+from repro.rules.trigger_support import TriggerSupport
+
+__all__ = ["ShardedPlan", "ShardCoordinatorStats", "ShardCoordinator"]
+
+
+@dataclass
+class ShardedPlan:
+    """One block's fan-out: which shards check which rules."""
+
+    #: ``(shard id, candidates)`` pairs in shard order; candidates are
+    #: deduplicated across shards and definition-ordered within each shard.
+    per_shard: list[tuple[int, list[RuleState]]]
+    #: Candidates reached through shard subscription plans.
+    routed: int
+    #: Pending-full-check candidates dealt to their home shards.
+    pending: int
+    #: Untriggered rules no shard needs to look at for this block.
+    bypassed: int
+
+    @property
+    def candidates(self) -> int:
+        return self.routed + self.pending
+
+
+@dataclass
+class ShardCoordinatorStats:
+    """Fan-out observability, on top of the inherited TriggerSupport stats."""
+
+    blocks_fanned_out: int = 0
+    shards_consulted: int = 0
+    max_shards_per_block: int = 0
+    parallel_batches: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "blocks_fanned_out": self.blocks_fanned_out,
+            "shards_consulted": self.shards_consulted,
+            "max_shards_per_block": self.max_shards_per_block,
+            "parallel_batches": self.parallel_batches,
+        }
+
+
+class ShardCoordinator(TriggerSupport):
+    """A Trigger Support that plans and checks through a sharded rule table.
+
+    Drop-in for :class:`TriggerSupport` (``recheck_all``, the stats object and
+    the full-scan fallbacks are inherited); only the routed
+    ``check_after_block`` path is replaced by the shard fan-out.
+    """
+
+    def __init__(
+        self,
+        rule_table: ShardedRuleTable,
+        event_base: EventBase,
+        use_static_optimization: bool = True,
+        mode: EvaluationMode = EvaluationMode.LOGICAL,
+        use_subscription_index: bool = True,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> None:
+        if not isinstance(rule_table, ShardedRuleTable):
+            raise TypeError("ShardCoordinator requires a ShardedRuleTable")
+        super().__init__(
+            rule_table,
+            event_base,
+            use_static_optimization=use_static_optimization,
+            mode=mode,
+            use_subscription_index=use_subscription_index,
+        )
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        #: Full-signature -> per-shard sub-signatures, so a recurring block
+        #: shape costs two dictionary hits before the shard plans take over
+        #: (BlockIngest already interns the signature as a frozenset, whose
+        #: hash is computed once).  Validated against the table's plan epoch
+        #: like the shard caches.
+        self._route_cache: dict[
+            frozenset[EventType], list[tuple[int, frozenset[EventType]]]
+        ] = {}
+        self._route_epoch: tuple[int, int] | None = None
+        self.cluster_stats = ShardCoordinatorStats()
+
+    # -- planning -------------------------------------------------------------
+    def plan_sharded(self, type_signature: Sequence[EventType]) -> ShardedPlan:
+        """The fan-out plan for one block signature.
+
+        Semantically identical to :meth:`TriggerPlanner.plan` — same candidate
+        set, same routed/bypassed accounting — but resolved through the
+        per-shard sub-signature caches instead of per-block bucket unions.
+        """
+        table = self.rule_table
+        epoch = table.plan_epoch()
+        if self._route_epoch != epoch:
+            self._route_cache.clear()
+            self._route_epoch = epoch
+        key = (
+            type_signature
+            if isinstance(type_signature, frozenset)
+            else frozenset(type_signature)
+        )
+        routing = self._route_cache.get(key)
+        if routing is None:
+            routed_types = table.route_signature(table.expand_signature(key))
+            routing = [
+                (shard_id, frozenset(types))
+                for shard_id, types in sorted(routed_types.items())
+            ]
+            self._route_cache[key] = routing
+        chosen: set[str] = set()
+        batches: dict[int, list[RuleState]] = {}
+        routed = 0
+        for shard_id, sub_signature in routing:
+            local: list[RuleState] = []
+            for state in table.shard_plan(shard_id, sub_signature):
+                name = state.rule.name
+                if state.enabled and not state.triggered and name not in chosen:
+                    chosen.add(name)
+                    local.append(state)
+            if local:
+                routed += len(local)
+                batches[shard_id] = local
+        pending = 0
+        for name, state in table.pending_full_check_states().items():
+            if state.enabled and not state.triggered and name not in chosen:
+                chosen.add(name)
+                pending += 1
+                batches.setdefault(table.home_shard_of(name), []).append(state)
+        per_shard = sorted(batches.items())
+        bypassed = table.untriggered_count() - routed - pending
+        return ShardedPlan(
+            per_shard=per_shard, routed=routed, pending=pending, bypassed=bypassed
+        )
+
+    # -- the sharded check ------------------------------------------------------
+    def check_after_block(
+        self,
+        new_occurrences: Sequence[EventOccurrence],
+        now: Timestamp,
+        transaction_start: Timestamp,
+        type_signature: frozenset[EventType] | None = None,
+    ) -> list[RuleState]:
+        if not (self.use_static_optimization and self.use_subscription_index):
+            # Without the index (or the filter) there is nothing to fan out;
+            # the inherited exhaustive paths keep the comparison modes alive.
+            return super().check_after_block(
+                new_occurrences, now, transaction_start, type_signature
+            )
+        self.stats.blocks += 1
+        newly_triggered: list[RuleState] = []
+        if not new_occurrences:
+            return newly_triggered
+        if type_signature is None:
+            type_signature = frozenset(
+                occurrence.event_type for occurrence in new_occurrences
+            )
+        plan = self.plan_sharded(type_signature)
+        self.stats.rules_routed += plan.routed
+        self.stats.rules_bypassed_by_index += plan.bypassed
+        self.stats.ts_skipped_by_filter += plan.bypassed
+        cluster = self.cluster_stats
+        cluster.blocks_fanned_out += 1
+        cluster.shards_consulted += len(plan.per_shard)
+        cluster.max_shards_per_block = max(
+            cluster.max_shards_per_block, len(plan.per_shard)
+        )
+
+        if self.parallel and len(plan.per_shard) > 1:
+            cluster.parallel_batches += len(plan.per_shard)
+            futures = [
+                self._ensure_pool().submit(
+                    self._evaluate_shard, states, now, transaction_start
+                )
+                for _, states in plan.per_shard
+            ]
+            shard_results = [future.result() for future in futures]
+        else:
+            shard_results = [
+                self._evaluate_shard(states, now, transaction_start)
+                for _, states in plan.per_shard
+            ]
+
+        # Deterministic merge: evaluation stats in shard order, decisions in
+        # definition order — exactly the order the single-table check applies
+        # them, so heaps, counters and the returned list line up.
+        evaluated: list[tuple[RuleState, TriggeringDecision]] = []
+        for decisions, local_stats in shard_results:
+            self.stats.evaluation.merge(local_stats)
+            evaluated.extend(decisions)
+        evaluated.sort(key=lambda pair: pair[0].definition_order)
+        for state, decision in evaluated:
+            self.stats.rules_checked += 1
+            if self._apply_decision(state, decision, now):
+                newly_triggered.append(state)
+        return newly_triggered
+
+    def _evaluate_shard(
+        self,
+        states: list[RuleState],
+        now: Timestamp,
+        transaction_start: Timestamp,
+    ) -> tuple[list[tuple[RuleState, TriggeringDecision]], EvaluationStats]:
+        """Evaluate one shard's candidates (worker-safe: per-rule state only)."""
+        local_stats = EvaluationStats()
+        decisions: list[tuple[RuleState, TriggeringDecision]] = []
+        for state in states:
+            self.prepare_rule(state)
+            decisions.append(
+                (state, self._evaluate_rule(state, now, transaction_start, local_stats))
+            )
+        return decisions, local_stats
+
+    # -- worker pool ------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self.max_workers or min(8, self.rule_table.num_shards)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="shard-check"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; serial mode needs no pool)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

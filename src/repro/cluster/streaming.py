@@ -1,0 +1,198 @@
+"""Pipelined stream ingestion: producers never block on rule evaluation.
+
+``RuleEngine.run_stream_block`` is synchronous: the caller that produced a
+batch of occurrences waits for the whole trigger-check / consideration loop
+before it can produce the next one.  :class:`StreamIngestor` decouples the
+two with a bounded hand-off queue and a consumer thread:
+
+* the producer side (:meth:`submit`) validates nothing and computes only the
+  batch's **type signature** — cheap, and doing it producer-side overlaps
+  signature computation with the consumer's rule evaluation, so the signature
+  is never derived on the hot checking thread (it is handed through
+  ``run_stream_block`` to :meth:`EventHandler.flush_block`);
+* the consumer thread drains the queue into ``run_stream_block`` one block at
+  a time, preserving submission order — the Event Base stays an append-
+  ordered log and each batch remains one execution block;
+* the queue bound is the back-pressure contract: a producer only ever waits
+  for *queue space* (the consumer lagging ``max_pending`` whole blocks), not
+  for any individual rule evaluation.
+
+Correctness leans on the lag tolerance the incremental trigger memo already
+has: ``TriggerMemo.seen_events`` records how much of the log a check had
+seen, so checks that run behind the producer's appends sample exactly the
+instants they missed (see ``repro/core/triggering.py``).  A failed block
+poisons the ingestor — the error is re-raised to the producer on the next
+:meth:`submit`, :meth:`flush` or :meth:`close`, and later queued blocks are
+dropped (and counted) rather than applied on top of a broken state.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.events.event import EventOccurrence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a package cycle)
+    from repro.rules.executor import RuleEngine
+
+__all__ = ["StreamIngestStats", "StreamIngestor"]
+
+_SENTINEL = None
+
+
+@dataclass
+class StreamIngestStats:
+    """Producer/consumer accounting for one ingestor lifetime."""
+
+    submitted_blocks: int = 0
+    submitted_events: int = 0
+    processed_blocks: int = 0
+    processed_events: int = 0
+    dropped_blocks: int = 0
+    #: Deepest backlog observed at submit time (bounded by ``max_pending``).
+    max_queue_depth: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted_blocks": self.submitted_blocks,
+            "submitted_events": self.submitted_events,
+            "processed_blocks": self.processed_blocks,
+            "processed_events": self.processed_events,
+            "dropped_blocks": self.dropped_blocks,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+class StreamIngestor:
+    """Bounded-queue pipeline feeding ``RuleEngine.run_stream_block``.
+
+    Use as a context manager (or call :meth:`start` / :meth:`close`)::
+
+        with StreamIngestor(engine, max_pending=32) as ingestor:
+            for block in source:
+                ingestor.submit(block)   # blocks only on queue space
+        # exit waits for the queue to drain and re-raises consumer errors
+
+    The engine must not be driven concurrently from elsewhere while the
+    ingestor is open: the consumer thread is the single writer of the
+    engine's block pipeline (the same single-writer discipline the paper's
+    Block Executor has).
+    """
+
+    def __init__(
+        self,
+        engine: "RuleEngine",
+        max_pending: int = 64,
+        bulk: bool = True,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be positive (got {max_pending})")
+        self.engine = engine
+        self.bulk = bulk
+        self.stats = StreamIngestStats()
+        self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+        #: Latched on the first consumer error: the engine state may be
+        #: broken mid-block, so the ingestor refuses further work for good
+        #: (the error itself is delivered to the producer exactly once).
+        self._failed = False
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "StreamIngestor":
+        """Spawn the consumer thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._consume, name="stream-ingest", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def __enter__(self) -> "StreamIngestor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Propagate the producer's own exception over drain errors.
+        self.close(wait=exc_type is None)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop the consumer; with ``wait`` drain the queue first.
+
+        Re-raises the first consumer error (also when ``wait=False``).
+        """
+        if not self._closed:
+            self._closed = True
+            if self._thread is not None:
+                if not wait:
+                    # Drop whatever has not started processing yet.
+                    while True:
+                        try:
+                            self._queue.get_nowait()
+                        except queue.Empty:
+                            break
+                        self.stats.dropped_blocks += 1
+                        self._queue.task_done()
+                self._queue.put(_SENTINEL)
+                self._thread.join()
+                self._thread = None
+        self._raise_pending_error()
+
+    # -- producer side -----------------------------------------------------------
+    def submit(self, occurrences: Sequence[EventOccurrence]) -> None:
+        """Queue one batch as a future execution block.
+
+        Blocks only when the consumer is ``max_pending`` blocks behind.  The
+        batch's type signature is computed here, on the producer's thread.
+        """
+        self._raise_pending_error()
+        if self._closed or self._failed:
+            raise RuntimeError(
+                "StreamIngestor has failed" if self._failed else "StreamIngestor is closed"
+            )
+        if self._thread is None:
+            self.start()
+        batch = tuple(occurrences)
+        signature = frozenset(occurrence.event_type for occurrence in batch)
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue.qsize())
+        self._queue.put((batch, signature))
+        self.stats.submitted_blocks += 1
+        self.stats.submitted_events += len(batch)
+
+    def flush(self) -> None:
+        """Wait until every submitted block has been processed (or failed)."""
+        self._queue.join()
+        self._raise_pending_error()
+
+    # -- consumer side -----------------------------------------------------------
+    def _consume(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SENTINEL:
+                    return
+                batch, signature = item
+                if self._failed:
+                    self.stats.dropped_blocks += 1
+                    continue
+                try:
+                    self.engine.run_stream_block(
+                        batch, bulk=self.bulk, type_signature=signature
+                    )
+                except BaseException as error:  # noqa: BLE001 - handed to producer
+                    self._error = error
+                    self._failed = True
+                    self.stats.dropped_blocks += 1
+                else:
+                    self.stats.processed_blocks += 1
+                    self.stats.processed_events += len(batch)
+            finally:
+                self._queue.task_done()
+
+    def _raise_pending_error(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise RuntimeError("stream ingestion failed in the consumer") from error

@@ -77,6 +77,7 @@ __all__ = [
     "simplify_variations",
     "variation_set",
     "format_variations",
+    "expand_event_type",
     "RecomputationFilter",
 ]
 
@@ -235,6 +236,29 @@ def format_variations(variations: Iterable[Variation]) -> str:
 # ---------------------------------------------------------------------------
 
 
+def expand_event_type(event_type: EventType, schema) -> tuple[EventType, ...]:
+    """The occurrence type plus its superclass retargets under ``schema``.
+
+    An occurrence on class ``c`` is also an occurrence on every ancestor of
+    ``c`` (creating a ``notFilledOrder`` creates an ``order``), so matching an
+    occurrence type against watched patterns must consider the retargeted
+    types ``operation(ancestor[.attribute])`` as well.  ``schema`` is any
+    object with ``__contains__`` and ``ancestors(name)`` (duck-typed to keep
+    the calculus layer free of an oodb dependency); classes the schema does
+    not know — abstract test universes, external ``raise`` events — expand to
+    just themselves.  The expansion goes upward only: an occurrence on a
+    superclass is *not* an occurrence on its specializations.
+    """
+    if schema is None or event_type.class_name not in schema:
+        return (event_type,)
+    expanded = [event_type]
+    for ancestor in schema.ancestors(event_type.class_name):
+        expanded.append(
+            EventType(event_type.operation, ancestor, event_type.attribute)
+        )
+    return tuple(expanded)
+
+
 class RecomputationFilter:
     """Decides whether newly arrived occurrences require a ``ts`` recomputation.
 
@@ -244,9 +268,16 @@ class RecomputationFilter:
     Class-level entries (``modify(stock)``) match attribute-specific
     occurrences (``modify(stock.quantity)``) and vice versa, mirroring the
     subscription semantics of primitive event types.
+
+    With a schema bound (:meth:`bind_schema`) the matching is additionally
+    subclass-aware: an occurrence on a class also counts for watched patterns
+    on any of its ancestors (see :func:`expand_event_type`).  Memoized
+    verdicts then carry the schema version they were computed at — a schema
+    that gains a subclass after a verdict was cached would otherwise keep
+    serving the stale ``False``.
     """
 
-    def __init__(self, expression: EventExpression) -> None:
+    def __init__(self, expression: EventExpression, schema=None) -> None:
         self.expression = expression
         self.variations = variation_set(expression)
         self._positive_types: tuple[EventType, ...] = tuple(
@@ -255,11 +286,23 @@ class RecomputationFilter:
             if variation.sign.includes_positive()
         )
         # The watched set is fixed at construction, so the verdict per concrete
-        # event type never changes: memoize it instead of re-running the
-        # O(|V(E)|) pattern loop for every occurrence type of every block.
+        # event type only changes when the bound schema does: memoize it
+        # instead of re-running the O(|V(E)|) pattern loop for every
+        # occurrence type of every block, and stamp the cache with the schema
+        # version so hierarchy growth invalidates it.
         self._match_cache: dict[EventType, bool] = {}
+        self._schema = schema
+        self._cached_schema_version = schema.version if schema is not None else 0
         self.checks = 0
         self.skipped = 0
+
+    def bind_schema(self, schema) -> None:
+        """Make matching subclass-aware under ``schema`` (idempotent)."""
+        if schema is self._schema:
+            return
+        self._schema = schema
+        self._match_cache.clear()
+        self._cached_schema_version = schema.version if schema is not None else 0
 
     def relevant_event_types(self) -> set[EventType]:
         """Event types whose new occurrences can possibly trigger the rule."""
@@ -267,10 +310,15 @@ class RecomputationFilter:
 
     def matches(self, event_type: EventType) -> bool:
         """True when a new occurrence of ``event_type`` may activate the rule."""
+        schema = self._schema
+        if schema is not None and schema.version != self._cached_schema_version:
+            self._match_cache.clear()
+            self._cached_schema_version = schema.version
         verdict = self._match_cache.get(event_type)
         if verdict is None:
             verdict = any(
-                watched.matches(event_type) or event_type.matches(watched)
+                watched.matches(candidate) or candidate.matches(watched)
+                for candidate in expand_event_type(event_type, schema)
                 for watched in self._positive_types
             )
             self._match_cache[event_type] = verdict

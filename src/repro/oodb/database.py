@@ -44,7 +44,11 @@ class ChimeraDatabase:
         emit_select_events: bool = True,
         use_static_optimization: bool = True,
         max_rule_executions: int = 10_000,
+        shards: int | None = None,
+        parallel_shards: bool = False,
     ) -> None:
+        from repro.cluster.sharding import ShardedRuleTable, default_shard_count
+
         self.schema = Schema()
         self.store = ObjectStore()
         self.clock = TransactionClock()
@@ -56,7 +60,12 @@ class ChimeraDatabase:
             self.clock,
             emit_select_events=emit_select_events,
         )
-        self.rule_table = RuleTable()
+        # shards=None defers to the ambient default ($CHIMERA_SHARDS — the
+        # test suite's --shards option runs everything sharded this way);
+        # shards=0 forces the single-table planner.
+        if shards is None:
+            shards = default_shard_count()
+        self.rule_table = ShardedRuleTable(shards) if shards > 0 else RuleTable()
         self.engine = RuleEngine(
             schema=self.schema,
             store=self.store,
@@ -66,6 +75,7 @@ class ChimeraDatabase:
             rule_table=self.rule_table,
             use_static_optimization=use_static_optimization,
             max_rule_executions=max_rule_executions,
+            parallel_shards=parallel_shards,
         )
         self._active_transaction: Transaction | None = None
         self._store_snapshot: dict[str, Any] | None = None

@@ -86,6 +86,17 @@ class Schema:
 
     def __init__(self) -> None:
         self._classes: dict[str, ClassDefinition] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every definition.
+
+        Consumers that memoize schema-derived facts (e.g. the subclass-aware
+        event-type matching of :class:`repro.core.optimization.RecomputationFilter`)
+        compare this counter to detect that the hierarchy changed under them.
+        """
+        return self._version
 
     # -- definition -------------------------------------------------------
     def define(
@@ -103,6 +114,7 @@ class Schema:
             raise UnknownClassError(superclass)
         definition = ClassDefinition(name, _normalize_attributes(attributes), superclass)
         self._classes[name] = definition
+        self._version += 1
         return definition
 
     # -- lookups ----------------------------------------------------------

@@ -24,13 +24,13 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import NonTerminationError
 from repro.events.clock import Timestamp, TransactionClock
-from repro.events.event import EventOccurrence
+from repro.events.event import EventOccurrence, EventType
 from repro.events.event_base import EventBase
 from repro.oodb.objects import ObjectStore
 from repro.oodb.operations import OperationExecutor
 from repro.oodb.schema import Schema
 from repro.rules.conditions import ConditionContext
-from repro.rules.event_handler import EventHandler
+from repro.rules.event_handler import BlockIngest, EventHandler
 from repro.rules.rule import ECCoupling, RuleState
 from repro.rules.rule_table import RuleTable
 from repro.rules.trigger_support import TriggerSupport
@@ -61,14 +61,42 @@ class RuleEngine:
     rule_table: RuleTable = field(default_factory=RuleTable)
     use_static_optimization: bool = True
     max_rule_executions: int = 10_000
+    #: Shard the trigger planning across this many shards (0 = single-table).
+    #: Ignored when ``rule_table`` is already a :class:`ShardedRuleTable` —
+    #: its own shard count wins.
+    shards: int = 0
+    #: With sharding: dispatch per-shard checks to a thread worker pool
+    #: instead of the serial deterministic mode.
+    parallel_shards: bool = False
 
     def __post_init__(self) -> None:
+        from repro.cluster.coordinator import ShardCoordinator
+        from repro.cluster.sharding import ShardedRuleTable
+
+        if self.shards > 0 and not isinstance(self.rule_table, ShardedRuleTable):
+            if len(self.rule_table):
+                raise ValueError(
+                    "cannot shard an already-populated plain RuleTable; "
+                    "construct the engine with a ShardedRuleTable instead"
+                )
+            self.rule_table = ShardedRuleTable(self.shards)
+        # Subclass-aware routing/filtering: the table (and every filter it
+        # builds) sees the engine's schema.
+        self.rule_table.bind_schema(self.schema)
         self.event_handler = EventHandler(self.event_base)
-        self.trigger_support = TriggerSupport(
-            self.rule_table,
-            self.event_base,
-            use_static_optimization=self.use_static_optimization,
-        )
+        if isinstance(self.rule_table, ShardedRuleTable):
+            self.trigger_support: TriggerSupport = ShardCoordinator(
+                self.rule_table,
+                self.event_base,
+                use_static_optimization=self.use_static_optimization,
+                parallel=self.parallel_shards,
+            )
+        else:
+            self.trigger_support = TriggerSupport(
+                self.rule_table,
+                self.event_base,
+                use_static_optimization=self.use_static_optimization,
+            )
         self.transaction_start: Timestamp = self.clock.now()
         self.considerations: list[ConsiderationRecord] = []
         self._executions_this_transaction = 0
@@ -98,17 +126,33 @@ class RuleEngine:
         return outcome
 
     def run_stream_block(
-        self, occurrences: Sequence[EventOccurrence], bulk: bool = True
+        self,
+        occurrences: Sequence[EventOccurrence],
+        bulk: bool = True,
+        type_signature: frozenset[EventType] | None = None,
     ) -> None:
         """Ingest externally produced occurrences as one execution block.
 
         The batch enters the Event Base through the bulk ``extend`` fast path
         (``bulk=False`` keeps the per-append loop for comparison), is flushed
         as a single block and processed exactly like a user block — the
-        streaming seam the ROADMAP's batch-ingestion item calls for.
+        streaming seam the ROADMAP's batch-ingestion item calls for.  A
+        pipelining producer (:class:`repro.cluster.streaming.StreamIngestor`)
+        may pass the batch's ``type_signature`` so it is never derived on the
+        checking thread; it is ignored when other occurrences are pending.
         """
-        self.event_handler.ingest(occurrences, bulk=bulk)
-        self._after_block(ECCoupling.IMMEDIATE, phase="stream")
+        batch = self.event_handler.store_external(
+            occurrences, bulk=bulk, type_signature=type_signature
+        )
+        if batch:
+            # Pre-stamped streams outrun the transaction clock; the check's
+            # window is (start, clock.now()], so catch the clock up or the
+            # batch would be invisible to its own trigger check.
+            last = batch.occurrences[-1].timestamp
+            if last > self.clock.now():
+                self.clock.advance_to(last)
+        self._check_block(batch)
+        self._processing_loop(ECCoupling.IMMEDIATE, phase="stream")
 
     def process_commit(self) -> None:
         """Process deferred (and any remaining triggered) rules at commit time."""
@@ -125,7 +169,10 @@ class RuleEngine:
 
     def _flush_and_check(self) -> None:
         """Flush the finished block and hand it — signature included — to the planner."""
-        batch = self.event_handler.flush_block()
+        self._check_block(self.event_handler.flush_block())
+
+    def _check_block(self, batch: BlockIngest) -> None:
+        """Run the trigger check for one already-flushed block."""
         now = self.clock.now()
         self.trigger_support.check_after_block(
             batch,

@@ -39,18 +39,55 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Iterator
 
-from repro.core.optimization import RecomputationFilter
+from repro.core.optimization import RecomputationFilter, expand_event_type
 from repro.errors import DuplicateRuleError, UnknownRuleError
 from repro.events.clock import Timestamp
 from repro.events.event import EventType, Operation
 from repro.rules.rule import ECCoupling, Rule, RuleState
 
-__all__ = ["RuleTable"]
+__all__ = ["RuleTable", "match_subscribers"]
 
 #: A heap entry: ``(-priority, definition_order, token, rule name)``.  The
 #: token makes entries of superseded pushes (rule re-triggered after a
 #: consideration) detectably stale.
 _HeapEntry = tuple[int, int, int, str]
+
+#: Below this heap size a compaction saves too little to pay for the rebuild:
+#: stale entries are discarded lazily by ``_peek`` as they surface.
+_HEAP_COMPACT_THRESHOLD = 32
+
+
+def match_subscribers(
+    exact: dict[EventType, dict[str, "RuleState"]],
+    class_buckets: dict[tuple[Operation, str], dict[str, "RuleState"]],
+    type_signature: Iterable[EventType],
+) -> dict[str, "RuleState"]:
+    """States subscribed to any type of an (already expanded) signature.
+
+    The one definition of the index-lookup semantics — an attribute-specific
+    occurrence reaches its exact subscribers plus the class-level exact
+    subscribers; a class-level occurrence reaches its whole ``(operation,
+    class)`` bucket (it matches any attribute-specific watch).  Shared by the
+    global table and each shard of
+    :class:`repro.cluster.sharding.ShardedRuleTable`, whose equivalence
+    contract (union of shard-local lookups == global lookup) depends on both
+    applying literally the same rules.
+    """
+    matched: dict[str, RuleState] = {}
+    for event_type in type_signature:
+        if event_type.attribute is None:
+            bucket = class_buckets.get((event_type.operation, event_type.class_name))
+            if bucket:
+                matched.update(bucket)
+        else:
+            bucket = exact.get(event_type)
+            if bucket:
+                matched.update(bucket)
+            class_level = EventType(event_type.operation, event_type.class_name)
+            bucket = exact.get(class_level)
+            if bucket:
+                matched.update(bucket)
+    return matched
 
 
 class RuleTable:
@@ -67,6 +104,15 @@ class RuleTable:
         #: since the last consideration).  Over-approximating: entries whose
         #: flag has since been set are pruned lazily by the planner accessor.
         self._pending_full_check: dict[str, RuleState] = {}
+        #: Optional schema for subclass-aware signature routing (see
+        #: :meth:`bind_schema`); version-stamped expansion memo alongside.
+        self._schema = None
+        self._expansion_cache: dict[EventType, tuple[EventType, ...]] = {}
+        self._expansion_schema_version = 0
+        #: Bumped whenever the subscription index changes shape (rule added or
+        #: removed).  Derived caches — e.g. the per-shard plan caches of
+        #: :class:`repro.cluster.sharding.ShardedRuleTable` — key on it.
+        self._index_version = 0
         # -- priority structure over the triggered set --
         self._triggered: dict[str, RuleState] = {}
         self._heaps: dict[ECCoupling, list[_HeapEntry]] = {
@@ -79,6 +125,15 @@ class RuleTable:
         #: priority, same token value) could pass the validity check.
         self._token_counter = 0
         self._disabled: set[str] = set()
+        #: Per-coupling count of heap entries known stale (their rule left the
+        #: triggered set or was removed since the push).  Drives
+        #: :meth:`_maybe_compact`: when stale entries outnumber live ones the
+        #: heap is rebuilt instead of leaking until they surface in ``_peek``.
+        self._stale_counts: dict[ECCoupling, int] = {
+            coupling: 0 for coupling in ECCoupling
+        }
+        #: How many counter-driven heap compactions have run (observability).
+        self.heap_compactions = 0
 
     # -- registration -------------------------------------------------------
     def add(self, rule: Rule) -> RuleState:
@@ -87,10 +142,11 @@ class RuleTable:
             raise DuplicateRuleError(rule.name)
         state = RuleState(rule=rule, definition_order=self._definition_counter)
         self._definition_counter += 1
-        state.recomputation_filter = RecomputationFilter(rule.events)
+        state.recomputation_filter = RecomputationFilter(rule.events, schema=self._schema)
         state.observer = self
         self._states[rule.name] = state
         self._index_subscriptions(state)
+        self._index_version += 1
         # A fresh rule has never seen a non-empty window: full-check until then.
         self._pending_full_check[rule.name] = state
         return state
@@ -102,11 +158,68 @@ class RuleTable:
             raise UnknownRuleError(name)
         state.observer = None
         self._unindex_subscriptions(state)
+        self._index_version += 1
         self._pending_full_check.pop(name, None)
-        self._triggered.pop(name, None)
+        if self._triggered.pop(name, None) is not None:
+            self._note_stale(state.rule.coupling)
         self._heap_tokens.pop(name, None)  # surviving heap entries go stale
         self._disabled.discard(name)
         return state.rule
+
+    # -- schema binding -------------------------------------------------------
+    def bind_schema(self, schema) -> None:
+        """Make signature routing and the per-rule filters subclass-aware.
+
+        ``schema`` is duck-typed (``__contains__``, ``ancestors``, ``version``
+        — see :func:`repro.core.optimization.expand_event_type`).  Binding is
+        idempotent and also rebinds the filters of already-registered rules so
+        the routed path and the per-rule scan path keep making identical
+        decisions.
+        """
+        if schema is self._schema:
+            return
+        self._schema = schema
+        self._expansion_cache.clear()
+        self._expansion_schema_version = schema.version if schema is not None else 0
+        for state in self._states.values():
+            if state.recomputation_filter is not None:
+                state.recomputation_filter.bind_schema(schema)
+
+    def expand_signature(self, type_signature: Iterable[EventType]) -> tuple[EventType, ...]:
+        """The signature plus superclass retargets of each type (deduplicated).
+
+        With no schema bound this is the signature itself.  Expansions are
+        memoized per concrete type and invalidated when the schema version
+        moves (a newly defined subclass changes its own chain only, but a
+        wholesale drop keeps the bookkeeping trivially correct).
+        """
+        schema = self._schema
+        if schema is None:
+            return tuple(type_signature)
+        if schema.version != self._expansion_schema_version:
+            self._expansion_cache.clear()
+            self._expansion_schema_version = schema.version
+        cache = self._expansion_cache
+        expanded: dict[EventType, None] = {}
+        for event_type in type_signature:
+            chain = cache.get(event_type)
+            if chain is None:
+                chain = cache[event_type] = expand_event_type(event_type, schema)
+            for candidate in chain:
+                expanded[candidate] = None
+        return tuple(expanded)
+
+    def plan_epoch(self) -> tuple[int, int]:
+        """Cache-validity token for plan-derived structures.
+
+        Changes whenever the subscription index changes shape (add/remove) or
+        the bound schema gains definitions — exactly the events that can alter
+        the outcome of :meth:`subscribers_for_signature` for a fixed signature.
+        """
+        return (
+            self._index_version,
+            self._schema.version if self._schema is not None else 0,
+        )
 
     # -- subscription index ---------------------------------------------------
     def _index_subscriptions(self, state: RuleState) -> None:
@@ -140,25 +253,16 @@ class RuleTable:
         return True for some type of the signature: an attribute-specific
         occurrence reaches exact subscribers plus class-level subscribers; a
         class-level occurrence reaches every subscriber of its ``(operation,
-        class)`` bucket (it matches any attribute-specific watch).
+        class)`` bucket (it matches any attribute-specific watch).  With a
+        schema bound, each signature type is first expanded with its
+        superclass retargets (an occurrence on a subclass counts for watchers
+        of any ancestor), mirroring the filter's subclass-aware matching.
         """
-        matched: dict[str, RuleState] = {}
-        for event_type in type_signature:
-            if event_type.attribute is None:
-                bucket = self._subscriptions_class.get(
-                    (event_type.operation, event_type.class_name)
-                )
-                if bucket:
-                    matched.update(bucket)
-            else:
-                bucket = self._subscriptions_exact.get(event_type)
-                if bucket:
-                    matched.update(bucket)
-                class_level = EventType(event_type.operation, event_type.class_name)
-                bucket = self._subscriptions_exact.get(class_level)
-                if bucket:
-                    matched.update(bucket)
-        return matched
+        return match_subscribers(
+            self._subscriptions_exact,
+            self._subscriptions_class,
+            self.expand_signature(type_signature),
+        )
 
     def pending_full_check_states(self) -> dict[str, RuleState]:
         """States whose ``V(E)`` filter cannot be applied yet (lazily pruned).
@@ -168,13 +272,28 @@ class RuleTable:
         notification; pruning here keeps the set tight) and re-enters it on
         consideration / reset through the observer hook.
         """
+        pending = self._pending_full_check
         pruned = [
             name
-            for name, state in self._pending_full_check.items()
+            for name, state in pending.items()
             if state.had_nonempty_window or self._states.get(name) is not state
         ]
-        for name in pruned:
-            del self._pending_full_check[name]
+        if 4 * len(pruned) >= len(pending):
+            # Heavy prune (the common case: every fresh rule leaves the set
+            # after its first checked block).  Rebuild instead of deleting in
+            # place: a CPython dict never shrinks its slot table, so a
+            # once-huge pending dict would make every later iteration O(peak
+            # size) — the planner walks this set on every block.
+            if pruned:
+                dropped = set(pruned)
+                self._pending_full_check = {
+                    name: state
+                    for name, state in pending.items()
+                    if name not in dropped
+                }
+        else:
+            for name in pruned:
+                del pending[name]
         return self._pending_full_check
 
     # -- observer hook (called by RuleState on flag transitions) ----------------
@@ -194,7 +313,10 @@ class RuleTable:
                     (-state.rule.priority, state.definition_order, token, name),
                 )
         else:
-            self._triggered.pop(name, None)
+            if self._triggered.pop(name, None) is not None:
+                # The rule's current heap entry just went stale (considered,
+                # disabled or detriggered before surfacing in _peek).
+                self._note_stale(state.rule.coupling)
         if state.enabled and not state.triggered and not state.had_nonempty_window:
             self._pending_full_check[name] = state
         elif not state.enabled:
@@ -274,19 +396,59 @@ class RuleTable:
         candidates.sort(key=lambda state: (-state.rule.priority, state.definition_order))
         return candidates
 
-    def _peek(self, heap: list[_HeapEntry]) -> _HeapEntry | None:
-        """Top valid entry of one heap, discarding stale entries on the way."""
+    def _entry_valid(self, entry: _HeapEntry) -> bool:
+        """Does this heap entry still describe a triggered, enabled rule?"""
+        _, _, token, name = entry
+        state = self._states.get(name)
+        return (
+            state is not None
+            and state.enabled
+            and state.triggered
+            and self._heap_tokens.get(name) == token
+        )
+
+    def _note_stale(self, coupling: ECCoupling) -> None:
+        """Record that one entry of ``coupling``'s heap went stale; maybe compact."""
+        self._stale_counts[coupling] += 1
+        self._maybe_compact(coupling)
+
+    def _maybe_compact(self, coupling: ECCoupling) -> None:
+        """Rebuild one heap when its stale entries outnumber the live ones.
+
+        The lazy invalidation scheme leaks entries until they surface at the
+        top; under heavy trigger/consider churn (ROADMAP open item) a heap can
+        grow far beyond the triggered population.  Counter-driven compaction
+        bounds it: each heap holds at most ``2 * live + 1`` entries (plus the
+        small constant threshold below which rebuilding is not worth it), so
+        selection stays O(log live) amortized whatever the churn.
+        """
+        heap = self._heaps[coupling]
+        stale = self._stale_counts[coupling]
+        if len(heap) < _HEAP_COMPACT_THRESHOLD or 2 * stale <= len(heap):
+            return
+        survivors = [entry for entry in heap if self._entry_valid(entry)]
+        heapq.heapify(survivors)
+        self._heaps[coupling] = survivors
+        self._stale_counts[coupling] = 0
+        self.heap_compactions += 1
+
+    def heap_sizes(self) -> dict[ECCoupling, int]:
+        """Current entry count per coupling heap (stale entries included)."""
+        return {coupling: len(heap) for coupling, heap in self._heaps.items()}
+
+    def _peek(self, coupling: ECCoupling) -> _HeapEntry | None:
+        """Top valid entry of one heap, discarding stale entries on the way.
+
+        Every discarded entry was accounted by :meth:`_note_stale` when it
+        went stale, so the counter is decremented in step — it always equals
+        the number of stale entries actually present in the heap.
+        """
+        heap = self._heaps[coupling]
         while heap:
-            _, _, token, name = heap[0]
-            state = self._states.get(name)
-            if (
-                state is not None
-                and state.enabled
-                and state.triggered
-                and self._heap_tokens.get(name) == token
-            ):
+            if self._entry_valid(heap[0]):
                 return heap[0]
             heapq.heappop(heap)
+            self._stale_counts[coupling] -= 1
         return None
 
     def select_for_consideration(self, coupling: ECCoupling | None = None) -> RuleState | None:
@@ -297,11 +459,11 @@ class RuleTable:
         actually considered (``mark_considered`` clears the flag).
         """
         if coupling is not None:
-            entry = self._peek(self._heaps[coupling])
+            entry = self._peek(coupling)
             return self._states[entry[3]] if entry is not None else None
         best: _HeapEntry | None = None
-        for heap in self._heaps.values():
-            entry = self._peek(heap)
+        for heap_coupling in self._heaps:
+            entry = self._peek(heap_coupling)
             if entry is not None and (best is None or entry[:2] < best[:2]):
                 best = entry
         return self._states[best[3]] if best is not None else None
@@ -313,5 +475,6 @@ class RuleTable:
             state.reset(transaction_start)
         # The notifications above emptied the triggered set; drop the stale
         # heap entries wholesale instead of leaking them until they surface.
-        for heap in self._heaps.values():
+        for coupling, heap in self._heaps.items():
             heap.clear()
+            self._stale_counts[coupling] = 0

@@ -251,16 +251,39 @@ class TriggerSupport:
         maintained consistently whichever path evaluated the rule.  Returns
         True when the rule became triggered.
         """
+        decision = self._evaluate_rule(
+            state, now, transaction_start, self.stats.evaluation
+        )
+        return self._apply_decision(state, decision, now)
+
+    def _evaluate_rule(
+        self,
+        state: RuleState,
+        now: Timestamp,
+        transaction_start: Timestamp,
+        evaluation_stats: EvaluationStats,
+    ):
+        """The exact check's read side: compute the triggering decision.
+
+        Touches only per-rule state (the incremental memo) plus the caller's
+        ``evaluation_stats``, so independent rules can be evaluated
+        concurrently — the shard coordinator's worker pool relies on this
+        split, handing each worker its own stats and applying the decisions
+        serially afterwards (:meth:`_apply_decision`).
+        """
         window_start = state.triggering_window_start(transaction_start)
-        decision = is_triggered(
+        return is_triggered(
             state.rule.events,
             self.event_base,
             window_start,
             now,
             self.mode,
-            self.stats.evaluation,
+            evaluation_stats,
             memo=state.trigger_memo,
         )
+
+    def _apply_decision(self, state: RuleState, decision, now: Timestamp) -> bool:
+        """The exact check's write side: counters, window flag, triggering."""
         state.ts_computations += 1
         self.stats.ts_computations += 1
         self.stats.instants_sampled += decision.instants_sampled

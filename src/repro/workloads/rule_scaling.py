@@ -144,19 +144,36 @@ class ScalingWorkload:
         use_subscription_index: bool = True,
         use_static_optimization: bool = True,
         bulk_ingest: bool = True,
+        shards: int = 0,
+        parallel_shards: bool = False,
     ) -> None:
         self.event_base = EventBase()
-        self.rule_table = RuleTable()
+        if shards > 0:
+            from repro.cluster.coordinator import ShardCoordinator
+            from repro.cluster.sharding import ShardedRuleTable
+
+            self.rule_table: RuleTable = ShardedRuleTable(shards)
+        else:
+            self.rule_table = RuleTable()
         for rule in rules:
             state = self.rule_table.add(rule)
             state.reset(0)
         self.handler = EventHandler(self.event_base)
-        self.support = TriggerSupport(
-            self.rule_table,
-            self.event_base,
-            use_static_optimization=use_static_optimization,
-            use_subscription_index=use_subscription_index,
-        )
+        if shards > 0:
+            self.support: TriggerSupport = ShardCoordinator(
+                self.rule_table,
+                self.event_base,
+                use_static_optimization=use_static_optimization,
+                use_subscription_index=use_subscription_index,
+                parallel=parallel_shards,
+            )
+        else:
+            self.support = TriggerSupport(
+                self.rule_table,
+                self.event_base,
+                use_static_optimization=use_static_optimization,
+                use_subscription_index=use_subscription_index,
+            )
         self.bulk_ingest = bulk_ingest
         self.outcome = WorkloadOutcome()
 

@@ -1,0 +1,226 @@
+"""StreamIngestor: pipelined ingestion equivalence, back-pressure and errors."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.streaming import StreamIngestor
+from repro.events.clock import TransactionClock
+from repro.events.event import EventOccurrence, EventType, Operation
+from repro.events.event_base import EventBase
+from repro.oodb.objects import ObjectStore
+from repro.oodb.operations import OperationExecutor
+from repro.oodb.schema import Schema
+from repro.rules.actions import NO_ACTION
+from repro.rules.conditions import TRUE_CONDITION
+from repro.rules.executor import RuleEngine
+from repro.rules.rule import Rule
+from repro.core.parser import parse_expression
+
+STOCK = EventType(Operation.CREATE, "stock")
+ORDER = EventType(Operation.CREATE, "order")
+
+
+def make_engine(shards: int = 0) -> RuleEngine:
+    schema = Schema()
+    store = ObjectStore()
+    event_base = EventBase()
+    clock = TransactionClock()
+    operations = OperationExecutor(
+        schema, store, event_base, clock, emit_select_events=False
+    )
+    return RuleEngine(
+        schema=schema,
+        store=store,
+        event_base=event_base,
+        clock=clock,
+        operations=operations,
+        shards=shards,
+    )
+
+
+def add_rule(engine: RuleEngine, name: str, events: str) -> None:
+    engine.rule_table.add(
+        Rule(
+            name=name,
+            events=parse_expression(events),
+            condition=TRUE_CONDITION,
+            action=NO_ACTION,
+        )
+    ).reset(0)
+
+
+def blocks(count: int, per_block: int = 4) -> list[list[EventOccurrence]]:
+    stream: list[list[EventOccurrence]] = []
+    eid = 1
+    for stamp in range(1, count + 1):
+        block = []
+        for offset in range(per_block):
+            event_type = STOCK if (stamp + offset) % 2 else ORDER
+            block.append(
+                EventOccurrence(
+                    eid=eid, event_type=event_type, oid=f"o{offset}", timestamp=stamp
+                )
+            )
+            eid += 1
+        stream.append(block)
+    return stream
+
+
+class TestPipelinedEquivalence:
+    @pytest.mark.parametrize("shards", [0, 4])
+    def test_pipelined_matches_direct(self, shards):
+        stream = blocks(30)
+        direct = make_engine(shards)
+        add_rule(direct, "stock_watch", "create(stock)")
+        add_rule(direct, "pair", "create(stock) + create(order)")
+        for block in stream:
+            direct.run_stream_block(block)
+
+        pipelined = make_engine(shards)
+        add_rule(pipelined, "stock_watch", "create(stock)")
+        add_rule(pipelined, "pair", "create(stock) + create(order)")
+        with StreamIngestor(pipelined, max_pending=4) as ingestor:
+            for block in stream:
+                ingestor.submit(block)
+            ingestor.flush()
+        assert ingestor.stats.processed_blocks == len(stream)
+        assert ingestor.stats.dropped_blocks == 0
+
+        for name in ("stock_watch", "pair"):
+            assert (
+                direct.rule_table.get(name).times_triggered
+                == pipelined.rule_table.get(name).times_triggered
+            )
+        assert [record.rule_name for record in direct.considerations] == [
+            record.rule_name for record in pipelined.considerations
+        ]
+        assert len(direct.event_base) == len(pipelined.event_base)
+
+    def test_submission_order_is_block_order(self):
+        engine = make_engine()
+        with StreamIngestor(engine, max_pending=2) as ingestor:
+            for block in blocks(10):
+                ingestor.submit(block)
+            ingestor.flush()
+        stamps = [occ.timestamp for occ in engine.event_base.occurrences]
+        assert stamps == sorted(stamps)
+
+
+class TestBackpressureAndLifecycle:
+    def test_bounded_queue_limits_producer_runahead(self):
+        engine = make_engine()
+        gate = threading.Event()
+        original = engine.run_stream_block
+
+        def slow_run(batch, bulk=True, type_signature=None):
+            gate.wait(timeout=5)
+            original(batch, bulk=bulk, type_signature=type_signature)
+
+        engine.run_stream_block = slow_run
+        ingestor = StreamIngestor(engine, max_pending=2).start()
+        stream = blocks(6)
+        for block in stream[:3]:
+            ingestor.submit(block)  # 1 in flight + 2 queued
+        blocked_done = threading.Event()
+
+        def blocked_submit():
+            ingestor.submit(stream[3])
+            blocked_done.set()
+
+        producer = threading.Thread(target=blocked_submit, daemon=True)
+        producer.start()
+        time.sleep(0.05)
+        assert not blocked_done.is_set(), "submit should block on a full queue"
+        gate.set()
+        producer.join(timeout=5)
+        assert blocked_done.is_set()
+        ingestor.close()
+        assert ingestor.stats.processed_blocks == 4
+        assert ingestor.stats.max_queue_depth <= 2
+
+    def test_submit_after_close_is_rejected(self):
+        engine = make_engine()
+        ingestor = StreamIngestor(engine).start()
+        ingestor.close()
+        with pytest.raises(RuntimeError):
+            ingestor.submit(blocks(1)[0])
+
+    def test_close_without_wait_drops_queued_blocks(self):
+        engine = make_engine()
+        gate = threading.Event()
+        original = engine.run_stream_block
+
+        def slow_run(batch, bulk=True, type_signature=None):
+            gate.wait(timeout=5)
+            original(batch, bulk=bulk, type_signature=type_signature)
+
+        engine.run_stream_block = slow_run
+        ingestor = StreamIngestor(engine, max_pending=8).start()
+        for block in blocks(4):
+            ingestor.submit(block)
+        gate.set()
+        ingestor.close(wait=False)
+        assert ingestor.stats.processed_blocks + ingestor.stats.dropped_blocks == 4
+
+
+class TestErrorPropagation:
+    def test_consumer_error_reaches_the_producer(self):
+        engine = make_engine()
+
+        def boom(batch, bulk=True, type_signature=None):
+            raise ValueError("broken block")
+
+        engine.run_stream_block = boom
+        ingestor = StreamIngestor(engine).start()
+        ingestor.submit(blocks(1)[0])
+        with pytest.raises(RuntimeError, match="stream ingestion failed"):
+            ingestor.flush()
+
+    def test_blocks_queued_behind_a_failure_are_dropped(self):
+        engine = make_engine()
+        gate = threading.Event()
+
+        def boom(batch, bulk=True, type_signature=None):
+            gate.wait(timeout=5)
+            raise ValueError("broken block")
+
+        engine.run_stream_block = boom
+        ingestor = StreamIngestor(engine, max_pending=8).start()
+        stream = blocks(3)
+        for block in stream:
+            ingestor.submit(block)
+        gate.set()
+        with pytest.raises(RuntimeError, match="stream ingestion failed"):
+            ingestor.flush()
+        assert ingestor.stats.dropped_blocks == 3
+        assert ingestor.stats.processed_blocks == 0
+        # The failure latches: further submissions are refused...
+        with pytest.raises(RuntimeError, match="failed"):
+            ingestor.submit(stream[0])
+        # ...but the (already-delivered) error does not resurface on close.
+        ingestor.close()
+
+
+class TestSignaturePassThrough:
+    def test_precomputed_signature_reaches_the_planner(self):
+        engine = make_engine(shards=2)
+        add_rule(engine, "stock_watch", "create(stock)")
+        block = blocks(1)[0]
+        signature = frozenset(occ.event_type for occ in block)
+        engine.run_stream_block(block, type_signature=signature)
+        assert engine.rule_table.get("stock_watch").times_triggered == 1
+
+    def test_stale_pending_occurrences_force_rederivation(self):
+        engine = make_engine()
+        add_rule(engine, "order_watch", "create(order)")
+        # Leave an unflushed occurrence pending, then stream a batch with a
+        # signature that does not cover it: the handler must re-derive.
+        engine.clock.tick()
+        engine.event_base.record(ORDER, "o9", 1)
+        block = [EventOccurrence(eid=99, event_type=STOCK, oid="o1", timestamp=1)]
+        engine.run_stream_block(block, type_signature=frozenset({STOCK}))
+        assert engine.rule_table.get("order_watch").times_triggered == 1

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.expressions import (
     InstanceConjunction,
+    Primitive,
     InstanceNegation,
     InstancePrecedence,
     SetConjunction,
@@ -260,3 +261,70 @@ class TestRecomputationFilter:
     def test_str_shows_variations(self):
         filter_ = RecomputationFilter(PA)
         assert "Δ+create(A)" in str(filter_)
+
+
+class TestSchemaAwareMatching:
+    """Subclass-aware matching and its memo invalidation (the stale-cache fix)."""
+
+    def occurrence(self, event_type: EventType, timestamp: int = 1):
+        return EventOccurrence(eid=1, event_type=event_type, oid="o1", timestamp=timestamp)
+
+    def _schema(self):
+        from repro.oodb.schema import Schema
+
+        schema = Schema()
+        schema.define("order", {"amount": int})
+        return schema
+
+    def test_subclass_occurrence_matches_superclass_watch(self):
+        schema = self._schema()
+        schema.define("notFilledOrder", superclass="order")
+        watch = EventType(Operation.CREATE, "order")
+        filter_ = RecomputationFilter(Primitive(watch), schema=schema)
+        assert filter_.matches(EventType(Operation.CREATE, "notFilledOrder"))
+
+    def test_superclass_occurrence_does_not_match_subclass_watch(self):
+        schema = self._schema()
+        schema.define("notFilledOrder", superclass="order")
+        watch = EventType(Operation.CREATE, "notFilledOrder")
+        filter_ = RecomputationFilter(Primitive(watch), schema=schema)
+        assert not filter_.matches(EventType(Operation.CREATE, "order"))
+
+    def test_attribute_specific_watch_matches_subclass_attribute_occurrence(self):
+        schema = self._schema()
+        schema.define("notFilledOrder", superclass="order")
+        watch = EventType(Operation.MODIFY, "order", "amount")
+        filter_ = RecomputationFilter(Primitive(watch), schema=schema)
+        assert filter_.matches(EventType(Operation.MODIFY, "notFilledOrder", "amount"))
+        assert not filter_.matches(EventType(Operation.MODIFY, "notFilledOrder", "other"))
+
+    def test_memo_invalidated_when_schema_gains_subclass_after_first_use(self):
+        """Regression: a verdict cached before the subclass existed must not stick."""
+        schema = self._schema()
+        watch = EventType(Operation.CREATE, "order")
+        filter_ = RecomputationFilter(Primitive(watch), schema=schema)
+        special = EventType(Operation.CREATE, "special")
+        # First use caches False: "special" is unknown to the schema.
+        assert not filter_.matches(special)
+        schema.define("special", superclass="order")
+        assert filter_.matches(special)
+
+    def test_bind_schema_after_construction_drops_stale_verdicts(self):
+        schema = self._schema()
+        schema.define("notFilledOrder", superclass="order")
+        watch = EventType(Operation.CREATE, "order")
+        filter_ = RecomputationFilter(Primitive(watch))
+        sub = EventType(Operation.CREATE, "notFilledOrder")
+        assert not filter_.matches(sub)  # schema-less: exact class names only
+        filter_.bind_schema(schema)
+        assert filter_.matches(sub)
+
+    def test_needs_recomputation_sees_subclass_occurrences(self):
+        schema = self._schema()
+        schema.define("notFilledOrder", superclass="order")
+        filter_ = RecomputationFilter(
+            Primitive(EventType(Operation.CREATE, "order")), schema=schema
+        )
+        assert filter_.needs_recomputation(
+            [self.occurrence(EventType(Operation.CREATE, "notFilledOrder"))]
+        )

@@ -326,3 +326,98 @@ class TestPriorityHeaps:
         table.reset_all(transaction_start=4)
         assert table.select_for_consideration() is None
         assert table.triggered_states() == []
+
+
+class TestHeapCompaction:
+    """Counter-driven compaction bounds the heaps under trigger/consider churn."""
+
+    def test_churn_keeps_heap_bounded_and_compacts(self):
+        table = RuleTable()
+        rules = 20
+        for index in range(rules):
+            table.add(make_rule(f"r{index}", priority=index % 5))
+        # Heavy enable/disable-style churn: every rule triggers and is
+        # considered over and over without ever surfacing most of its stale
+        # entries through _peek (we never drain the queue).
+        instant = 1
+        for _ in range(50):
+            for index in range(rules):
+                table.get(f"r{index}").mark_triggered(instant)
+            instant += 1
+            for index in range(rules):
+                table.get(f"r{index}").mark_considered(instant, executed=False)
+            instant += 1
+        assert table.heap_compactions > 0
+        # Without compaction the immediate heap would hold ~50 * 20 entries;
+        # with it, at most 2 * live + threshold survive at any point.
+        from repro.rules.rule_table import _HEAP_COMPACT_THRESHOLD
+
+        for size in table.heap_sizes().values():
+            assert size <= max(_HEAP_COMPACT_THRESHOLD, 2 * rules)
+
+    def test_churn_with_disable_enable_cycles(self):
+        table = RuleTable()
+        rules = 24
+        for index in range(rules):
+            table.add(make_rule(f"r{index}", priority=index % 3))
+        instant = 1
+        for round_ in range(40):
+            for index in range(rules):
+                table.get(f"r{index}").mark_triggered(instant)
+            instant += 1
+            for index in range(rules):
+                name = f"r{index}"
+                if (index + round_) % 2:
+                    table.disable(name)
+                    table.enable(name)
+                else:
+                    table.get(name).mark_considered(instant, executed=False)
+            instant += 1
+        from repro.rules.rule_table import _HEAP_COMPACT_THRESHOLD
+
+        assert table.heap_compactions > 0
+        for size in table.heap_sizes().values():
+            assert size <= max(_HEAP_COMPACT_THRESHOLD, 2 * rules)
+        # Selection still agrees with the brute-force reference after churn.
+        for index in range(rules):
+            table.get(f"r{index}").mark_triggered(instant)
+        reference = sorted(
+            (state for state in table if state.enabled and state.triggered),
+            key=lambda state: (-state.rule.priority, state.definition_order),
+        )
+        assert table.select_for_consideration() is reference[0]
+
+    def test_pending_prune_sheds_dict_capacity(self):
+        # Regression: every fresh rule starts in the pending-full-check set,
+        # so after the first checked block the dict is pruned from N rules to
+        # ~none — but a CPython dict never shrinks in place, and the planner
+        # iterates this set on every block.  The prune must rebuild the dict.
+        import sys
+
+        table = RuleTable()
+        for index in range(5_000):
+            table.add(make_rule(f"r{index}"))
+        peak = sys.getsizeof(table._pending_full_check)
+        for state in table:
+            state.had_nonempty_window = True
+        remaining = table.pending_full_check_states()
+        assert not remaining
+        assert sys.getsizeof(table._pending_full_check) < peak / 10
+
+    def test_stale_counter_stays_in_step_with_peek_discards(self):
+        table = RuleTable()
+        for index in range(40):
+            table.add(make_rule(f"r{index}", priority=1))
+        for index in range(40):
+            table.get(f"r{index}").mark_triggered(1)
+        # Drain everything through selection: every discard goes through _peek.
+        drained = []
+        while (state := table.select_for_consideration()) is not None:
+            drained.append(state.rule.name)
+            state.mark_considered(2, executed=False)
+        assert len(drained) == 40
+        for coupling, count in table._stale_counts.items():
+            assert count == sum(
+                0 if table._entry_valid(entry) else 1
+                for entry in table._heaps[coupling]
+            )
