@@ -23,13 +23,17 @@ Installed as the ``chimera-events`` console script (or run with
     Drive a synthetic rule/stream workload through the full block→trigger
     pipeline (subscription-index planning, priority heaps); ``--bulk-ingest``
     routes blocks through the Event Base's batched ``extend`` fast path,
-    ``--full-scan`` disables the subscription index for comparison, and
-    ``--shards N`` partitions the planning across a shard coordinator
-    (``--parallel-shards`` dispatches the per-shard checks to a worker pool).
+    ``--full-scan`` disables the subscription index for comparison,
+    ``--shards N`` partitions the planning across a shard coordinator,
+    ``--shard-mode serial|threads|processes`` selects how the per-shard
+    checks execute (``processes`` = the multi-core worker pool;
+    ``--parallel-shards`` is the legacy spelling of ``threads``), and
+    ``--plan-cache-size`` overrides the LRU bound of the route/plan caches.
 ``bench``
     Run a benchmark sweep from the installed package (``x7``, the rule-count
-    scaling / bulk-ingestion bench, or ``x8``, the shard-scaling /
-    pipelined-ingestion bench; ``--smoke`` for a tiny grid).
+    scaling / bulk-ingestion bench; ``x8``, the shard-scaling /
+    pipelined-ingestion bench; or ``x9``, the process-mode scaling bench;
+    ``--smoke`` for a tiny grid).
 """
 
 from __future__ import annotations
@@ -120,14 +124,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition trigger planning across N shards (0 = single table)",
     )
     workload_parser.add_argument(
+        "--shard-mode",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help=(
+            "how per-shard checks execute (requires --shards): serial inline, "
+            "a thread pool, or long-lived shard worker processes"
+        ),
+    )
+    workload_parser.add_argument(
         "--parallel-shards",
         action="store_true",
-        help="run per-shard checks on a thread worker pool (requires --shards)",
+        help="legacy alias for --shard-mode threads (requires --shards)",
+    )
+    workload_parser.add_argument(
+        "--plan-cache-size",
+        type=int,
+        default=None,
+        help="LRU bound of the coordinator route cache and shard plan caches",
     )
 
     bench_parser = commands.add_parser("bench", help="run a benchmark sweep")
     bench_parser.add_argument(
-        "which", choices=["x7", "x8"], help="benchmark to run"
+        "which", choices=["x7", "x8", "x9"], help="benchmark to run"
     )
     bench_parser.add_argument("--smoke", action="store_true", help="tiny grid (seconds)")
     bench_parser.add_argument("--out", default=None, help="write the JSON results here")
@@ -211,9 +230,19 @@ def _command_stock_demo(args: argparse.Namespace) -> int:
 
 
 def _command_workload(args: argparse.Namespace) -> int:
-    if args.parallel_shards and not args.shards:
-        print("error: --parallel-shards requires --shards", file=sys.stderr)
+    if (args.parallel_shards or args.shard_mode) and not args.shards:
+        print("error: --shard-mode/--parallel-shards require --shards", file=sys.stderr)
         return 2
+    if args.plan_cache_size is not None:
+        if not args.shards:
+            print("error: --plan-cache-size requires --shards", file=sys.stderr)
+            return 2
+        if args.plan_cache_size < 1:
+            print(
+                f"error: --plan-cache-size must be positive (got {args.plan_cache_size})",
+                file=sys.stderr,
+            )
+            return 2
     if args.full_scan and args.shards:
         # The shard coordinator has nothing to fan out without the
         # subscription index; refuse rather than silently run the scan.
@@ -226,53 +255,75 @@ def _command_workload(args: argparse.Namespace) -> int:
         build_scaling_universe,
     )
 
+    shard_mode = args.shard_mode
+    if shard_mode is None and args.parallel_shards:
+        shard_mode = "threads"
     universe = build_scaling_universe(args.rules)
     workload = ScalingWorkload(
         build_scaling_rules(args.rules, universe, seed=args.seed),
         use_subscription_index=not args.full_scan,
         bulk_ingest=args.bulk_ingest,
         shards=args.shards,
-        parallel_shards=args.parallel_shards,
+        shard_mode=shard_mode,
+        plan_cache_size=args.plan_cache_size,
     )
     stream = EventStreamGenerator(
         event_types=universe, seed=args.seed + 1, events_per_block=args.events_per_block
     ).blocks(args.blocks)
-    outcome = workload.run(stream)
-    if args.shards > 0:
-        planning = f"sharded x{args.shards}" + (
-            " (worker pool)" if args.parallel_shards else " (serial)"
+    try:
+        outcome = workload.run(stream)
+        if args.shards > 0:
+            planning = f"sharded x{args.shards} ({shard_mode or 'serial'})"
+        else:
+            planning = "full scan" if args.full_scan else "subscription index"
+        print(
+            render_kv(
+                {
+                    "rules": args.rules,
+                    "blocks": outcome.blocks,
+                    "events": outcome.events,
+                    "ingest mode": "bulk extend" if args.bulk_ingest else "per-append loop",
+                    "planning": planning,
+                    "ingest ms": round(outcome.ingest_seconds * 1e3, 2),
+                    "check ms": round(outcome.check_seconds * 1e3, 2),
+                    "select ms": round(outcome.select_seconds * 1e3, 2),
+                    "considerations": len(outcome.considerations),
+                },
+                title="workload",
+            )
         )
-    else:
-        planning = "full scan" if args.full_scan else "subscription index"
-    print(
-        render_kv(
-            {
-                "rules": args.rules,
-                "blocks": outcome.blocks,
-                "events": outcome.events,
-                "ingest mode": "bulk extend" if args.bulk_ingest else "per-append loop",
-                "planning": planning,
-                "ingest ms": round(outcome.ingest_seconds * 1e3, 2),
-                "check ms": round(outcome.check_seconds * 1e3, 2),
-                "select ms": round(outcome.select_seconds * 1e3, 2),
-                "considerations": len(outcome.considerations),
-            },
-            title="workload",
-        )
-    )
-    print(render_kv(outcome.stats, title="Trigger Support"))
-    if args.shards > 0:
-        cluster = dict(workload.support.cluster_stats.as_dict())
-        cluster["plan_cache_hits"] = workload.rule_table.plan_cache_hits
-        cluster["plan_cache_misses"] = workload.rule_table.plan_cache_misses
-        print(render_kv(cluster, title="Shard Coordinator"))
+        print(render_kv(outcome.stats, title="Trigger Support"))
+        if args.shards > 0:
+            table = workload.rule_table
+            cluster = dict(workload.support.cluster_stats.as_dict())
+            cluster["plan_cache_hits"] = table.plan_cache_hits
+            cluster["plan_cache_misses"] = table.plan_cache_misses
+            cluster["plan_cache_evictions"] = table.plan_cache_evictions
+            # Shard balance: crc32 bucket placement can skew for real rule
+            # pools — the adaptive-rebalancing follow-up needs this signal.
+            population = table.shard_population()
+            mean_population = sum(population) / max(1, len(population))
+            cluster["shard_population"] = "/".join(str(count) for count in population)
+            cluster["shard_skew"] = round(max(population) / max(1.0, mean_population), 2)
+            pool = getattr(workload.support, "process_pool", None)
+            if pool is not None:
+                for key, value in pool.transport_stats().items():
+                    cluster[f"pool_{key}"] = value
+            print(render_kv(cluster, title="Shard Coordinator"))
+    finally:
+        workload.close()
     return 0
 
 
 def _command_bench(args: argparse.Namespace) -> int:
     import json
 
-    if args.which == "x8":
+    if args.which == "x9":
+        from repro.workloads.process_scaling import render_x9, run_x9_sweeps
+
+        results = run_x9_sweeps(smoke=args.smoke)
+        print(render_x9(results))
+    elif args.which == "x8":
         from repro.workloads.shard_scaling import render_x8, run_x8_sweeps
 
         results = run_x8_sweeps(smoke=args.smoke)

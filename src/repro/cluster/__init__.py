@@ -9,28 +9,44 @@ package scales along:
   caches;
 * :mod:`repro.cluster.coordinator` — :class:`ShardCoordinator`, the Trigger
   Support that fans each block's type signature out to the owning shards,
-  runs the per-shard checks over shared zero-copy ``BoundedView`` windows
-  (serial deterministic mode or a thread worker pool) and merges the
-  triggered sets back deterministically;
+  runs the per-shard checks in one of three execution modes (inline serial,
+  thread pool over shared zero-copy ``BoundedView`` windows, or the process
+  worker pool) and merges the triggered sets back deterministically;
+* :mod:`repro.cluster.process_pool` — :class:`ProcessShardPool`, the
+  long-lived worker processes that own their shard's expressions and
+  incremental memos plus a mirror Event Base grown from per-block window
+  snapshots — the first execution mode where trigger checking uses multiple
+  cores;
 * :mod:`repro.cluster.streaming` — :class:`StreamIngestor`, the bounded-queue
   pipeline that decouples producers from rule evaluation.
 
-See PERFORMANCE.md ("Sharded trigger planning") for the architecture notes
-and BENCH_PR3.json / ``benchmarks/bench_x8_shard_scaling.py`` for numbers.
+See PERFORMANCE.md ("Sharded trigger planning" and "Multi-process shard
+workers") for the architecture notes and BENCH_PR3.json / BENCH_PR4.json
+(``benchmarks/bench_x8_shard_scaling.py`` /
+``benchmarks/bench_x9_process_scaling.py``) for numbers.
 """
 
 from repro.cluster.coordinator import ShardCoordinator, ShardCoordinatorStats, ShardedPlan
+from repro.cluster.process_pool import ProcessShardPool
 from repro.cluster.sharding import (
+    DEFAULT_PLAN_CACHE_SIZE,
     DEFAULT_SHARD_ENV_VAR,
+    DEFAULT_SHARD_MODE_ENV_VAR,
+    SHARD_MODES,
     ShardedRuleTable,
     default_shard_count,
+    default_shard_mode,
     home_shard,
     shard_of_bucket,
 )
 from repro.cluster.streaming import StreamIngestStats, StreamIngestor
 
 __all__ = [
+    "DEFAULT_PLAN_CACHE_SIZE",
     "DEFAULT_SHARD_ENV_VAR",
+    "DEFAULT_SHARD_MODE_ENV_VAR",
+    "SHARD_MODES",
+    "ProcessShardPool",
     "ShardCoordinator",
     "ShardCoordinatorStats",
     "ShardedPlan",
@@ -38,6 +54,7 @@ __all__ = [
     "StreamIngestStats",
     "StreamIngestor",
     "default_shard_count",
+    "default_shard_mode",
     "home_shard",
     "shard_of_bucket",
 ]

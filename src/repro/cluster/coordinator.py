@@ -11,37 +11,48 @@ owning shard wins, deterministically), and pending-full-check rules — which
 every block must visit regardless of signature — ride on their name's home
 shard.
 
-The exact checks run over shared zero-copy :class:`~repro.events.event_base.BoundedView`
-windows carved out of the one Event Base — shards receive *handles*, never
-copies.  Two execution modes:
+The exact checks run in one of three execution modes (``shard_mode``):
 
 * **serial deterministic** (default) — shard batches are evaluated inline in
-  shard order.  The check path is index-bisection-bound (pure-Python
-  ``bisect`` over the shared indexes), so this is also the fastest mode on a
-  GIL-bound interpreter;
-* **worker pool** (``parallel=True``) — shard batches are dispatched to a
-  thread pool.  Each worker touches only per-rule state (the
+  shard order, over shared zero-copy
+  :class:`~repro.events.event_base.BoundedView` windows carved out of the one
+  Event Base.  The check path is index-bisection-bound (pure-Python
+  ``bisect`` over the shared indexes), so this is also the fastest
+  single-core mode on a GIL-bound interpreter;
+* **threads** — shard batches are dispatched to a thread pool over the same
+  shared views.  Each worker touches only per-rule state (the
   :class:`~repro.core.triggering.TriggerMemo`) plus a worker-local
   :class:`~repro.core.evaluation.EvaluationStats`; shared-store reads are
   safe (the EB is frozen during a check) and its pattern-match memo tolerates
-  benign duplicate computation.
+  benign duplicate computation.  Under the GIL this buys latency, not
+  throughput;
+* **processes** — the evaluate phase moves out of process entirely
+  (:class:`~repro.cluster.process_pool.ProcessShardPool`): long-lived workers
+  own their shard's expressions and memos plus a mirror Event Base grown
+  from per-block window snapshots, and reply with decisions.  This is the
+  first mode where trigger checking can use multiple cores.  Every rule is
+  dealt to a *fixed* home worker (lowest owning shard) so its memo stays
+  resident and ``instants_sampled`` matches the serial mode exactly.
 
-Either way the decisions are **applied serially in definition order**, so the
-triggered set, the priority heaps, every counter and the returned
-newly-triggered list are byte-for-byte identical to the single-table
-``check_after_block`` — the equivalence the ``tests/cluster`` property tests
-pin for shard counts 1–8 under rule churn.
+Whatever the mode, the decisions are **applied serially in definition
+order**, so the triggered set, the priority heaps, every counter and the
+returned newly-triggered list are byte-for-byte identical to the
+single-table ``check_after_block`` — the equivalence the ``tests/cluster``
+property tests pin for shard counts 1–8 under rule churn, in all three
+modes (``tests/cluster/test_mode_equivalence.py``).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.evaluation import EvaluationMode, EvaluationStats
 from repro.core.triggering import TriggeringDecision
-from repro.cluster.sharding import ShardedRuleTable
+from repro.cluster.process_pool import ProcessShardPool
+from repro.cluster.sharding import SHARD_MODES, ShardedRuleTable
 from repro.events.clock import Timestamp
 from repro.events.event import EventOccurrence, EventType
 from repro.events.event_base import EventBase
@@ -77,7 +88,10 @@ class ShardCoordinatorStats:
     blocks_fanned_out: int = 0
     shards_consulted: int = 0
     max_shards_per_block: int = 0
+    #: Worker batches dispatched off the calling thread (threads or processes).
     parallel_batches: int = 0
+    #: Route-cache entries evicted by the LRU bound (adversarial signatures).
+    route_cache_evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -85,6 +99,7 @@ class ShardCoordinatorStats:
             "shards_consulted": self.shards_consulted,
             "max_shards_per_block": self.max_shards_per_block,
             "parallel_batches": self.parallel_batches,
+            "route_cache_evictions": self.route_cache_evictions,
         }
 
 
@@ -103,6 +118,7 @@ class ShardCoordinator(TriggerSupport):
         use_static_optimization: bool = True,
         mode: EvaluationMode = EvaluationMode.LOGICAL,
         use_subscription_index: bool = True,
+        shard_mode: str | None = None,
         parallel: bool = False,
         max_workers: int | None = None,
     ) -> None:
@@ -115,17 +131,30 @@ class ShardCoordinator(TriggerSupport):
             mode=mode,
             use_subscription_index=use_subscription_index,
         )
-        self.parallel = parallel
+        # ``parallel=True`` is the PR-3 spelling of what is now
+        # ``shard_mode="threads"``; an explicit shard_mode wins.
+        if shard_mode is None:
+            shard_mode = "threads" if parallel else "serial"
+        if shard_mode not in SHARD_MODES:
+            raise ValueError(
+                f"unknown shard_mode {shard_mode!r}; expected one of {', '.join(SHARD_MODES)}"
+            )
+        self.shard_mode = shard_mode
+        self.parallel = shard_mode == "threads"
         self.max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessShardPool | None = None
+        #: Plan epoch at the last worker-definition prune (processes mode).
+        self._pruned_epoch: tuple[int, int] | None = None
         #: Full-signature -> per-shard sub-signatures, so a recurring block
         #: shape costs two dictionary hits before the shard plans take over
         #: (BlockIngest already interns the signature as a frozenset, whose
         #: hash is computed once).  Validated against the table's plan epoch
-        #: like the shard caches.
-        self._route_cache: dict[
+        #: like the shard caches, and LRU-bounded by the same cap so
+        #: adversarial never-repeating signatures cannot grow it.
+        self._route_cache: OrderedDict[
             frozenset[EventType], list[tuple[int, frozenset[EventType]]]
-        ] = {}
+        ] = OrderedDict()
         self._route_epoch: tuple[int, int] | None = None
         self.cluster_stats = ShardCoordinatorStats()
 
@@ -155,6 +184,11 @@ class ShardCoordinator(TriggerSupport):
                 for shard_id, types in sorted(routed_types.items())
             ]
             self._route_cache[key] = routing
+            if len(self._route_cache) > table.plan_cache_size:
+                self._route_cache.popitem(last=False)
+                self.cluster_stats.route_cache_evictions += 1
+        else:
+            self._route_cache.move_to_end(key)
         chosen: set[str] = set()
         batches: dict[int, list[RuleState]] = {}
         routed = 0
@@ -213,28 +247,38 @@ class ShardCoordinator(TriggerSupport):
             cluster.max_shards_per_block, len(plan.per_shard)
         )
 
-        if self.parallel and len(plan.per_shard) > 1:
-            cluster.parallel_batches += len(plan.per_shard)
-            futures = [
-                self._ensure_pool().submit(
-                    self._evaluate_shard, states, now, transaction_start
-                )
-                for _, states in plan.per_shard
-            ]
-            shard_results = [future.result() for future in futures]
+        if self.shard_mode == "processes":
+            # Out-of-process evaluate phase: even a single-shard plan goes to
+            # the workers, because the rules' incremental memos live there.
+            evaluated, merged_stats = self._evaluate_in_processes(
+                plan, now, transaction_start
+            )
+            self.stats.evaluation.merge(merged_stats)
         else:
-            shard_results = [
-                self._evaluate_shard(states, now, transaction_start)
-                for _, states in plan.per_shard
-            ]
+            if self.shard_mode == "threads" and len(plan.per_shard) > 1:
+                cluster.parallel_batches += len(plan.per_shard)
+                futures = [
+                    self._ensure_pool().submit(
+                        self._evaluate_shard, states, now, transaction_start
+                    )
+                    for _, states in plan.per_shard
+                ]
+                shard_results = [future.result() for future in futures]
+            else:
+                shard_results = [
+                    self._evaluate_shard(states, now, transaction_start)
+                    for _, states in plan.per_shard
+                ]
+            # Evaluation stats merge in shard order — exactly the order the
+            # serial mode accumulates them.
+            evaluated = []
+            for decisions, local_stats in shard_results:
+                self.stats.evaluation.merge(local_stats)
+                evaluated.extend(decisions)
 
-        # Deterministic merge: evaluation stats in shard order, decisions in
-        # definition order — exactly the order the single-table check applies
-        # them, so heaps, counters and the returned list line up.
-        evaluated: list[tuple[RuleState, TriggeringDecision]] = []
-        for decisions, local_stats in shard_results:
-            self.stats.evaluation.merge(local_stats)
-            evaluated.extend(decisions)
+        # Deterministic merge: decisions applied in definition order —
+        # exactly the order the single-table check applies them, so heaps,
+        # counters and the returned list line up.
         evaluated.sort(key=lambda pair: pair[0].definition_order)
         for state, decision in evaluated:
             self.stats.rules_checked += 1
@@ -258,7 +302,111 @@ class ShardCoordinator(TriggerSupport):
             )
         return decisions, local_stats
 
-    # -- worker pool ------------------------------------------------------------
+    # -- the out-of-process evaluate phase --------------------------------------
+    def _worker_of(self, state: RuleState, num_workers: int) -> int:
+        """The fixed home worker of a rule — residency keeps its memo exact.
+
+        The plan's "lowest consulted owning shard wins" dealing varies with
+        the block signature; dealing the *evaluation* by the rule's lowest
+        owning shard instead pins each rule to one worker for its lifetime,
+        so the worker-resident memo sees exactly the check sequence the
+        serial mode's memo sees.
+        """
+        table = self.rule_table
+        owners = table.shards_of_rule(state.rule.name)
+        shard = owners[0] if owners else table.home_shard_of(state.rule.name)
+        return shard % num_workers
+
+    def _process_worker_count(self) -> int:
+        """Worker count of the process pool (computable without spawning it)."""
+        workers = self.rule_table.num_shards
+        if self.max_workers:
+            workers = min(workers, self.max_workers)
+        return workers
+
+    def _evaluate_in_processes(
+        self,
+        plan: ShardedPlan,
+        now: Timestamp,
+        transaction_start: Timestamp,
+    ) -> tuple[list[tuple[RuleState, TriggeringDecision]], EvaluationStats]:
+        num_workers = self._process_worker_count()
+        if self._process_pool is not None:
+            # Eager, epoch-gated: keeps the shipping bookkeeping bounded by
+            # the live rule population even across candidate-free blocks
+            # (pruning touches no worker — drops piggyback on the next send).
+            self._prune_worker_defs(self._process_pool)
+        assignments: dict[int, list[tuple[RuleState, Timestamp]]] = {}
+        for _, states in plan.per_shard:
+            for state in states:
+                self.prepare_rule(state)
+                assignments.setdefault(self._worker_of(state, num_workers), []).append(
+                    (state, state.triggering_window_start(transaction_start))
+                )
+        if not assignments:
+            # Nothing to evaluate: do not spawn (or even contact) the pool —
+            # a rule-free database pays nothing for the processes mode.
+            return [], EvaluationStats()
+        pool = self._ensure_process_pool()
+        self._prune_worker_defs(pool)
+        self.cluster_stats.parallel_batches += len(assignments)
+        return pool.evaluate(self.event_base, assignments, now)
+
+    def _prune_worker_defs(self, pool: ProcessShardPool) -> None:
+        """Queue worker-side eviction of removed rules (epoch-gated).
+
+        The plan epoch moves on every add/remove, so the shipped-definition
+        scan only runs under table churn — steady state pays one tuple
+        comparison per block, and a long-lived pool stays bounded by the
+        live rule population.
+        """
+        epoch = self.rule_table.plan_epoch()
+        if self._pruned_epoch != epoch:
+            pool.prune(self.rule_table.__contains__)
+            self._pruned_epoch = epoch
+
+    def recheck_all(
+        self, now: Timestamp, transaction_start: Timestamp
+    ) -> list[RuleState]:
+        """Commit-time recheck; in process mode it runs on the workers too.
+
+        The worker-resident memos must observe *every* check of their rule —
+        a coordinator-side recheck would both miss their frontier and leave
+        them stale — so the process mode routes the exhaustive recheck
+        through the same fixed-home dealing as the per-block checks.  The
+        other modes keep the inherited serial recheck (their memos live on
+        the coordinator's rule states).
+        """
+        if self.shard_mode != "processes" or not (
+            self.use_static_optimization and self.use_subscription_index
+        ):
+            return super().recheck_all(now, transaction_start)
+        num_workers = self._process_worker_count()
+        assignments: dict[int, list[tuple[RuleState, Timestamp]]] = {}
+        for state in self.rule_table.untriggered_states():
+            assignments.setdefault(self._worker_of(state, num_workers), []).append(
+                (state, state.triggering_window_start(transaction_start))
+            )
+        if not assignments:
+            return []
+        pool = self._ensure_process_pool()
+        self._prune_worker_defs(pool)
+        evaluated, merged_stats = pool.evaluate(self.event_base, assignments, now)
+        self.stats.evaluation.merge(merged_stats)
+        evaluated.sort(key=lambda pair: pair[0].definition_order)
+        newly_triggered: list[RuleState] = []
+        for state, decision in evaluated:
+            if self._apply_decision(state, decision, now):
+                newly_triggered.append(state)
+        return newly_triggered
+
+    def forget_incremental_state(self) -> None:
+        """Drop coordinator-side memos *and* the workers' mirrors/memos."""
+        super().forget_incremental_state()
+        if self._process_pool is not None:
+            self._process_pool.reset()
+
+    # -- worker pools ------------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             workers = self.max_workers or min(8, self.rule_table.num_shards)
@@ -267,11 +415,26 @@ class ShardCoordinator(TriggerSupport):
             )
         return self._pool
 
+    def _ensure_process_pool(self) -> ProcessShardPool:
+        if self._process_pool is None:
+            self._process_pool = ProcessShardPool(
+                self._process_worker_count(), mode=self.mode
+            )
+        return self._process_pool
+
+    @property
+    def process_pool(self) -> ProcessShardPool | None:
+        """The process pool, if the processes mode has spawned one."""
+        return self._process_pool
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; serial mode needs no pool)."""
+        """Shut the worker pools down (idempotent; serial mode needs none)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._process_pool is not None:
+            self._process_pool.close()
+            self._process_pool = None
 
     def __enter__(self) -> "ShardCoordinator":
         return self

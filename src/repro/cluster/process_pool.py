@@ -1,0 +1,463 @@
+"""Process shard workers: trigger checks that actually use multiple cores.
+
+PR 3 moved shard checks onto a thread pool, but under the GIL that bought
+latency decoupling, not throughput (BENCH_PR3.json: ingestion 0.98x).  This
+module is the out-of-process step the coordinator's evaluate/apply split was
+designed for: N **long-lived worker processes**, each owning its shard's
+sub-table — the triggering event expressions and the per-rule incremental
+:class:`~repro.core.triggering.TriggerMemo`s of the rules dealt to it — plus a
+**mirror Event Base** grown incrementally from per-block window snapshots.
+
+Per block the coordinator ships each consulted worker one message::
+
+    (window-snapshot of the EB slice the worker has not seen,
+     new/changed rule definitions, dropped rule names,
+     work items (rule name, window start), now)
+
+(the block's type *signature* stays coordinator-side — it keys the route
+cache that decides the work items in the first place) and the worker replies
+with the *evaluate-phase* decisions — compact
+:class:`~repro.core.triggering.TriggeringDecision` rows plus its local
+:class:`~repro.core.evaluation.EvaluationStats`.  All writes (counters, the
+triggered flag, heap pushes) stay in the coordinator process, which applies
+the decisions **serially in definition order** — so serial, thread and
+process modes are behaviorally identical by construction
+(``tests/cluster/test_mode_equivalence.py`` pins it, stats included).
+
+Three design points make the equivalence exact rather than approximate:
+
+* **memo residency** — a rule is always dealt to the same worker (its lowest
+  owning shard, or its name's home shard), so its ``TriggerMemo`` sees
+  exactly the sequence of checks the serial mode's memo sees and
+  ``instants_sampled`` comes out identical;
+* **full mirror** — every worker receives *every* EB slice (negated or
+  precedence sub-expressions read occurrences of types other shards own), so
+  a worker-side window is byte-equivalent to the coordinator's zero-copy
+  view;
+* **synchronous failure** — snapshots are pickled in the coordinator
+  process (:meth:`WindowSnapshot.pickled`), so an unpicklable user payload
+  raises a clear :class:`~repro.errors.SnapshotError` at the call site
+  instead of crashing a worker.
+
+Workers are daemonic and additionally reaped by a ``weakref.finalize``
+shutdown, so an abandoned pool cannot leak processes past its coordinator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+import traceback
+import weakref
+
+from repro.core.evaluation import EvaluationMode, EvaluationStats
+from repro.core.triggering import TriggerMemo, TriggeringDecision, is_triggered
+from repro.errors import ShardWorkerError, SnapshotError
+from repro.events.clock import Timestamp
+from repro.events.event import EventType
+from repro.events.event_base import EventBase, WindowSnapshot
+from repro.rules.rule import RuleState
+
+__all__ = ["ProcessShardPool"]
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+# ---------------------------------------------------------------------------
+# Worker side (runs in the child process; must stay module-level so the pool
+# also works under the "spawn" start method)
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(connection, mode_value: str) -> None:
+    """One shard worker: mirror EB + per-rule expressions/memos, message loop."""
+    mode = EvaluationMode(mode_value)
+    mirror = EventBase()
+    #: rule name -> [definition order, event expression, TriggerMemo].  The
+    #: definition order doubles as the definition *version*: a re-added rule
+    #: gets a fresh one, which makes the coordinator re-ship it and this
+    #: worker replace the entry (memo included).
+    rules: dict[str, list] = {}
+    type_cache: dict[tuple, EventType] = {}
+    while True:
+        try:
+            request = pickle.loads(connection.recv_bytes())
+        except (EOFError, OSError):
+            return  # coordinator went away: exit quietly
+        kind = request[0]
+        if kind == "stop":
+            return
+        #: Whether the message's state (delta/drops/defs) was fully applied
+        #: before the failure — if not, this worker's mirror diverged from
+        #: the coordinator's bookkeeping and the pool must not be reused.
+        state_applied = kind == "reset"
+        try:
+            if kind == "reset":
+                # New EB log (transaction boundary): the mirror and every
+                # memo describe the old one.  Definitions survive.
+                mirror = EventBase()
+                type_cache.clear()
+                for entry in rules.values():
+                    entry[2].clear()
+                connection.send_bytes(pickle.dumps(("ok", (), None), _PROTOCOL))
+                continue
+            _, delta_bytes, defs, drops, items, now = request
+            if delta_bytes is not None:
+                delta = WindowSnapshot.from_pickled(delta_bytes)
+                mirror.extend(delta.occurrences(type_cache=type_cache))
+            # Drops before defs: a removed-then-re-added name must end up
+            # with the fresh definition, not the stale entry.
+            for name in drops:
+                rules.pop(name, None)
+            for name, order, expression in defs:
+                rules[name] = [order, expression, TriggerMemo()]
+            state_applied = True
+            stats = EvaluationStats()
+            decisions: list[tuple[str, tuple]] = []
+            for name, window_start in items:
+                entry = rules[name]
+                decision = is_triggered(
+                    entry[1], mirror, window_start, now, mode, stats, memo=entry[2]
+                )
+                decisions.append(
+                    (
+                        name,
+                        (
+                            decision.triggered,
+                            decision.instant,
+                            decision.ts_value,
+                            decision.window_size,
+                            decision.instants_sampled,
+                        ),
+                    )
+                )
+            connection.send_bytes(pickle.dumps(("ok", decisions, stats), _PROTOCOL))
+        except Exception as exc:
+            # Ship the exception object itself when it pickles, so the
+            # coordinator can re-raise the same type the serial mode would
+            # have surfaced; fall back to the traceback text otherwise.
+            formatted = traceback.format_exc()
+            try:
+                payload = pickle.dumps(("error", exc, formatted, state_applied), _PROTOCOL)
+            except Exception:
+                payload = pickle.dumps(("error", None, formatted, state_applied), _PROTOCOL)
+            try:
+                connection.send_bytes(payload)
+            except Exception:
+                return
+
+
+def _shutdown_workers(members: list[tuple]) -> None:
+    """Best-effort worker teardown (idempotent; also runs via weakref.finalize)."""
+    stop = pickle.dumps(("stop",), _PROTOCOL)
+    for process, connection in members:
+        try:
+            if process.is_alive():
+                connection.send_bytes(stop)
+        except Exception:
+            pass
+    for process, connection in members:
+        try:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        except Exception:
+            pass
+        try:
+            connection.close()
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Coordinator-side bookkeeping for one worker process."""
+
+    __slots__ = (
+        "worker_id",
+        "process",
+        "connection",
+        "shipped_events",
+        "shipped_defs",
+        "pending_drops",
+    )
+
+    def __init__(self, worker_id: int, process, connection) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.connection = connection
+        #: How much of the current EB log this worker's mirror holds.
+        self.shipped_events = 0
+        #: rule name -> definition order of the definition last shipped.
+        self.shipped_defs: dict[str, int] = {}
+        #: Removed rule names not yet delivered to the worker (piggybacked
+        #: on the next message, so churn costs no extra round trip).
+        self.pending_drops: list[str] = []
+
+
+class ProcessShardPool:
+    """N long-lived processes evaluating shard batches against mirror EBs.
+
+    The pool is transport + residency bookkeeping only; *which* rules are
+    candidates for a block is decided by the coordinator's plan, and every
+    state mutation happens back in the coordinator.  See the module
+    docstring for the protocol.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        mode: EvaluationMode = EvaluationMode.LOGICAL,
+        start_method: str | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"a process shard pool needs at least 1 worker (got {num_workers})")
+        self.num_workers = num_workers
+        self.mode = mode
+        if start_method is None:
+            # fork keeps startup in the low milliseconds and needs no
+            # re-imports; the worker main stays spawn-compatible for
+            # platforms without it.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self._workers: list[_WorkerHandle] = []
+        for worker_id in range(num_workers):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_end, mode.value),
+                name=f"shard-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._workers.append(_WorkerHandle(worker_id, process, parent_end))
+        self._closed = False
+        #: Set when a worker died mid-protocol or diverged from the
+        #: coordinator's bookkeeping — the pool then refuses further work.
+        self._broken = False
+        # -- transport observability (fed into the workload reports) --
+        self.dispatches = 0
+        self.worker_round_trips = 0
+        self.bytes_shipped = 0
+        self.bytes_received = 0
+        #: Coordinator-side serialization cost (snapshot + message pickling):
+        #: the "snapshot cost" side of the crossover PERFORMANCE.md discusses.
+        self.encode_seconds = 0.0
+        self._finalizer = weakref.finalize(
+            self,
+            _shutdown_workers,
+            [(handle.process, handle.connection) for handle in self._workers],
+        )
+
+    # -- the per-block round trip ---------------------------------------------
+    def evaluate(
+        self,
+        event_base: EventBase,
+        assignments: dict[int, list[tuple[RuleState, Timestamp]]],
+        now: Timestamp,
+    ) -> tuple[list[tuple[RuleState, TriggeringDecision]], EvaluationStats]:
+        """Evaluate one block's work items on the workers.
+
+        ``assignments`` maps worker id -> ``(state, window start)`` pairs; a
+        rule must always be assigned to the same worker (the coordinator's
+        fixed-home dealing) so its memo stays resident.  Every worker with
+        pending EB slices or work receives a message; returns the evaluated
+        ``(state, decision)`` pairs (in worker order — the coordinator sorts
+        by definition order before applying) plus the merged evaluation
+        stats.
+        """
+        self._require_usable()
+        log = event_base.occurrences
+        total = len(log)
+        by_name: dict[str, RuleState] = {}
+        encoded_deltas: dict[int, bytes] = {}
+        prepared: list[tuple[_WorkerHandle, bytes, list[tuple[str, int]]]] = []
+        started = time.perf_counter()
+        for worker_id in sorted(assignments):
+            handle = self._workers[worker_id]
+            batch = assignments[worker_id]
+            defs: list[tuple[str, int, object]] = []
+            new_defs: list[tuple[str, int]] = []
+            items: list[tuple[str, Timestamp]] = []
+            for state, window_start in batch:
+                name = state.rule.name
+                order = state.definition_order
+                if handle.shipped_defs.get(name) != order:
+                    defs.append((name, order, state.rule.events))
+                    new_defs.append((name, order))
+                items.append((name, window_start))
+                by_name[name] = state
+            delta_bytes: bytes | None = None
+            if handle.shipped_events < total:
+                offset = handle.shipped_events
+                delta_bytes = encoded_deltas.get(offset)
+                if delta_bytes is None:
+                    delta_bytes = WindowSnapshot.of(log[offset:]).pickled()
+                    encoded_deltas[offset] = delta_bytes
+            message = (
+                "check",
+                delta_bytes,
+                tuple(defs),
+                tuple(handle.pending_drops),
+                tuple(items),
+                now,
+            )
+            prepared.append((handle, self._encode(message), new_defs))
+        self.encode_seconds += time.perf_counter() - started
+        # Nothing is sent until every message encoded cleanly: a snapshot
+        # failure therefore leaves every worker exactly where it was.
+        for handle, payload, new_defs in prepared:
+            self._send(handle, payload)
+            handle.shipped_events = total
+            handle.pending_drops.clear()
+            for name, order in new_defs:
+                handle.shipped_defs[name] = order
+        self.dispatches += 1
+        self.worker_round_trips += len(prepared)
+        evaluated: list[tuple[RuleState, TriggeringDecision]] = []
+        merged = EvaluationStats()
+        # Drain every worker's reply even when one fails: an unread reply
+        # left in a pipe would pair with the *next* request and desync the
+        # pool permanently.  The first failure is re-raised afterwards.
+        first_error: BaseException | None = None
+        for handle, _, _ in prepared:
+            try:
+                decisions, worker_stats = self._receive(handle)
+            except BaseException as exc:  # transport death poisons in _receive
+                if first_error is None:
+                    first_error = exc
+                continue
+            if first_error is not None:
+                continue
+            if worker_stats is not None:
+                merged.merge(worker_stats)
+            for name, row in decisions:
+                evaluated.append((by_name[name], TriggeringDecision(*row)))
+        if first_error is not None:
+            raise first_error
+        return evaluated, merged
+
+    def prune(self, is_live) -> int:
+        """Forget definitions of rules that left the table.
+
+        ``is_live`` is a ``name -> bool`` predicate (typically the rule
+        table's ``__contains__``).  Stale names are removed from the shipping
+        bookkeeping immediately and queued as drops piggybacked on each
+        worker's next message — so a long-lived pool under add/remove churn
+        stays bounded by the *live* rule population, costing no extra round
+        trip.  Returns how many (worker, rule) entries were pruned.
+        """
+        pruned = 0
+        for handle in self._workers:
+            stale = [name for name in handle.shipped_defs if not is_live(name)]
+            for name in stale:
+                del handle.shipped_defs[name]
+            handle.pending_drops.extend(stale)
+            pruned += len(stale)
+        return pruned
+
+    def reset(self) -> None:
+        """Forget every mirror EB and memo (the coordinator's EB was rebound)."""
+        if self._closed or not self._workers:
+            return
+        self._require_usable()
+        payload = pickle.dumps(("reset",), _PROTOCOL)
+        for handle in self._workers:
+            self._send(handle, payload)
+        for handle in self._workers:
+            self._receive(handle)
+            handle.shipped_events = 0
+
+    # -- transport ------------------------------------------------------------
+    def _require_usable(self) -> None:
+        if self._closed:
+            raise ShardWorkerError("the process shard pool is closed")
+        if self._broken:
+            raise ShardWorkerError(
+                "the process shard pool is broken (a worker died or diverged "
+                "from the coordinator's bookkeeping); close it and let the "
+                "coordinator spawn a fresh one"
+            )
+
+    def _encode(self, message: tuple) -> bytes:
+        try:
+            return pickle.dumps(message, _PROTOCOL)
+        except SnapshotError:
+            raise
+        except Exception as exc:
+            raise SnapshotError(
+                f"shard work item is not picklable: {exc}"
+            ) from exc
+
+    def _send(self, handle: _WorkerHandle, payload: bytes) -> None:
+        try:
+            handle.connection.send_bytes(payload)
+        except (BrokenPipeError, OSError) as exc:
+            # A half-dispatched block cannot be rolled back: poison the pool
+            # so later calls fail loudly instead of desyncing.
+            self._broken = True
+            raise ShardWorkerError(
+                f"shard worker {handle.worker_id} is gone (send failed: {exc})"
+            ) from exc
+        self.bytes_shipped += len(payload)
+
+    def _receive(self, handle: _WorkerHandle):
+        try:
+            raw = handle.connection.recv_bytes()
+        except (EOFError, OSError) as exc:
+            # The reply stream is unrecoverable: poison the pool.
+            self._broken = True
+            raise ShardWorkerError(
+                f"shard worker {handle.worker_id} died before replying: {exc}"
+            ) from exc
+        self.bytes_received += len(raw)
+        reply = pickle.loads(raw)
+        if reply[0] == "error":
+            _, original, formatted, state_applied = reply
+            if not state_applied:
+                # The worker failed before applying the message's delta/defs:
+                # its mirror no longer matches the coordinator's bookkeeping.
+                self._broken = True
+            cause = ShardWorkerError(
+                f"shard worker {handle.worker_id} failed:\n{formatted}"
+            )
+            if isinstance(original, BaseException):
+                # Behavioral parity with the serial mode's error path: the
+                # caller sees the same exception type it would have caught
+                # there, with the worker traceback chained as the cause.
+                raise original from cause
+            raise cause
+        return reply[1], reply[2]
+
+    # -- lifecycle ------------------------------------------------------------
+    def transport_stats(self) -> dict[str, int | float]:
+        """Wire-level counters (merged into the workload reports)."""
+        return {
+            "workers": self.num_workers,
+            "dispatches": self.dispatches,
+            "worker_round_trips": self.worker_round_trips,
+            "bytes_shipped": self.bytes_shipped,
+            "bytes_received": self.bytes_received,
+            "encode_ms": round(1e3 * self.encode_seconds, 2),
+        }
+
+    def close(self) -> None:
+        """Stop and reap the workers (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._finalizer()
+
+    def __enter__(self) -> "ProcessShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

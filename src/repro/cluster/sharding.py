@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import zlib
+from collections import OrderedDict
 from typing import Iterable
 
 from repro.events.event import EventType, Operation
@@ -41,7 +42,11 @@ from repro.rules.rule_table import RuleTable, match_subscribers
 
 __all__ = [
     "DEFAULT_SHARD_ENV_VAR",
+    "DEFAULT_SHARD_MODE_ENV_VAR",
+    "DEFAULT_PLAN_CACHE_SIZE",
+    "SHARD_MODES",
     "default_shard_count",
+    "default_shard_mode",
     "shard_of_bucket",
     "home_shard",
     "ShardedRuleTable",
@@ -50,6 +55,22 @@ __all__ = [
 #: Environment variable consulted when a shard count is not given explicitly
 #: (``pytest --shards N`` exports it so the whole suite runs sharded).
 DEFAULT_SHARD_ENV_VAR = "CHIMERA_SHARDS"
+
+#: Environment variable consulted when an execution mode is not given
+#: explicitly (``pytest --shard-mode processes`` exports it so the whole
+#: suite runs its shard checks out of process).
+DEFAULT_SHARD_MODE_ENV_VAR = "CHIMERA_SHARD_MODE"
+
+#: The coordinator's execution modes: inline in shard order, a thread worker
+#: pool, or long-lived process workers (``repro.cluster.process_pool``).
+SHARD_MODES = ("serial", "threads", "processes")
+
+#: Default LRU capacity of the signature route cache and of each shard's
+#: sub-signature plan cache.  Generous — a steady workload re-issues a few
+#: dozen block shapes, so thousands of entries only accumulate under
+#: adversarial never-repeating signatures, which is exactly what the bound
+#: exists for (ROADMAP: "unbounded for adversarial ones").
+DEFAULT_PLAN_CACHE_SIZE = 4096
 
 
 def default_shard_count() -> int:
@@ -61,6 +82,12 @@ def default_shard_count() -> int:
         return max(0, int(raw))
     except ValueError:
         return 0
+
+
+def default_shard_mode() -> str | None:
+    """The ambient coordinator mode: ``$CHIMERA_SHARD_MODE`` or None."""
+    raw = os.environ.get(DEFAULT_SHARD_MODE_ENV_VAR, "").strip().lower()
+    return raw if raw in SHARD_MODES else None
 
 
 def shard_of_bucket(operation: Operation, class_name: str, num_shards: int) -> int:
@@ -94,24 +121,36 @@ class _ShardIndex:
         self.exact: dict[EventType, dict[str, RuleState]] = {}
         self.class_buckets: dict[tuple[Operation, str], dict[str, RuleState]] = {}
         #: sub-signature (frozenset of routed types) -> subscribers, sorted by
-        #: definition order.  Validated against the owning table's plan_epoch.
-        self.plan_cache: dict[frozenset[EventType], tuple[RuleState, ...]] = {}
+        #: definition order.  Validated against the owning table's plan_epoch;
+        #: LRU-ordered (hits move to the back, overflow evicts the front) so
+        #: never-repeating signatures cannot grow it past the table's cap.
+        self.plan_cache: OrderedDict[frozenset[EventType], tuple[RuleState, ...]] = (
+            OrderedDict()
+        )
         self.cache_epoch: tuple[int, int] | None = None
 
 
 class ShardedRuleTable(RuleTable):
     """A Rule Table whose subscription index is partitioned across N shards."""
 
-    def __init__(self, num_shards: int) -> None:
+    def __init__(self, num_shards: int, plan_cache_size: int | None = None) -> None:
         if num_shards < 1:
             raise ValueError(f"a sharded rule table needs at least 1 shard (got {num_shards})")
+        if plan_cache_size is None:
+            plan_cache_size = DEFAULT_PLAN_CACHE_SIZE
+        if plan_cache_size < 1:
+            raise ValueError(f"plan_cache_size must be positive (got {plan_cache_size})")
         super().__init__()
         self.num_shards = num_shards
+        #: Per-shard LRU capacity of the sub-signature plan caches (the
+        #: coordinator reuses the same cap for its route cache).
+        self.plan_cache_size = plan_cache_size
         self._shards = [_ShardIndex(shard_id) for shard_id in range(num_shards)]
         #: rule name -> shards it is registered on (sorted, deduplicated).
         self._rule_shards: dict[str, tuple[int, ...]] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        self.plan_cache_evictions = 0
 
     # -- registration (extends the global index maintenance) -----------------
     def _index_subscriptions(self, state: RuleState) -> None:
@@ -210,14 +249,25 @@ class ShardedRuleTable(RuleTable):
         if shard.cache_epoch != epoch:
             shard.plan_cache.clear()
             shard.cache_epoch = epoch
-        cached = shard.plan_cache.get(sub_signature)
+        cache = shard.plan_cache
+        cached = cache.get(sub_signature)
         if cached is None:
             self.plan_cache_misses += 1
             subscribers = self._shard_subscribers(shard, sub_signature)
             cached = tuple(
                 sorted(subscribers.values(), key=lambda state: state.definition_order)
             )
-            shard.plan_cache[sub_signature] = cached
+            cache[sub_signature] = cached
+            if len(cache) > self.plan_cache_size:
+                # LRU eviction: an adversarial stream of never-repeating
+                # signatures otherwise grows the memo without bound.
+                cache.popitem(last=False)
+                self.plan_cache_evictions += 1
         else:
             self.plan_cache_hits += 1
+            cache.move_to_end(sub_signature)
         return cached
+
+    def plan_cache_sizes(self) -> list[int]:
+        """Current entry count of each shard's plan cache (observability)."""
+        return [len(shard.plan_cache) for shard in self._shards]

@@ -45,6 +45,15 @@ class EvaluationError(EventCalculusError):
     """An event expression could not be evaluated over the given window."""
 
 
+class SnapshotError(EventCalculusError):
+    """A window or occurrence could not be serialized for out-of-process use.
+
+    Raised with a pointer at the offending occurrence when a user payload is
+    not picklable: the failure must surface synchronously in the caller, not
+    as a crashed shard worker.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Object store / schema
 # ---------------------------------------------------------------------------
@@ -130,6 +139,10 @@ class ActionError(RuleError):
 
 class RuleExecutionError(RuleError):
     """Rule processing failed (e.g. the execution budget was exceeded)."""
+
+
+class ShardWorkerError(RuleError):
+    """A process shard worker failed or died while evaluating a batch."""
 
 
 class NonTerminationError(RuleExecutionError):

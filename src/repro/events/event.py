@@ -106,6 +106,22 @@ class EventType:
             return True
         return self.attribute == other.attribute
 
+    # -- compact snapshot form (cross-process wire format) ------------------
+    def snapshot(self) -> tuple[str, str, str | None]:
+        """Compact, always-picklable form: ``(operation value, class, attribute)``.
+
+        The wire format the cluster's process workers exchange — plain
+        strings, no enum or dataclass machinery, so a snapshot pickles small
+        and restores on any interpreter that has this module.
+        """
+        return (self.operation.value, self.class_name, self.attribute)
+
+    @classmethod
+    def from_snapshot(cls, data: tuple[str, str, str | None]) -> "EventType":
+        """Rebuild an :class:`EventType` from its :meth:`snapshot` form."""
+        operation, class_name, attribute = data
+        return cls(Operation(operation), class_name, attribute)
+
 
 def parse_event_type(text: str) -> EventType:
     """Parse ``"modify(stock.quantity)"`` style text into an :class:`EventType`.
@@ -178,6 +194,51 @@ class EventOccurrence:
     def event_on_class(self) -> str:
         """``event_on_class(e)`` — the class of the affected object."""
         return self.event_type.class_name
+
+    # -- compact snapshot form (cross-process wire format) ------------------
+    def snapshot(self) -> tuple:
+        """Compact picklable form: ``(eid, type snapshot, oid, timestamp, payload)``.
+
+        ``payload`` is carried as a plain dict (``None`` when empty).  The
+        OID and payload values are whatever the user stored — their
+        picklability is *their* contract; :meth:`WindowSnapshot.pickled
+        <repro.events.event_base.WindowSnapshot.pickled>` turns a violation
+        into a :class:`~repro.errors.SnapshotError` naming this occurrence.
+        """
+        return (
+            self.eid,
+            self.event_type.snapshot(),
+            self.oid,
+            self.timestamp,
+            dict(self.payload) if self.payload else None,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        data: tuple,
+        type_cache: dict[tuple, EventType] | None = None,
+    ) -> "EventOccurrence":
+        """Rebuild an occurrence from its :meth:`snapshot` form.
+
+        ``type_cache`` (optional) interns the reconstructed event types so a
+        restoring worker allocates each distinct type once per batch, not once
+        per occurrence.
+        """
+        eid, type_data, oid, timestamp, payload = data
+        if type_cache is None:
+            event_type = EventType.from_snapshot(type_data)
+        else:
+            event_type = type_cache.get(type_data)
+            if event_type is None:
+                event_type = type_cache[type_data] = EventType.from_snapshot(type_data)
+        return cls(
+            eid=eid,
+            event_type=event_type,
+            oid=oid,
+            timestamp=timestamp,
+            payload=payload or {},
+        )
 
 
 class EidGenerator:

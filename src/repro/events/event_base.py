@@ -28,14 +28,16 @@ from __future__ import annotations
 
 import bisect
 import operator
+import pickle
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.errors import EventCalculusError
+from repro.errors import EventCalculusError, SnapshotError
 from repro.events.clock import Timestamp
 from repro.events.event import EidGenerator, EventOccurrence, EventType
 
-__all__ = ["EventBase", "EventWindow", "BoundedView", "WindowLike"]
+__all__ = ["EventBase", "EventWindow", "BoundedView", "WindowSnapshot", "WindowLike"]
 
 #: ``True`` where an adjacent time-stamp pair decreases — used with ``map``
 #: over a batch and its one-shifted self to order-check in C instead of a
@@ -576,6 +578,10 @@ class EventWindow(_OccurrenceStore):
         """Window over an explicit collection of occurrences (no bounds)."""
         return cls(list(occurrences))
 
+    def snapshot(self) -> "WindowSnapshot":
+        """Compact picklable snapshot of the window (bounds + occurrence rows)."""
+        return WindowSnapshot.of(self.occurrences, after=self.after, until=self.until)
+
 
 class BoundedView:
     """A zero-copy lazy window over a shared occurrence store.
@@ -748,6 +754,103 @@ class BoundedView:
     ) -> list[EventOccurrence]:
         """All in-bounds occurrences satisfying ``predicate`` (in log order)."""
         return [occurrence for occurrence in self if predicate(occurrence)]
+
+    def snapshot(self) -> "WindowSnapshot":
+        """Compact picklable snapshot of the view (bounds + occurrence rows)."""
+        return WindowSnapshot.of(self.occurrences, after=self.after, until=self.until)
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """A detached, compact, picklable form of an event window.
+
+    Where :class:`BoundedView` is a zero-copy *handle* into a shared store,
+    a ``WindowSnapshot`` is the opposite trade: a self-contained value that
+    can cross a process boundary.  It carries the window bounds plus one
+    compact row per occurrence (``EventOccurrence.snapshot()`` tuples — plain
+    ints/strings/dicts, no index structures), so pickling cost scales with
+    the occurrence count, not with the parent store.  The shard coordinator
+    ships each block's new slice to its process workers this way; restoring
+    (:meth:`restore` / :meth:`occurrences`) rebuilds real occurrence objects,
+    interning the event types so a batch allocates each distinct type once.
+    """
+
+    after: Timestamp | None
+    until: Timestamp | None
+    rows: tuple[tuple, ...]
+
+    @classmethod
+    def of(
+        cls,
+        occurrences: Iterable[EventOccurrence],
+        after: Timestamp | None = None,
+        until: Timestamp | None = None,
+    ) -> "WindowSnapshot":
+        """Snapshot an explicit occurrence sequence (bounds optional)."""
+        return cls(
+            after=after,
+            until=until,
+            rows=tuple(occurrence.snapshot() for occurrence in occurrences),
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def occurrences(
+        self, type_cache: dict[tuple, EventType] | None = None
+    ) -> list[EventOccurrence]:
+        """The occurrence objects of the snapshot, in log order."""
+        if type_cache is None:
+            type_cache = {}
+        return [
+            EventOccurrence.from_snapshot(row, type_cache=type_cache)
+            for row in self.rows
+        ]
+
+    def restore(self) -> "EventWindow":
+        """Materialize the snapshot as a standalone, fully indexed window."""
+        return EventWindow(self.occurrences(), after=self.after, until=self.until)
+
+    # -- wire format ---------------------------------------------------------
+    def pickled(self) -> bytes:
+        """The snapshot as pickle bytes, with payload failures made clear.
+
+        Everything the library puts in a snapshot is picklable by
+        construction; the only way this can fail is a user-supplied OID or
+        payload value (a lambda, an open handle...).  That failure must
+        surface here, synchronously in the shipping process, instead of
+        crashing a shard worker — so it is caught and re-raised as a
+        :class:`SnapshotError` naming the offending occurrence.
+        """
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            culprit = self._first_unpicklable()
+            where = f" (first offender: occurrence eid={culprit})" if culprit is not None else ""
+            raise SnapshotError(
+                "window snapshot is not picklable — event payloads and OIDs "
+                "must be picklable to cross a process boundary"
+                f"{where}: {exc}"
+            ) from exc
+
+    def _first_unpicklable(self) -> int | None:
+        """EID of the first row that fails to pickle on its own, if any."""
+        for row in self.rows:
+            try:
+                pickle.dumps(row, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                return row[0]
+        return None
+
+    @classmethod
+    def from_pickled(cls, data: bytes) -> "WindowSnapshot":
+        """Inverse of :meth:`pickled`."""
+        snapshot = pickle.loads(data)
+        if not isinstance(snapshot, cls):
+            raise SnapshotError(
+                f"pickled data does not contain a WindowSnapshot (got {type(snapshot).__name__})"
+            )
+        return snapshot
 
 
 #: The structures the calculus (``ts``/``ots``, condition formulas, traces)

@@ -45,7 +45,9 @@ class ChimeraDatabase:
         use_static_optimization: bool = True,
         max_rule_executions: int = 10_000,
         shards: int | None = None,
+        shard_mode: str | None = None,
         parallel_shards: bool = False,
+        plan_cache_size: int | None = None,
     ) -> None:
         from repro.cluster.sharding import ShardedRuleTable, default_shard_count
 
@@ -62,10 +64,16 @@ class ChimeraDatabase:
         )
         # shards=None defers to the ambient default ($CHIMERA_SHARDS — the
         # test suite's --shards option runs everything sharded this way);
-        # shards=0 forces the single-table planner.
+        # shards=0 forces the single-table planner.  shard_mode=None likewise
+        # defers to parallel_shards and then $CHIMERA_SHARD_MODE (the test
+        # suite's --shard-mode option), resolved by the engine.
         if shards is None:
             shards = default_shard_count()
-        self.rule_table = ShardedRuleTable(shards) if shards > 0 else RuleTable()
+        self.rule_table = (
+            ShardedRuleTable(shards, plan_cache_size=plan_cache_size)
+            if shards > 0
+            else RuleTable()
+        )
         self.engine = RuleEngine(
             schema=self.schema,
             store=self.store,
@@ -75,10 +83,16 @@ class ChimeraDatabase:
             rule_table=self.rule_table,
             use_static_optimization=use_static_optimization,
             max_rule_executions=max_rule_executions,
+            shard_mode=shard_mode,
             parallel_shards=parallel_shards,
+            plan_cache_size=plan_cache_size,
         )
         self._active_transaction: Transaction | None = None
         self._store_snapshot: dict[str, Any] | None = None
+
+    def close(self) -> None:
+        """Release engine worker pools (idempotent; also runs via finalizers)."""
+        self.engine.close()
 
     # ------------------------------------------------------------------
     # Schema and rule definition

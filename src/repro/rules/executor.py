@@ -65,13 +65,21 @@ class RuleEngine:
     #: Ignored when ``rule_table`` is already a :class:`ShardedRuleTable` —
     #: its own shard count wins.
     shards: int = 0
-    #: With sharding: dispatch per-shard checks to a thread worker pool
-    #: instead of the serial deterministic mode.
+    #: With sharding: how the per-shard checks execute — "serial" (inline,
+    #: deterministic), "threads" (worker threads over the shared EB) or
+    #: "processes" (long-lived shard worker processes with mirror EBs).
+    #: ``None`` defers to ``parallel_shards`` and then the ambient
+    #: ``$CHIMERA_SHARD_MODE`` default.
+    shard_mode: str | None = None
+    #: Legacy PR-3 switch: ``True`` means ``shard_mode="threads"``.
     parallel_shards: bool = False
+    #: LRU cap for the coordinator's route cache and the per-shard plan
+    #: caches (None = the generous default in repro.cluster.sharding).
+    plan_cache_size: int | None = None
 
     def __post_init__(self) -> None:
         from repro.cluster.coordinator import ShardCoordinator
-        from repro.cluster.sharding import ShardedRuleTable
+        from repro.cluster.sharding import ShardedRuleTable, default_shard_mode
 
         if self.shards > 0 and not isinstance(self.rule_table, ShardedRuleTable):
             if len(self.rule_table):
@@ -79,17 +87,24 @@ class RuleEngine:
                     "cannot shard an already-populated plain RuleTable; "
                     "construct the engine with a ShardedRuleTable instead"
                 )
-            self.rule_table = ShardedRuleTable(self.shards)
+            self.rule_table = ShardedRuleTable(
+                self.shards, plan_cache_size=self.plan_cache_size
+            )
         # Subclass-aware routing/filtering: the table (and every filter it
         # builds) sees the engine's schema.
         self.rule_table.bind_schema(self.schema)
         self.event_handler = EventHandler(self.event_base)
         if isinstance(self.rule_table, ShardedRuleTable):
+            shard_mode = self.shard_mode
+            if shard_mode is None:
+                shard_mode = (
+                    "threads" if self.parallel_shards else default_shard_mode()
+                )
             self.trigger_support: TriggerSupport = ShardCoordinator(
                 self.rule_table,
                 self.event_base,
                 use_static_optimization=self.use_static_optimization,
-                parallel=self.parallel_shards,
+                shard_mode=shard_mode,
             )
         else:
             self.trigger_support = TriggerSupport(
@@ -114,9 +129,21 @@ class RuleEngine:
         self.event_base = event_base
         self.operations.event_base = event_base
         self.trigger_support.event_base = event_base
-        # Incremental trigger memos describe the old log; drop them.
+        # Incremental trigger memos describe the old log; drop them (the
+        # shard coordinator also resets its process workers' mirrors here).
         self.trigger_support.forget_incremental_state()
         self.event_handler.reset(event_base)
+
+    def close(self) -> None:
+        """Release worker pools held by the Trigger Support (idempotent).
+
+        Process shard workers are additionally reaped by a finalizer when the
+        engine is garbage collected; explicit close is for deterministic
+        teardown (benchmarks, long-lived services).
+        """
+        closer = getattr(self.trigger_support, "close", None)
+        if closer is not None:
+            closer()
 
     # -- block execution ----------------------------------------------------------
     def run_user_block(self, block: Callable[[], Any]) -> Any:

@@ -145,14 +145,18 @@ class ScalingWorkload:
         use_static_optimization: bool = True,
         bulk_ingest: bool = True,
         shards: int = 0,
+        shard_mode: str | None = None,
         parallel_shards: bool = False,
+        plan_cache_size: int | None = None,
     ) -> None:
         self.event_base = EventBase()
         if shards > 0:
             from repro.cluster.coordinator import ShardCoordinator
             from repro.cluster.sharding import ShardedRuleTable
 
-            self.rule_table: RuleTable = ShardedRuleTable(shards)
+            self.rule_table: RuleTable = ShardedRuleTable(
+                shards, plan_cache_size=plan_cache_size
+            )
         else:
             self.rule_table = RuleTable()
         for rule in rules:
@@ -165,6 +169,7 @@ class ScalingWorkload:
                 self.event_base,
                 use_static_optimization=use_static_optimization,
                 use_subscription_index=use_subscription_index,
+                shard_mode=shard_mode,
                 parallel=parallel_shards,
             )
         else:
@@ -176,6 +181,12 @@ class ScalingWorkload:
             )
         self.bulk_ingest = bulk_ingest
         self.outcome = WorkloadOutcome()
+
+    def close(self) -> None:
+        """Release coordinator worker pools, if any (idempotent)."""
+        closer = getattr(self.support, "close", None)
+        if closer is not None:
+            closer()
 
     def feed_block(self, block: list[EventOccurrence]) -> None:
         """Ingest one block, run the trigger check, drain the priority queue."""

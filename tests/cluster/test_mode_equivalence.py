@@ -1,0 +1,200 @@
+"""Cross-mode differential harness: serial == threads == processes.
+
+The PR-4 process shard workers move the evaluate phase of the trigger check
+out of process (mirror Event Bases, worker-resident memos, decisions shipped
+back); the correctness bar is the one PR 3 set and this harness pins:
+**byte-identical traces, per-rule counters, Trigger Support stats — the
+incremental ``instants_sampled`` counter included — and firing order** across
+every execution mode, for any stream and any mid-run rule churn.
+
+The scenarios are the seeded PR-3 generators
+(``tests/rules/test_planner_equivalence.build_scenario``: overlapping
+class/attribute patterns, pure negations, priority ties, empty blocks,
+removals / re-adds with fresh definitions / disable-enable flips) replayed
+through the *shared* ``run_scenario`` harness of
+``tests/cluster/test_shard_equivalence.py`` — extended, not forked — plus
+engine-level transaction scenarios that exercise the Event-Base rebind
+(worker mirrors must reset) and the commit-time exhaustive recheck (which
+the process mode routes through its workers so the memos stay exact).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.oodb.database import ChimeraDatabase
+
+from tests.cluster.test_shard_equivalence import run_scenario
+from tests.rules.test_planner_equivalence import build_scenario
+
+MODES = ("serial", "threads", "processes")
+
+
+def test_modes_identical_under_randomized_churn():
+    """Seeded add/remove/disable churn + mixed-type blocks, all three modes."""
+    for seed in (0, 2, 9, 13):
+        scenario = build_scenario(seed)
+        reference = run_scenario(scenario)
+        for shards in (2, 4):
+            results = {
+                mode: run_scenario(scenario, shards=shards, shard_mode=mode)
+                for mode in MODES
+            }
+            for mode, result in results.items():
+                assert result["trace"] == reference["trace"], (
+                    f"seed {seed}, {shards} shards, {mode}: trace diverged"
+                )
+                assert result["counters"] == reference["counters"], (
+                    f"seed {seed}, {shards} shards, {mode}: counters diverged"
+                )
+                assert result["stats"] == reference["stats"], (
+                    f"seed {seed}, {shards} shards, {mode}: stats diverged"
+                )
+
+
+def test_process_mode_across_shard_counts():
+    """Worker count follows the shard count; equivalence holds for 1–8."""
+    scenario = build_scenario(7)
+    reference = run_scenario(scenario)
+    for shards in (1, 3, 5, 8):
+        assert run_scenario(scenario, shards=shards, shard_mode="processes") == reference
+
+
+def test_modes_identical_with_periodic_exhaustive_recheck():
+    """recheck_all (the commit path) must keep worker memos in lockstep."""
+    for seed in (4, 11):
+        scenario = build_scenario(seed)
+        reference = run_scenario(scenario, recheck_every=5)
+        for mode in MODES:
+            result = run_scenario(scenario, shards=4, shard_mode=mode, recheck_every=5)
+            assert result == reference, f"seed {seed}, {mode}: recheck path diverged"
+
+
+def test_larger_pool_process_mode():
+    """A bigger rule pool (multi-shard rules, heavier dealing) stays identical."""
+    scenario = build_scenario(202, rule_count=40, block_count=30)
+    reference = run_scenario(scenario)
+    assert run_scenario(scenario, shards=4, shard_mode="processes") == reference
+
+
+def test_worker_definitions_pruned_on_rule_removal():
+    """A long-lived pool under add/remove churn stays bounded by live rules."""
+    from repro.core.parser import parse_expression
+    from repro.events.event import EventType, Operation
+    from repro.events.event_base import EventBase
+    from repro.rules.actions import NO_ACTION
+    from repro.rules.conditions import TRUE_CONDITION
+    from repro.rules.event_handler import EventHandler
+    from repro.rules.rule import Rule
+    from repro.cluster.coordinator import ShardCoordinator
+    from repro.cluster.sharding import ShardedRuleTable
+
+    def watcher(index: int) -> Rule:
+        return Rule(
+            name=f"w{index}",
+            events=parse_expression("create(alpha)"),
+            condition=TRUE_CONDITION,
+            action=NO_ACTION,
+        )
+
+    table = ShardedRuleTable(2)
+    event_base = EventBase()
+    handler = EventHandler(event_base)
+    support = ShardCoordinator(table, event_base, shard_mode="processes")
+    try:
+        stamp = 0
+
+        def feed_block() -> None:
+            nonlocal stamp
+            stamp += 1
+            event_base.record(
+                EventType(Operation.CREATE, "alpha"), oid="alpha#1", timestamp=stamp
+            )
+            batch = handler.flush_block()
+            support.check_after_block(batch, stamp, 0, type_signature=batch.type_signature)
+            for state in table.states():
+                if state.triggered:
+                    state.mark_considered(stamp, executed=False)
+
+        # Churn: every generation registers 10 fresh rules, checks a block
+        # (shipping their definitions), then removes them again.
+        for generation in range(12):
+            for index in range(10):
+                table.add(watcher(generation * 10 + index)).reset(0)
+            feed_block()
+            for index in range(10):
+                table.remove(f"w{generation * 10 + index}")
+        feed_block()  # delivers the queued drops
+
+        pool = support.process_pool
+        assert pool is not None
+        shipped = sum(len(handle.shipped_defs) for handle in pool._workers)
+        pending = sum(len(handle.pending_drops) for handle in pool._workers)
+        # 120 rules came and went; the shipping bookkeeping must track only
+        # the live population (zero here), not the cumulative churn, and the
+        # undelivered drop queue is bounded by the last generation (drops are
+        # piggybacked on each worker's next contact — with no live rules the
+        # final block contacts nobody).
+        assert shipped == 0, shipped
+        assert pending <= 10, pending
+    finally:
+        support.close()
+
+
+# ---------------------------------------------------------------------------
+# Engine-level scenarios: transactions, EB rebinds, deferred rules
+# ---------------------------------------------------------------------------
+
+
+RULES = """
+define immediate refill for stock
+events modify(quantity)
+condition stock(S), occurred(modify(stock.quantity), S), S.quantity < 10
+action modify(stock.quantity, S, 25)
+priority 2
+end
+
+define deferred audit for stock
+events create
+condition stock(S), occurred(create(stock), S)
+action modify(stock.maxquantity, S, 99)
+priority 1
+end
+"""
+
+
+def _run_database_scenario(shard_mode: str | None, shards: int) -> dict:
+    """Two transactions of seeded operations against the full database."""
+    db = ChimeraDatabase(shards=shards, shard_mode=shard_mode)
+    try:
+        db.define_class("stock", {"quantity": int, "maxquantity": int})
+        db.define_rules(RULES)
+        rng = random.Random(99)
+        for _ in range(2):
+            with db.transaction() as tx:
+                items = [
+                    tx.create("stock", {"quantity": rng.randint(1, 30), "maxquantity": 50})
+                    for _ in range(4)
+                ]
+                for _ in range(6):
+                    item = rng.choice(items)
+                    tx.modify(item.oid, "quantity", rng.randint(1, 60))
+                tx.delete(rng.choice(items).oid)
+        return {
+            "considerations": [
+                (record.rule_name, record.instant, record.phase, record.executed)
+                for record in db.considerations
+            ],
+            "rules": db.rule_statistics(),
+            "stats": db.trigger_statistics(),
+        }
+    finally:
+        db.close()
+
+
+def test_database_transactions_identical_across_modes():
+    """Full-engine runs (rebinds + deferred commit rechecks) line up per mode."""
+    reference = _run_database_scenario(None, shards=0)
+    for mode in MODES:
+        result = _run_database_scenario(mode, shards=4)
+        assert result == reference, f"database scenario diverged in {mode} mode"

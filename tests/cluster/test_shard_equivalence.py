@@ -10,7 +10,9 @@ deterministic mode *and* on the worker pool.
 The scenarios come from ``tests/rules/test_planner_equivalence.py`` (random
 rules over overlapping class/attribute patterns, pure negations, priority
 ties, empty blocks, removals / re-adds / disable-enable flips mid-run); here
-they are replayed across shard counts 1–8.
+they are replayed across shard counts 1–8.  ``run_scenario`` is shared with
+``tests/cluster/test_mode_equivalence.py``, which replays the same churn
+across the serial / threads / processes execution modes.
 """
 
 from __future__ import annotations
@@ -27,9 +29,20 @@ from tests.rules.test_planner_equivalence import Scenario, build_scenario
 
 
 def run_scenario(
-    scenario: Scenario, shards: int = 0, parallel: bool = False
+    scenario: Scenario,
+    shards: int = 0,
+    parallel: bool = False,
+    shard_mode: str | None = None,
+    recheck_every: int = 0,
 ) -> dict:
-    """Execute a scenario; ``shards=0`` is the single-table reference."""
+    """Execute a scenario; ``shards=0`` is the single-table reference.
+
+    ``shard_mode`` selects the coordinator's execution mode explicitly
+    (``parallel=True`` remains the PR-3 spelling of ``"threads"``);
+    ``recheck_every=N`` runs a commit-style ``recheck_all`` after every Nth
+    block, exercising the exhaustive path the process mode must also route
+    through its workers.
+    """
     event_base = EventBase()
     if shards > 0:
         table: RuleTable = ShardedRuleTable(shards)
@@ -42,7 +55,7 @@ def run_scenario(
     handler = EventHandler(event_base)
     if shards > 0:
         support: TriggerSupport = ShardCoordinator(
-            table, event_base, parallel=parallel
+            table, event_base, parallel=parallel, shard_mode=shard_mode
         )
     else:
         support = TriggerSupport(table, event_base)
@@ -75,11 +88,18 @@ def run_scenario(
         while (selected := table.select_for_consideration()) is not None:
             considered.append(selected.rule.name)
             selected.mark_considered(now, executed=False)
+        rechecked: list[str] = []
+        if recheck_every and (position + 1) % recheck_every == 0:
+            rechecked = [state.rule.name for state in support.recheck_all(now, 0)]
+            while (selected := table.select_for_consideration()) is not None:
+                rechecked.append(selected.rule.name)
+                selected.mark_considered(now, executed=False)
         trace.append(
             (
                 position,
                 [state.rule.name for state in newly],
                 considered,
+                rechecked,
             )
         )
 
@@ -129,7 +149,7 @@ def test_newly_triggered_order_is_definition_order():
     sharded = run_scenario(scenario, shards=8)
     # The trace comparison above already covers this, but pin the ordering
     # property explicitly: newly-triggered names arrive definition-ordered.
-    for (_, newly, _), (_, sharded_newly, _) in zip(
+    for (_, newly, _, _), (_, sharded_newly, _, _) in zip(
         reference["trace"], sharded["trace"]
     ):
         assert newly == sharded_newly
