@@ -34,7 +34,6 @@ from repro.core.optimization import (
     Scope,
     Sign,
     Variation,
-    derive_variations,
     simplify_variations,
 )
 from repro.workloads.generator import EventStreamGenerator, ExpressionGenerator
@@ -76,6 +75,10 @@ class LiteralRecomputationFilter(RecomputationFilter):
             if variation.sign.includes_positive()
         )
         self._match_cache = {}
+        # Unbound-schema matching (exact types only), like the base filter
+        # before bind_schema — the ablation streams use flat classes.
+        self._schema = None
+        self._cached_schema_version = 0
         self.checks = 0
         self.skipped = 0
 

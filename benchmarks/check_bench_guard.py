@@ -1,0 +1,195 @@
+"""Bench regression gate: re-read smoke-run JSON and assert the headlines.
+
+CI runs every benchmark in ``--smoke`` mode with ``--out BENCH_*_smoke.json``
+and then invokes this script over the written files::
+
+    python benchmarks/check_bench_guard.py BENCH_X7_smoke.json BENCH_X8_smoke.json ...
+
+Each file's ``benchmark`` key selects a checker; the thresholds live in
+``benchmarks/guard_baselines.json``.  Two classes of invariant are enforced:
+
+* **structural** — exact, noise-free properties a regression would break
+  outright: every grid point still asserted behavioral equivalence, batched
+  dispatch trips equal ``ceil(blocks / batch)`` (trips scale with trips, not
+  blocks), per-block worker round trips fall monotonically with the batch
+  size;
+* **timing** — headline speedups (routed planning beats the full scan,
+  sharded/coordinator planning holds its margin, dispatch overhead stays
+  bounded and amortizes), each relaxed by ``timing_tolerance`` because
+  shared CI runners are noisy.
+
+The script exits non-zero on the first file whose invariants fail, printing
+one line per check so the CI log reads as a report.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BASELINES_FILE = Path(__file__).resolve().parent / "guard_baselines.json"
+
+
+class GuardFailure(Exception):
+    """One failed invariant (message carries the evidence)."""
+
+
+def _check(condition: bool, message: str, failures: list[str]) -> None:
+    status = "ok  " if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def _relax(threshold: float, tolerance: float) -> float:
+    """A minimum threshold relaxed by the timing tolerance."""
+    return threshold * (1.0 - tolerance)
+
+
+def _check_equivalence(results: dict, failures: list[str]) -> None:
+    equivalence = results.get("equivalence", {})
+    _check(
+        equivalence.get("checked") is True,
+        "behavioral equivalence was asserted per grid point",
+        failures,
+    )
+
+
+def check_x7(
+    results: dict, limits: dict, tolerance: float, failures: list[str]
+) -> None:
+    minimum = _relax(limits["min_planning_speedup"], tolerance)
+    for row in results["rule_scaling"]:
+        _check(
+            row["planning_speedup"] >= minimum,
+            f"{row['rules']} rules: routed planning beats the full scan "
+            f"({row['planning_speedup']}x >= {minimum:.2f}x)",
+            failures,
+        )
+    bulk_minimum = _relax(limits["min_bulk_ingest_speedup"], tolerance)
+    for row in results["ingestion"]:
+        _check(
+            row["speedup"] >= bulk_minimum,
+            f"batch {row['batch_size']}: bulk extend holds its margin "
+            f"({row['speedup']}x >= {bulk_minimum:.2f}x)",
+            failures,
+        )
+    _check_equivalence(results, failures)
+
+
+def check_x8(
+    results: dict, limits: dict, tolerance: float, failures: list[str]
+) -> None:
+    minimum = _relax(limits["min_planning_speedup"], tolerance)
+    for row in results["shard_scaling"]:
+        _check(
+            row["planning_speedup"] >= minimum,
+            f"{row['rules']} rules: sharded planning holds its margin "
+            f"({row['planning_speedup']}x >= {minimum:.2f}x)",
+            failures,
+        )
+    _check_equivalence(results, failures)
+
+
+def check_x9(
+    results: dict, limits: dict, tolerance: float, failures: list[str]
+) -> None:
+    minimum = _relax(limits["min_planning_speedup"], tolerance)
+    overhead_cap = limits["max_dispatch_overhead_us_per_block"] * (1.0 + tolerance)
+    for row in results["process_scaling"]:
+        _check(
+            row["planning_speedup"] >= minimum,
+            f"{row['rules']} rules: coordinator planning holds its margin "
+            f"({row['planning_speedup']}x >= {minimum:.2f}x)",
+            failures,
+        )
+        overhead = row["process_transport"]["dispatch_overhead_us_per_block"]
+        _check(
+            overhead <= overhead_cap,
+            f"{row['rules']} rules: dispatch overhead bounded "
+            f"({overhead} µs/block <= {overhead_cap:.0f})",
+            failures,
+        )
+    _check_equivalence(results, failures)
+
+
+def check_x10(
+    results: dict, limits: dict, tolerance: float, failures: list[str]
+) -> None:
+    for grid_point in results["dispatch_amortization"]:
+        rows = sorted(grid_point["rows"], key=lambda row: row["batch_blocks"])
+        for row in rows:
+            _check(
+                row["trips"] == row["expected_trips"],
+                f"batch {row['batch_blocks']}: trips scale with trips, "
+                f"not blocks ({row['trips']} trips == "
+                f"ceil({row['blocks']}/{row['batch_blocks']}))",
+                failures,
+            )
+            if row["batch_blocks"] > 1:
+                _check(
+                    row["trips"] < row["blocks"],
+                    f"batch {row['batch_blocks']}: fewer trips than blocks "
+                    f"({row['trips']} < {row['blocks']})",
+                    failures,
+                )
+        per_block = [row["round_trips_per_block"] for row in rows]
+        _check(
+            all(later < earlier for earlier, later in zip(per_block, per_block[1:])),
+            f"per-block round trips fall monotonically with the batch size "
+            f"({' > '.join(str(value) for value in per_block)})",
+            failures,
+        )
+        base = rows[0]
+        best = rows[-1]
+        if base["batch_blocks"] == 1 and base["dispatch_overhead_us_per_block"] > 0:
+            ratio_cap = limits["max_overhead_ratio_vs_batch_1"]
+            ratio = (
+                best["dispatch_overhead_us_per_block"]
+                / base["dispatch_overhead_us_per_block"]
+            )
+            _check(
+                ratio <= ratio_cap * (1.0 + tolerance),
+                f"batch {best['batch_blocks']} dispatch overhead amortizes "
+                f"({ratio:.2f}x of batch 1 <= {ratio_cap * (1.0 + tolerance):.2f}x)",
+                failures,
+            )
+    _check_equivalence(results, failures)
+
+
+CHECKERS = {
+    "x7_rule_scaling": check_x7,
+    "x8_shard_scaling": check_x8,
+    "x9_process_scaling": check_x9,
+    "x10_dispatch_amortization": check_x10,
+}
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_bench_guard.py BENCH_RESULTS.json [...]", file=sys.stderr)
+        return 2
+    baselines = json.loads(BASELINES_FILE.read_text())
+    tolerance = baselines.get("timing_tolerance", 0.0)
+    failures: list[str] = []
+    for path in argv:
+        results = json.loads(Path(path).read_text())
+        name = results.get("benchmark")
+        checker = CHECKERS.get(name)
+        print(f"{path} ({name}):")
+        if checker is None:
+            _check(False, f"unknown benchmark kind {name!r}", failures)
+            continue
+        checker(results, baselines.get(name, {}), tolerance, failures)
+    if failures:
+        print(f"\nbench guard: {len(failures)} invariant(s) failed", file=sys.stderr)
+        for message in failures:
+            print(f"  - {message}", file=sys.stderr)
+        return 1
+    print("\nbench guard: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -20,7 +20,7 @@ trade-off against the ts-calculus recomputation approach benchmarked in X2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import EvaluationError

@@ -27,13 +27,15 @@ Installed as the ``chimera-events`` console script (or run with
     ``--shards N`` partitions the planning across a shard coordinator,
     ``--shard-mode serial|threads|processes`` selects how the per-shard
     checks execute (``processes`` = the multi-core worker pool;
-    ``--parallel-shards`` is the legacy spelling of ``threads``), and
-    ``--plan-cache-size`` overrides the LRU bound of the route/plan caches.
+    ``--parallel-shards`` is the legacy spelling of ``threads``),
+    ``--plan-cache-size`` overrides the LRU bound of the route/plan caches,
+    and ``--batch-blocks N`` coalesces N stream blocks per trigger-check
+    dispatch trip (the micro-batched worker dispatch of PR 5).
 ``bench``
     Run a benchmark sweep from the installed package (``x7``, the rule-count
     scaling / bulk-ingestion bench; ``x8``, the shard-scaling /
-    pipelined-ingestion bench; or ``x9``, the process-mode scaling bench;
-    ``--smoke`` for a tiny grid).
+    pipelined-ingestion bench; ``x9``, the process-mode scaling bench; or
+    ``x10``, the dispatch-amortization bench; ``--smoke`` for a tiny grid).
 """
 
 from __future__ import annotations
@@ -143,10 +145,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="LRU bound of the coordinator route cache and shard plan caches",
     )
+    workload_parser.add_argument(
+        "--batch-blocks",
+        type=int,
+        default=1,
+        help=(
+            "coalesce this many stream blocks per trigger-check dispatch trip "
+            "(amortizes the process-mode worker round trip; 1 = per-block)"
+        ),
+    )
 
     bench_parser = commands.add_parser("bench", help="run a benchmark sweep")
     bench_parser.add_argument(
-        "which", choices=["x7", "x8", "x9"], help="benchmark to run"
+        "which", choices=["x7", "x8", "x9", "x10"], help="benchmark to run"
     )
     bench_parser.add_argument("--smoke", action="store_true", help="tiny grid (seconds)")
     bench_parser.add_argument("--out", default=None, help="write the JSON results here")
@@ -243,6 +254,12 @@ def _command_workload(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.batch_blocks < 1:
+        print(
+            f"error: --batch-blocks must be positive (got {args.batch_blocks})",
+            file=sys.stderr,
+        )
+        return 2
     if args.full_scan and args.shards:
         # The shard coordinator has nothing to fan out without the
         # subscription index; refuse rather than silently run the scan.
@@ -266,6 +283,7 @@ def _command_workload(args: argparse.Namespace) -> int:
         shards=args.shards,
         shard_mode=shard_mode,
         plan_cache_size=args.plan_cache_size,
+        batch_blocks=args.batch_blocks,
     )
     stream = EventStreamGenerator(
         event_types=universe, seed=args.seed + 1, events_per_block=args.events_per_block
@@ -284,6 +302,7 @@ def _command_workload(args: argparse.Namespace) -> int:
                     "events": outcome.events,
                     "ingest mode": "bulk extend" if args.bulk_ingest else "per-append loop",
                     "planning": planning,
+                    "batch blocks": args.batch_blocks,
                     "ingest ms": round(outcome.ingest_seconds * 1e3, 2),
                     "check ms": round(outcome.check_seconds * 1e3, 2),
                     "select ms": round(outcome.select_seconds * 1e3, 2),
@@ -305,6 +324,11 @@ def _command_workload(args: argparse.Namespace) -> int:
             mean_population = sum(population) / max(1, len(population))
             cluster["shard_population"] = "/".join(str(count) for count in population)
             cluster["shard_skew"] = round(max(population) / max(1.0, mean_population), 2)
+            # Dispatch amortization: with --batch-blocks N the trips stay
+            # roughly flat while blocks grow, so blocks_per_trip -> N.
+            cluster["blocks_per_trip"] = round(
+                cluster["blocks_dispatched"] / max(1, cluster["dispatch_trips"]), 2
+            )
             pool = getattr(workload.support, "process_pool", None)
             if pool is not None:
                 for key, value in pool.transport_stats().items():
@@ -318,7 +342,12 @@ def _command_workload(args: argparse.Namespace) -> int:
 def _command_bench(args: argparse.Namespace) -> int:
     import json
 
-    if args.which == "x9":
+    if args.which == "x10":
+        from repro.workloads.dispatch_amortization import render_x10, run_x10_sweeps
+
+        results = run_x10_sweeps(smoke=args.smoke)
+        print(render_x10(results))
+    elif args.which == "x9":
         from repro.workloads.process_scaling import render_x9, run_x9_sweeps
 
         results = run_x9_sweeps(smoke=args.smoke)

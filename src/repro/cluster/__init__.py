@@ -18,12 +18,16 @@ package scales along:
   snapshots — the first execution mode where trigger checking uses multiple
   cores;
 * :mod:`repro.cluster.streaming` — :class:`StreamIngestor`, the bounded-queue
-  pipeline that decouples producers from rule evaluation.
+  pipeline that decouples producers from rule evaluation and coalesces
+  backlogged blocks into micro-batched dispatch trips
+  (``max_batch_blocks`` / ``$CHIMERA_BATCH_BLOCKS``).
 
-See PERFORMANCE.md ("Sharded trigger planning" and "Multi-process shard
-workers") for the architecture notes and BENCH_PR3.json / BENCH_PR4.json
+See PERFORMANCE.md ("Sharded trigger planning", "Multi-process shard
+workers" and "Batched worker dispatch") for the architecture notes and
+BENCH_PR3.json / BENCH_PR4.json / BENCH_PR5.json
 (``benchmarks/bench_x8_shard_scaling.py`` /
-``benchmarks/bench_x9_process_scaling.py``) for numbers.
+``benchmarks/bench_x9_process_scaling.py`` /
+``benchmarks/bench_x10_dispatch_amortization.py``) for numbers.
 """
 
 from repro.cluster.coordinator import ShardCoordinator, ShardCoordinatorStats, ShardedPlan
@@ -39,9 +43,15 @@ from repro.cluster.sharding import (
     home_shard,
     shard_of_bucket,
 )
-from repro.cluster.streaming import StreamIngestStats, StreamIngestor
+from repro.cluster.streaming import (
+    DEFAULT_BATCH_ENV_VAR,
+    StreamIngestStats,
+    StreamIngestor,
+    default_batch_blocks,
+)
 
 __all__ = [
+    "DEFAULT_BATCH_ENV_VAR",
     "DEFAULT_PLAN_CACHE_SIZE",
     "DEFAULT_SHARD_ENV_VAR",
     "DEFAULT_SHARD_MODE_ENV_VAR",
@@ -53,6 +63,7 @@ __all__ = [
     "ShardedRuleTable",
     "StreamIngestStats",
     "StreamIngestor",
+    "default_batch_blocks",
     "default_shard_count",
     "default_shard_mode",
     "home_shard",

@@ -75,6 +75,10 @@ class ShardedPlan:
     pending: int
     #: Untriggered rules no shard needs to look at for this block.
     bypassed: int
+    #: Names of the pending-full-check riders (not signature-routed) — the
+    #: batched dispatch skips these in later trip blocks once they saw a
+    #: non-empty window, mirroring the per-block pending-set semantics.
+    pending_only: frozenset[str] = frozenset()
 
     @property
     def candidates(self) -> int:
@@ -90,6 +94,12 @@ class ShardCoordinatorStats:
     max_shards_per_block: int = 0
     #: Worker batches dispatched off the calling thread (threads or processes).
     parallel_batches: int = 0
+    #: Check rounds that had at least one candidate to evaluate — with
+    #: micro-batching one trip covers a whole block batch, so
+    #: ``blocks_dispatched / dispatch_trips`` is the realized amortization.
+    dispatch_trips: int = 0
+    #: Blocks that contributed candidates to some trip.
+    blocks_dispatched: int = 0
     #: Route-cache entries evicted by the LRU bound (adversarial signatures).
     route_cache_evictions: int = 0
 
@@ -99,6 +109,8 @@ class ShardCoordinatorStats:
             "shards_consulted": self.shards_consulted,
             "max_shards_per_block": self.max_shards_per_block,
             "parallel_batches": self.parallel_batches,
+            "dispatch_trips": self.dispatch_trips,
+            "blocks_dispatched": self.blocks_dispatched,
             "route_cache_evictions": self.route_cache_evictions,
         }
 
@@ -203,15 +215,21 @@ class ShardCoordinator(TriggerSupport):
                 routed += len(local)
                 batches[shard_id] = local
         pending = 0
+        pending_only: set[str] = set()
         for name, state in table.pending_full_check_states().items():
             if state.enabled and not state.triggered and name not in chosen:
                 chosen.add(name)
                 pending += 1
+                pending_only.add(name)
                 batches.setdefault(table.home_shard_of(name), []).append(state)
         per_shard = sorted(batches.items())
         bypassed = table.untriggered_count() - routed - pending
         return ShardedPlan(
-            per_shard=per_shard, routed=routed, pending=pending, bypassed=bypassed
+            per_shard=per_shard,
+            routed=routed,
+            pending=pending,
+            bypassed=bypassed,
+            pending_only=frozenset(pending_only),
         )
 
     # -- the sharded check ------------------------------------------------------
@@ -232,20 +250,11 @@ class ShardCoordinator(TriggerSupport):
         newly_triggered: list[RuleState] = []
         if not new_occurrences:
             return newly_triggered
-        if type_signature is None:
-            type_signature = frozenset(
-                occurrence.event_type for occurrence in new_occurrences
-            )
-        plan = self.plan_sharded(type_signature)
-        self.stats.rules_routed += plan.routed
-        self.stats.rules_bypassed_by_index += plan.bypassed
-        self.stats.ts_skipped_by_filter += plan.bypassed
+        plan = self._plan_segment(new_occurrences, type_signature)
         cluster = self.cluster_stats
-        cluster.blocks_fanned_out += 1
-        cluster.shards_consulted += len(plan.per_shard)
-        cluster.max_shards_per_block = max(
-            cluster.max_shards_per_block, len(plan.per_shard)
-        )
+        if plan.candidates:
+            cluster.dispatch_trips += 1
+            cluster.blocks_dispatched += 1
 
         if self.shard_mode == "processes":
             # Out-of-process evaluate phase: even a single-shard plan goes to
@@ -301,6 +310,204 @@ class ShardCoordinator(TriggerSupport):
                 (state, self._evaluate_rule(state, now, transaction_start, local_stats))
             )
         return decisions, local_stats
+
+    def _plan_segment(self, occurrences, type_signature=None) -> ShardedPlan:
+        """Plan one non-empty block through the shard fan-out (stats included).
+
+        The coordinator's override of the base helper: same signature
+        derivation and plan-time counters, but resolved through
+        :meth:`plan_sharded` and additionally accounted in the fan-out
+        observability stats.
+        """
+        if type_signature is None:
+            type_signature = getattr(occurrences, "type_signature", None)
+        if type_signature is None:
+            type_signature = frozenset(
+                occurrence.event_type for occurrence in occurrences
+            )
+        plan = self.plan_sharded(type_signature)
+        self.stats.rules_routed += plan.routed
+        self.stats.rules_bypassed_by_index += plan.bypassed
+        self.stats.ts_skipped_by_filter += plan.bypassed
+        cluster = self.cluster_stats
+        cluster.blocks_fanned_out += 1
+        cluster.shards_consulted += len(plan.per_shard)
+        cluster.max_shards_per_block = max(
+            cluster.max_shards_per_block, len(plan.per_shard)
+        )
+        return plan
+
+    # -- the micro-batched check -------------------------------------------------
+    def check_after_blocks(
+        self,
+        blocks: Sequence[tuple[Sequence[EventOccurrence], Timestamp]],
+        transaction_start: Timestamp,
+    ) -> list[RuleState]:
+        """Check a trip of consecutive, already-ingested blocks in one dispatch.
+
+        The batched counterpart of :meth:`check_after_block`, with the exact
+        semantics of :meth:`TriggerSupport.check_after_blocks` (plans for the
+        whole trip resolved up front against the trip-start state; per-block
+        evaluation that skips earlier-triggered rules and pending-only
+        riders that already saw a non-empty window in the trip; decisions
+        applied block by block in definition order).  What the coordinator adds is
+        the dispatch amortization: in ``processes`` mode every consulted
+        worker is contacted **once per trip** — one combined EB delta plus N
+        ordered work segments — instead of once per block, so worker round
+        trips scale with trips rather than blocks.  In ``threads`` mode the
+        trip is dealt per home worker (each rule's segments stay on one
+        thread, in order); the serial mode evaluates the same dealing inline.
+        """
+        if not (self.use_static_optimization and self.use_subscription_index):
+            return super().check_after_blocks(blocks, transaction_start)
+        if len(blocks) == 1:
+            occurrences, now = blocks[0]
+            return self.check_after_block(
+                occurrences,
+                now,
+                transaction_start,
+                getattr(occurrences, "type_signature", None),
+            )
+        cluster = self.cluster_stats
+        segments: list[tuple[Timestamp, ShardedPlan]] = []
+        for occurrences, now in blocks:
+            self.stats.blocks += 1
+            if not occurrences:
+                continue
+            segments.append((now, self._plan_segment(occurrences)))
+        planned_blocks = sum(1 for _, plan in segments if plan.candidates)
+        if planned_blocks:
+            cluster.dispatch_trips += 1
+            cluster.blocks_dispatched += planned_blocks
+        if self.shard_mode == "processes":
+            per_segment = self._evaluate_trip_in_processes(segments, transaction_start)
+        else:
+            per_segment = self._evaluate_trip_inline(segments, transaction_start)
+        newly_triggered: list[RuleState] = []
+        for (now, _), rows in zip(segments, per_segment):
+            rows.sort(key=lambda pair: pair[0].definition_order)
+            for state, decision in rows:
+                self.stats.rules_checked += 1
+                if self._apply_decision(state, decision, now):
+                    newly_triggered.append(state)
+        return newly_triggered
+
+    def _trip_assignments(
+        self,
+        segments: list[tuple[Timestamp, ShardedPlan]],
+        transaction_start: Timestamp,
+        num_workers: int,
+    ) -> dict[int, dict[int, list[tuple[RuleState, Timestamp, bool]]]]:
+        """Deal one trip's work items: worker -> block index -> items.
+
+        The same fixed-home dealing as the per-block dispatch (a rule's memo
+        must stay resident on one worker), extended over the trip: each
+        rule's items appear in block order within its home worker's map,
+        which is what lets the worker apply the trip-local skips (rules it
+        already found triggered; pending-only riders that already saw a
+        non-empty window) with purely local knowledge.  Each item carries
+        its block's pending-only flag.
+        """
+        assignments: dict[int, dict[int, list[tuple[RuleState, Timestamp, bool]]]] = {}
+        for index, (_, plan) in enumerate(segments):
+            for _, states in plan.per_shard:
+                for state in states:
+                    self.prepare_rule(state)
+                    worker = self._worker_of(state, num_workers)
+                    assignments.setdefault(worker, {}).setdefault(index, []).append(
+                        (
+                            state,
+                            state.triggering_window_start(transaction_start),
+                            state.rule.name in plan.pending_only,
+                        )
+                    )
+        return assignments
+
+    def _evaluate_trip_inline(
+        self,
+        segments: list[tuple[Timestamp, ShardedPlan]],
+        transaction_start: Timestamp,
+    ) -> list[list[tuple[RuleState, TriggeringDecision]]]:
+        """Serial/threads evaluation of a trip, grouped by home worker.
+
+        Each home batch holds its rules' items across all segments in block
+        order, so a single (thread or inline) pass can apply the
+        skip-after-triggered rule with purely local knowledge — the in-process
+        equivalent of what each process worker does with its trip message.
+        """
+        nows = [now for now, _ in segments]
+        assignments = self._trip_assignments(
+            segments, transaction_start, self.rule_table.num_shards
+        )
+        per_segment: list[list[tuple[RuleState, TriggeringDecision]]] = [
+            [] for _ in segments
+        ]
+        if not assignments:
+            return per_segment
+        home_batches = [assignments[home] for home in sorted(assignments)]
+        if self.shard_mode == "threads" and len(home_batches) > 1:
+            self.cluster_stats.parallel_batches += len(home_batches)
+            futures = [
+                self._ensure_pool().submit(self._evaluate_home_batch, batch, nows)
+                for batch in home_batches
+            ]
+            results = [future.result() for future in futures]
+        else:
+            results = [
+                self._evaluate_home_batch(batch, nows) for batch in home_batches
+            ]
+        for rows, local_stats in results:
+            self.stats.evaluation.merge(local_stats)
+            for index, state, decision in rows:
+                per_segment[index].append((state, decision))
+        return per_segment
+
+    def _evaluate_home_batch(
+        self,
+        segment_items: dict[int, list[tuple[RuleState, Timestamp, bool]]],
+        nows: list[Timestamp],
+    ) -> tuple[list[tuple[int, RuleState, TriggeringDecision]], EvaluationStats]:
+        """Evaluate one home worker's share of a trip (worker-safe)."""
+        local_stats = EvaluationStats()
+        rows: list[tuple[int, RuleState, TriggeringDecision]] = []
+        triggered_in_trip: set[str] = set()
+        saw_nonempty_window: set[str] = set()
+        for index in sorted(segment_items):
+            now = nows[index]
+            for state, window_start, pending_only in segment_items[index]:
+                name = state.rule.name
+                if name in triggered_in_trip or (
+                    pending_only and name in saw_nonempty_window
+                ):
+                    continue
+                decision = self._evaluate_item(state, window_start, now, local_stats)
+                if decision.triggered:
+                    triggered_in_trip.add(name)
+                if decision.window_size > 0:
+                    saw_nonempty_window.add(name)
+                rows.append((index, state, decision))
+        return rows, local_stats
+
+    def _evaluate_trip_in_processes(
+        self,
+        segments: list[tuple[Timestamp, ShardedPlan]],
+        transaction_start: Timestamp,
+    ) -> list[list[tuple[RuleState, TriggeringDecision]]]:
+        """Ship a whole trip to the process workers — one message per worker."""
+        num_workers = self._process_worker_count()
+        if self._process_pool is not None:
+            self._prune_worker_defs(self._process_pool)
+        assignments = self._trip_assignments(segments, transaction_start, num_workers)
+        if not assignments:
+            return [[] for _ in segments]
+        pool = self._ensure_process_pool()
+        self._prune_worker_defs(pool)
+        self.cluster_stats.parallel_batches += len(assignments)
+        per_segment, merged_stats = pool.evaluate_trip(
+            self.event_base, assignments, [now for now, _ in segments]
+        )
+        self.stats.evaluation.merge(merged_stats)
+        return per_segment
 
     # -- the out-of-process evaluate phase --------------------------------------
     def _worker_of(self, state: RuleState, num_workers: int) -> int:

@@ -8,21 +8,35 @@ sub-table — the triggering event expressions and the per-rule incremental
 :class:`~repro.core.triggering.TriggerMemo`s of the rules dealt to it — plus a
 **mirror Event Base** grown incrementally from per-block window snapshots.
 
-Per block the coordinator ships each consulted worker one message::
+Per *trip* — one block, or a whole micro-batch of consecutive blocks (PR 5)
+— the coordinator ships each consulted worker one message::
 
     (window-snapshot of the EB slice the worker has not seen,
      new/changed rule definitions, dropped rule names,
-     work items (rule name, window start), now)
+     N ordered work segments (block index, work items, now))
 
-(the block's type *signature* stays coordinator-side — it keys the route
-cache that decides the work items in the first place) and the worker replies
-with the *evaluate-phase* decisions — compact
-:class:`~repro.core.triggering.TriggeringDecision` rows plus its local
-:class:`~repro.core.evaluation.EvaluationStats`.  All writes (counters, the
-triggered flag, heap pushes) stay in the coordinator process, which applies
-the decisions **serially in definition order** — so serial, thread and
-process modes are behaviorally identical by construction
-(``tests/cluster/test_mode_equivalence.py`` pins it, stats included).
+where each work segment carries one block's ``(rule name, window start,
+pending-only)`` items and its ``now`` (the block's type *signature* stays
+coordinator-side — it keys the route cache that decides the work items in
+the first place).
+The delta is shipped once per trip and covers every block of the micro-batch:
+the batched check semantics evaluate each block over the *complete* trip log
+bounded by that block's ``now`` (exactly what the coordinator's serial mode
+sees through its zero-copy views — with one combined delta, cross-block
+time-stamp ties resolve identically in and out of process, and the trip pays
+one snapshot encode instead of N).  The worker walks the segments in order —
+skipping, in later segments, exactly the rules the per-block path would no
+longer have planned once the earlier decisions applied: rules it already
+found triggered in this trip, and pending-only riders that already saw a
+non-empty window (they would have left the pending-full-check set) — and
+replies with **per-block** decision lists: compact
+:class:`~repro.core.triggering.TriggeringDecision` rows per segment plus its
+local :class:`~repro.core.evaluation.EvaluationStats`.  All writes (counters,
+the triggered flag, heap pushes) stay in the coordinator process, which
+applies the decisions **serially, block by block in definition order** — so
+serial, thread and process modes are behaviorally identical by construction
+for every batch size (``tests/cluster/test_mode_equivalence.py`` pins it,
+stats included).
 
 Three design points make the equivalence exact rather than approximate:
 
@@ -50,6 +64,7 @@ import pickle
 import time
 import traceback
 import weakref
+from typing import Sequence
 
 from repro.core.evaluation import EvaluationMode, EvaluationStats
 from repro.core.triggering import TriggerMemo, TriggeringDecision, is_triggered
@@ -102,7 +117,7 @@ def _worker_main(connection, mode_value: str) -> None:
                     entry[2].clear()
                 connection.send_bytes(pickle.dumps(("ok", (), None), _PROTOCOL))
                 continue
-            _, delta_bytes, defs, drops, items, now = request
+            _, delta_bytes, defs, drops, segments = request
             if delta_bytes is not None:
                 delta = WindowSnapshot.from_pickled(delta_bytes)
                 mirror.extend(delta.occurrences(type_cache=type_cache))
@@ -114,25 +129,41 @@ def _worker_main(connection, mode_value: str) -> None:
                 rules[name] = [order, expression, TriggerMemo()]
             state_applied = True
             stats = EvaluationStats()
-            decisions: list[tuple[str, tuple]] = []
-            for name, window_start in items:
-                entry = rules[name]
-                decision = is_triggered(
-                    entry[1], mirror, window_start, now, mode, stats, memo=entry[2]
-                )
-                decisions.append(
-                    (
-                        name,
-                        (
-                            decision.triggered,
-                            decision.instant,
-                            decision.ts_value,
-                            decision.window_size,
-                            decision.instants_sampled,
-                        ),
+            replies: list[tuple[int, tuple]] = []
+            #: Trip-local skips, exactly the rules whose later-segment plans
+            #: would be gone had the earlier decisions applied per-block:
+            #: rules found triggered earlier in this trip, and pending-only
+            #: riders that already saw a non-empty window (they would have
+            #: left the pending-full-check set).
+            tripped: set[str] = set()
+            saw_nonempty: set[str] = set()
+            for segment_index, items, now in segments:
+                decisions: list[tuple[str, tuple]] = []
+                for name, window_start, pending_only in items:
+                    if name in tripped or (pending_only and name in saw_nonempty):
+                        continue
+                    entry = rules[name]
+                    decision = is_triggered(
+                        entry[1], mirror, window_start, now, mode, stats, memo=entry[2]
                     )
-                )
-            connection.send_bytes(pickle.dumps(("ok", decisions, stats), _PROTOCOL))
+                    if decision.triggered:
+                        tripped.add(name)
+                    if decision.window_size > 0:
+                        saw_nonempty.add(name)
+                    decisions.append(
+                        (
+                            name,
+                            (
+                                decision.triggered,
+                                decision.instant,
+                                decision.ts_value,
+                                decision.window_size,
+                                decision.instants_sampled,
+                            ),
+                        )
+                    )
+                replies.append((segment_index, tuple(decisions)))
+            connection.send_bytes(pickle.dumps(("ok", tuple(replies), stats), _PROTOCOL))
         except Exception as exc:
             # Ship the exception object itself when it pickles, so the
             # coordinator can re-raise the same type the serial mode would
@@ -245,8 +276,13 @@ class ProcessShardPool:
         #: coordinator's bookkeeping — the pool then refuses further work.
         self._broken = False
         # -- transport observability (fed into the workload reports) --
+        #: Trips: one per evaluate/evaluate_trip call, however many blocks
+        #: the trip coalesced.
         self.dispatches = 0
         self.worker_round_trips = 0
+        #: Blocks that shipped work items in some trip — ``dispatches <
+        #: blocks_dispatched`` is micro-batching visibly amortizing.
+        self.blocks_dispatched = 0
         self.bytes_shipped = 0
         self.bytes_received = 0
         #: Coordinator-side serialization cost (snapshot + message pickling):
@@ -258,7 +294,7 @@ class ProcessShardPool:
             [(handle.process, handle.connection) for handle in self._workers],
         )
 
-    # -- the per-block round trip ---------------------------------------------
+    # -- the per-trip round trip ------------------------------------------------
     def evaluate(
         self,
         event_base: EventBase,
@@ -267,49 +303,89 @@ class ProcessShardPool:
     ) -> tuple[list[tuple[RuleState, TriggeringDecision]], EvaluationStats]:
         """Evaluate one block's work items on the workers.
 
-        ``assignments`` maps worker id -> ``(state, window start)`` pairs; a
-        rule must always be assigned to the same worker (the coordinator's
-        fixed-home dealing) so its memo stays resident.  Every worker with
-        pending EB slices or work receives a message; returns the evaluated
-        ``(state, decision)`` pairs (in worker order — the coordinator sorts
-        by definition order before applying) plus the merged evaluation
-        stats.
+        The single-block spelling of :meth:`evaluate_trip`: ``assignments``
+        maps worker id -> ``(state, window start)`` pairs.  Returns the
+        evaluated ``(state, decision)`` pairs (in worker order — the
+        coordinator sorts by definition order before applying) plus the
+        merged evaluation stats.
+        """
+        per_segment, merged = self.evaluate_trip(
+            event_base,
+            {
+                worker_id: {
+                    0: [(state, window_start, False) for state, window_start in items]
+                }
+                for worker_id, items in assignments.items()
+            },
+            [now],
+        )
+        return per_segment[0], merged
+
+    def evaluate_trip(
+        self,
+        event_base: EventBase,
+        assignments: dict[int, dict[int, list[tuple[RuleState, Timestamp, bool]]]],
+        nows: Sequence[Timestamp],
+    ) -> tuple[list[list[tuple[RuleState, TriggeringDecision]]], EvaluationStats]:
+        """Evaluate a micro-batch of blocks on the workers, one trip per worker.
+
+        ``assignments`` maps worker id -> block index -> ``(state, window
+        start, pending-only)`` triples; ``nows`` holds each block's check
+        instant (indexed by block index).  A rule must always be assigned to
+        the same worker (the coordinator's fixed-home dealing) so its memo
+        stays resident, and a rule's items must appear in block order — the
+        worker walks segments in order, skipping rules already triggered
+        earlier in the trip and pending-only riders that already saw a
+        non-empty window (the per-block pending-set semantics).
+
+        Every consulted worker receives exactly **one** message for the whole
+        trip (one combined EB delta + its work segments), which is the
+        dispatch amortization this pool exists for: round trips scale with
+        trips, not blocks.  Returns the evaluated ``(state, decision)`` pairs
+        grouped by block index (each group in worker order — the coordinator
+        sorts by definition order before applying) plus the merged stats.
         """
         self._require_usable()
-        log = event_base.occurrences
-        total = len(log)
+        total = len(event_base.occurrences)
         by_name: dict[str, RuleState] = {}
         encoded_deltas: dict[int, bytes] = {}
         prepared: list[tuple[_WorkerHandle, bytes, list[tuple[str, int]]]] = []
+        covered_blocks: set[int] = set()
         started = time.perf_counter()
         for worker_id in sorted(assignments):
             handle = self._workers[worker_id]
-            batch = assignments[worker_id]
+            segment_items = assignments[worker_id]
             defs: list[tuple[str, int, object]] = []
             new_defs: list[tuple[str, int]] = []
-            items: list[tuple[str, Timestamp]] = []
-            for state, window_start in batch:
-                name = state.rule.name
-                order = state.definition_order
-                if handle.shipped_defs.get(name) != order:
-                    defs.append((name, order, state.rule.events))
-                    new_defs.append((name, order))
-                items.append((name, window_start))
-                by_name[name] = state
+            shipping_now: set[str] = set()
+            segments: list[tuple[int, tuple, Timestamp]] = []
+            for segment_index in sorted(segment_items):
+                items: list[tuple[str, Timestamp, bool]] = []
+                for state, window_start, pending_only in segment_items[segment_index]:
+                    name = state.rule.name
+                    order = state.definition_order
+                    if handle.shipped_defs.get(name) != order and name not in shipping_now:
+                        defs.append((name, order, state.rule.events))
+                        new_defs.append((name, order))
+                        shipping_now.add(name)
+                    items.append((name, window_start, pending_only))
+                    by_name[name] = state
+                if items:
+                    segments.append((segment_index, tuple(items), nows[segment_index]))
+                    covered_blocks.add(segment_index)
             delta_bytes: bytes | None = None
             if handle.shipped_events < total:
                 offset = handle.shipped_events
                 delta_bytes = encoded_deltas.get(offset)
                 if delta_bytes is None:
-                    delta_bytes = WindowSnapshot.of(log[offset:]).pickled()
+                    delta_bytes = event_base.delta_snapshot(offset).pickled()
                     encoded_deltas[offset] = delta_bytes
             message = (
                 "check",
                 delta_bytes,
                 tuple(defs),
                 tuple(handle.pending_drops),
-                tuple(items),
-                now,
+                tuple(segments),
             )
             prepared.append((handle, self._encode(message), new_defs))
         self.encode_seconds += time.perf_counter() - started
@@ -323,7 +399,10 @@ class ProcessShardPool:
                 handle.shipped_defs[name] = order
         self.dispatches += 1
         self.worker_round_trips += len(prepared)
-        evaluated: list[tuple[RuleState, TriggeringDecision]] = []
+        self.blocks_dispatched += len(covered_blocks)
+        per_segment: list[list[tuple[RuleState, TriggeringDecision]]] = [
+            [] for _ in nows
+        ]
         merged = EvaluationStats()
         # Drain every worker's reply even when one fails: an unread reply
         # left in a pipe would pair with the *next* request and desync the
@@ -331,7 +410,7 @@ class ProcessShardPool:
         first_error: BaseException | None = None
         for handle, _, _ in prepared:
             try:
-                decisions, worker_stats = self._receive(handle)
+                reply_segments, worker_stats = self._receive(handle)
             except BaseException as exc:  # transport death poisons in _receive
                 if first_error is None:
                     first_error = exc
@@ -340,11 +419,13 @@ class ProcessShardPool:
                 continue
             if worker_stats is not None:
                 merged.merge(worker_stats)
-            for name, row in decisions:
-                evaluated.append((by_name[name], TriggeringDecision(*row)))
+            for segment_index, decisions in reply_segments:
+                rows = per_segment[segment_index]
+                for name, row in decisions:
+                    rows.append((by_name[name], TriggeringDecision(*row)))
         if first_error is not None:
             raise first_error
-        return evaluated, merged
+        return per_segment, merged
 
     def prune(self, is_live) -> int:
         """Forget definitions of rules that left the table.
@@ -445,6 +526,7 @@ class ProcessShardPool:
             "workers": self.num_workers,
             "dispatches": self.dispatches,
             "worker_round_trips": self.worker_round_trips,
+            "blocks_dispatched": self.blocks_dispatched,
             "bytes_shipped": self.bytes_shipped,
             "bytes_received": self.bytes_received,
             "encode_ms": round(1e3 * self.encode_seconds, 2),

@@ -17,17 +17,31 @@ two with a bounded hand-off queue and a consumer thread:
   for *queue space* (the consumer lagging ``max_pending`` whole blocks), not
   for any individual rule evaluation.
 
+Since PR 5 the consumer additionally **coalesces**: when it wakes up with a
+backlog it drains up to ``max_batch_blocks`` queued blocks and hands them to
+``RuleEngine.run_stream_blocks`` as one micro-batch — each submitted block
+stays its own execution block (own flush, own type signature, own trigger
+check at its own ``now``), but the trigger checks for the whole batch run as
+**one dispatch trip**, which is what amortizes the per-block worker round
+trip of the process shard mode (see PERFORMANCE.md "Batched worker
+dispatch").  ``max_batch_blocks=1`` (the default) is byte-identical to the
+PR-3 behavior; the ambient default can be raised with
+``$CHIMERA_BATCH_BLOCKS``.
+
 Correctness leans on the lag tolerance the incremental trigger memo already
 has: ``TriggerMemo.seen_events`` records how much of the log a check had
 seen, so checks that run behind the producer's appends sample exactly the
 instants they missed (see ``repro/core/triggering.py``).  A failed block
 poisons the ingestor — the error is re-raised to the producer on the next
-:meth:`submit`, :meth:`flush` or :meth:`close`, and later queued blocks are
-dropped (and counted) rather than applied on top of a broken state.
+:meth:`submit`, :meth:`flush` or :meth:`close`, exactly once, and later
+queued blocks are dropped (and counted) rather than applied on top of a
+broken state; a failure inside a coalesced micro-batch counts the whole
+batch as dropped.
 """
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 from dataclasses import dataclass
@@ -38,9 +52,29 @@ from repro.events.event import EventOccurrence
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a package cycle)
     from repro.rules.executor import RuleEngine
 
-__all__ = ["StreamIngestStats", "StreamIngestor"]
+__all__ = [
+    "DEFAULT_BATCH_ENV_VAR",
+    "default_batch_blocks",
+    "StreamIngestStats",
+    "StreamIngestor",
+]
+
+#: Environment variable consulted when ``max_batch_blocks`` is not given
+#: explicitly (mirrors ``$CHIMERA_SHARDS`` / ``$CHIMERA_SHARD_MODE``).
+DEFAULT_BATCH_ENV_VAR = "CHIMERA_BATCH_BLOCKS"
 
 _SENTINEL = None
+
+
+def default_batch_blocks() -> int:
+    """The ambient micro-batch bound: ``$CHIMERA_BATCH_BLOCKS`` or 1."""
+    raw = os.environ.get(DEFAULT_BATCH_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
 
 
 @dataclass
@@ -54,6 +88,13 @@ class StreamIngestStats:
     dropped_blocks: int = 0
     #: Deepest backlog observed at submit time (bounded by ``max_pending``).
     max_queue_depth: int = 0
+    #: Consumer wake-ups that reached the engine (one per micro-batch); with
+    #: coalescing, ``processed_blocks / coalesced_trips`` is the realized
+    #: blocks-per-trip amortization.
+    coalesced_trips: int = 0
+    #: Largest micro-batch one wake-up drained (bounded by
+    #: ``max_batch_blocks``).
+    max_blocks_per_trip: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -63,6 +104,8 @@ class StreamIngestStats:
             "processed_events": self.processed_events,
             "dropped_blocks": self.dropped_blocks,
             "max_queue_depth": self.max_queue_depth,
+            "coalesced_trips": self.coalesced_trips,
+            "max_blocks_per_trip": self.max_blocks_per_trip,
         }
 
 
@@ -87,11 +130,22 @@ class StreamIngestor:
         engine: "RuleEngine",
         max_pending: int = 64,
         bulk: bool = True,
+        max_batch_blocks: int | None = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be positive (got {max_pending})")
+        if max_batch_blocks is None:
+            max_batch_blocks = default_batch_blocks()
+        if max_batch_blocks < 1:
+            raise ValueError(
+                f"max_batch_blocks must be positive (got {max_batch_blocks})"
+            )
         self.engine = engine
         self.bulk = bulk
+        #: Upper bound on how many queued blocks one consumer wake-up drains
+        #: into a single ``run_stream_blocks`` micro-batch.  1 = the PR-3
+        #: block-at-a-time behavior, byte for byte.
+        self.max_batch_blocks = max_batch_blocks
         self.stats = StreamIngestStats()
         self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
         self._thread: threading.Thread | None = None
@@ -171,26 +225,64 @@ class StreamIngestor:
     def _consume(self) -> None:
         while True:
             item = self._queue.get()
-            try:
-                if item is _SENTINEL:
-                    return
-                batch, signature = item
-                if self._failed:
-                    self.stats.dropped_blocks += 1
-                    continue
-                try:
-                    self.engine.run_stream_block(
-                        batch, bulk=self.bulk, type_signature=signature
-                    )
-                except BaseException as error:  # noqa: BLE001 - handed to producer
-                    self._error = error
-                    self._failed = True
-                    self.stats.dropped_blocks += 1
-                else:
-                    self.stats.processed_blocks += 1
-                    self.stats.processed_events += len(batch)
-            finally:
+            if item is _SENTINEL:
                 self._queue.task_done()
+                return
+            # Coalesce: drain whatever backlog is already queued (up to the
+            # micro-batch bound) without blocking — an idle stream keeps
+            # block-at-a-time latency, a lagging consumer catches up in
+            # batched dispatch trips.
+            items = [item]
+            saw_sentinel = False
+            while len(items) < self.max_batch_blocks:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _SENTINEL:
+                    saw_sentinel = True
+                    break
+                items.append(extra)
+            try:
+                self._process_trip(items)
+            finally:
+                for _ in items:
+                    self._queue.task_done()
+                if saw_sentinel:
+                    self._queue.task_done()
+            if saw_sentinel:
+                return
+
+    def _process_trip(self, items: list[tuple[tuple, frozenset]]) -> None:
+        """Run one drained micro-batch; block boundaries are preserved."""
+        if self._failed:
+            self.stats.dropped_blocks += len(items)
+            return
+        blocks = [batch for batch, _ in items]
+        signatures = [signature for _, signature in items]
+        try:
+            if len(items) == 1:
+                # The PR-3 path, byte for byte (max_batch_blocks=1 always
+                # lands here; larger bounds land here whenever the queue was
+                # drained, i.e. the consumer is keeping up).
+                self.engine.run_stream_block(
+                    blocks[0], bulk=self.bulk, type_signature=signatures[0]
+                )
+            else:
+                self.engine.run_stream_blocks(
+                    blocks, bulk=self.bulk, type_signatures=signatures
+                )
+        except BaseException as error:  # noqa: BLE001 - handed to producer
+            self._error = error
+            self._failed = True
+            self.stats.dropped_blocks += len(items)
+        else:
+            self.stats.processed_blocks += len(items)
+            self.stats.processed_events += sum(len(batch) for batch in blocks)
+            self.stats.coalesced_trips += 1
+            self.stats.max_blocks_per_trip = max(
+                self.stats.max_blocks_per_trip, len(items)
+            )
 
     def _raise_pending_error(self) -> None:
         if self._error is not None:

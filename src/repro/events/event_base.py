@@ -536,6 +536,20 @@ class EventBase(_OccurrenceStore):
         """Zero-copy view spanning the whole transaction (preserving-rule view)."""
         return self.view(after=None, until=None)
 
+    def delta_snapshot(self, since: int = 0) -> "WindowSnapshot":
+        """Picklable snapshot of the log suffix ``occurrences[since:]``.
+
+        The wire form of the mirror-EB protocol: a process shard worker whose
+        mirror holds the first ``since`` occurrences catches up by applying
+        exactly this delta (:class:`WindowSnapshot` rows, appended in log
+        order).  A micro-batched trip ships **one** such delta covering every
+        block of the batch — each block's check then bounds the complete trip
+        log by its own ``now``, so cross-block time-stamp ties resolve
+        identically in the worker's mirror and in the coordinator's zero-copy
+        views.
+        """
+        return WindowSnapshot.of(self.occurrences[since:])
+
 
 class EventWindow(_OccurrenceStore):
     """An immutable, materialized view over a slice of the Event Base.

@@ -27,7 +27,7 @@ from repro.events.event_base import EventBase
 from repro.oodb.objects import OID, ChimeraObject, ObjectStore
 from repro.oodb.operations import OperationExecutor
 from repro.oodb.schema import ClassDefinition, Schema
-from repro.oodb.transactions import Transaction, TransactionStatus
+from repro.oodb.transactions import Transaction
 from repro.rules.executor import ConsiderationRecord, RuleEngine
 from repro.rules.language import parse_rule
 from repro.rules.rule import Rule, RuleState
@@ -48,8 +48,10 @@ class ChimeraDatabase:
         shard_mode: str | None = None,
         parallel_shards: bool = False,
         plan_cache_size: int | None = None,
+        batch_blocks: int | None = None,
     ) -> None:
         from repro.cluster.sharding import ShardedRuleTable, default_shard_count
+        from repro.cluster.streaming import default_batch_blocks
 
         self.schema = Schema()
         self.store = ObjectStore()
@@ -87,12 +89,46 @@ class ChimeraDatabase:
             parallel_shards=parallel_shards,
             plan_cache_size=plan_cache_size,
         )
+        # batch_blocks=None defers to the ambient default
+        # ($CHIMERA_BATCH_BLOCKS); it bounds how many stream blocks a
+        # stream_ingestor() coalesces per dispatch trip.
+        if batch_blocks is None:
+            batch_blocks = default_batch_blocks()
+        if batch_blocks < 1:
+            raise ValueError(f"batch_blocks must be positive (got {batch_blocks})")
+        self.batch_blocks = batch_blocks
         self._active_transaction: Transaction | None = None
         self._store_snapshot: dict[str, Any] | None = None
 
     def close(self) -> None:
         """Release engine worker pools (idempotent; also runs via finalizers)."""
         self.engine.close()
+
+    def stream_ingestor(
+        self,
+        max_pending: int = 64,
+        bulk: bool = True,
+        batch_blocks: int | None = None,
+    ):
+        """A pipelined (and optionally coalescing) ingestor over this engine.
+
+        Returns a :class:`~repro.cluster.streaming.StreamIngestor` bound to
+        the database's rule engine: producers submit pre-stamped occurrence
+        batches, the consumer thread runs them through the stream-block
+        pipeline, draining up to ``batch_blocks`` queued blocks per dispatch
+        trip (default: the database's ``batch_blocks`` knob).  The engine
+        must not be driven through transactions while the ingestor is open.
+        """
+        from repro.cluster.streaming import StreamIngestor
+
+        if batch_blocks is None:
+            batch_blocks = self.batch_blocks
+        return StreamIngestor(
+            self.engine,
+            max_pending=max_pending,
+            bulk=bulk,
+            max_batch_blocks=batch_blocks,
+        )
 
     # ------------------------------------------------------------------
     # Schema and rule definition

@@ -168,6 +168,54 @@ class RuleEngine:
         may pass the batch's ``type_signature`` so it is never derived on the
         checking thread; it is ignored when other occurrences are pending.
         """
+        batch = self._ingest_stream_batch(occurrences, bulk, type_signature)
+        self._check_block(batch)
+        self._processing_loop(ECCoupling.IMMEDIATE, phase="stream")
+
+    def run_stream_blocks(
+        self,
+        batches: Sequence[Sequence[EventOccurrence]],
+        bulk: bool = True,
+        type_signatures: Sequence[frozenset[EventType] | None] | None = None,
+    ) -> None:
+        """Ingest a micro-batch of blocks, checking them as one dispatch trip.
+
+        Every batch is flushed as its **own** execution block (own type
+        signature, own Occurred-Events entry, own trigger check at its own
+        clock instant), exactly like consecutive :meth:`run_stream_block`
+        calls — but the trigger checks for the whole micro-batch are handed
+        to the Trigger Support in one ``check_after_blocks`` trip, so the
+        shard coordinator's process mode contacts each consulted worker once
+        per trip instead of once per block (the dispatch amortization
+        PERFORMANCE.md "Batched worker dispatch" measures).  Two visible
+        differences from block-at-a-time processing, both inherent to
+        micro-batching: the whole batch is ingested before the first check
+        runs (each check still bounds the complete log by its block's
+        ``now``), and triggered rules are considered once the batch's checks
+        finish rather than between blocks.  A one-element micro-batch is
+        byte-identical to :meth:`run_stream_block`.
+        """
+        if type_signatures is not None and len(type_signatures) != len(batches):
+            raise ValueError(
+                f"type_signatures must align with batches "
+                f"(got {len(type_signatures)} for {len(batches)})"
+            )
+        segments: list[tuple[BlockIngest, Timestamp]] = []
+        for index, occurrences in enumerate(batches):
+            signature = type_signatures[index] if type_signatures is not None else None
+            batch = self._ingest_stream_batch(occurrences, bulk, signature)
+            segments.append((batch, self.clock.now()))
+        if segments:
+            self.trigger_support.check_after_blocks(segments, self.transaction_start)
+        self._processing_loop(ECCoupling.IMMEDIATE, phase="stream")
+
+    def _ingest_stream_batch(
+        self,
+        occurrences: Sequence[EventOccurrence],
+        bulk: bool,
+        type_signature: frozenset[EventType] | None,
+    ) -> BlockIngest:
+        """Store one stream batch as a flushed block and catch the clock up."""
         batch = self.event_handler.store_external(
             occurrences, bulk=bulk, type_signature=type_signature
         )
@@ -178,8 +226,7 @@ class RuleEngine:
             last = batch.occurrences[-1].timestamp
             if last > self.clock.now():
                 self.clock.advance_to(last)
-        self._check_block(batch)
-        self._processing_loop(ECCoupling.IMMEDIATE, phase="stream")
+        return batch
 
     def process_commit(self) -> None:
         """Process deferred (and any remaining triggered) rules at commit time."""

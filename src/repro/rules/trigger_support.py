@@ -99,6 +99,14 @@ class TriggerPlan:
     #: Untriggered rules the index proved irrelevant — a full scan would have
     #: visited each and skipped it via its individual filter.
     bypassed: int
+    #: Names of candidates planned *only* because their filter is not
+    #: applicable yet (the pending-full-check riders, not signature-routed).
+    #: The batched dispatch path uses this to reproduce the per-block
+    #: pending-set semantics within a trip: once such a rule has seen a
+    #: non-empty window in an earlier block of the trip, later blocks that
+    #: planned it only as a pending rider skip it — exactly when the
+    #: per-block path would have dropped it from the pending set.
+    pending_only: frozenset[str] = frozenset()
 
 
 class TriggerPlanner:
@@ -127,12 +135,19 @@ class TriggerPlanner:
             if state.enabled and not state.triggered
         }
         routed = len(chosen)
+        pending_only: set[str] = set()
         for name, state in table.pending_full_check_states().items():
             if state.enabled and not state.triggered and name not in chosen:
                 chosen[name] = state
+                pending_only.add(name)
         candidates = sorted(chosen.values(), key=lambda state: state.definition_order)
         bypassed = table.untriggered_count() - len(candidates)
-        return TriggerPlan(candidates=candidates, routed=routed, bypassed=bypassed)
+        return TriggerPlan(
+            candidates=candidates,
+            routed=routed,
+            bypassed=bypassed,
+            pending_only=frozenset(pending_only),
+        )
 
 
 class TriggerSupport:
@@ -188,17 +203,7 @@ class TriggerSupport:
             return newly_triggered
 
         if self.use_static_optimization and self.use_subscription_index:
-            if type_signature is None:
-                type_signature = frozenset(
-                    occurrence.event_type for occurrence in new_occurrences
-                )
-            plan = self.planner.plan(type_signature)
-            self.stats.rules_routed += plan.routed
-            self.stats.rules_bypassed_by_index += plan.bypassed
-            # A bypass is the V(E) filter applied wholesale: the index proved
-            # no occurrence of the block can flip those rules' ts positive,
-            # which is exactly what the per-rule filter would have concluded.
-            self.stats.ts_skipped_by_filter += plan.bypassed
+            plan = self._plan_segment(new_occurrences, type_signature)
             for state in plan.candidates:
                 self.stats.rules_checked += 1
                 self.prepare_rule(state)
@@ -227,6 +232,120 @@ class TriggerSupport:
                     continue
             if self._check_rule(state, now, transaction_start):
                 newly_triggered.append(state)
+        return newly_triggered
+
+    def _plan_segment(self, occurrences, type_signature=None):
+        """Plan one non-empty block and account the plan-time stats.
+
+        The one place the signature is derived (when the caller does not
+        already carry it) and the routed/bypassed counters move — shared by
+        the per-block check and every block of a batched trip, and
+        overridden by the shard coordinator with its fan-out planning.  A
+        bypass is the ``V(E)`` filter applied wholesale: the index proved no
+        occurrence of the block can flip those rules' ``ts`` positive, which
+        is exactly what the per-rule filter would have concluded.
+        """
+        if type_signature is None:
+            type_signature = getattr(occurrences, "type_signature", None)
+        if type_signature is None:
+            type_signature = frozenset(
+                occurrence.event_type for occurrence in occurrences
+            )
+        plan = self.planner.plan(type_signature)
+        self.stats.rules_routed += plan.routed
+        self.stats.rules_bypassed_by_index += plan.bypassed
+        self.stats.ts_skipped_by_filter += plan.bypassed
+        return plan
+
+    # -- the micro-batched check ---------------------------------------------
+    def check_after_blocks(
+        self,
+        blocks: Sequence[tuple[Sequence[EventOccurrence], Timestamp]],
+        transaction_start: Timestamp,
+    ) -> list[RuleState]:
+        """Check a *trip* of consecutive, already-ingested execution blocks.
+
+        ``blocks`` is an ordered sequence of ``(occurrences, now)`` pairs, one
+        per execution block, all of which are already stored in the Event Base
+        (the batched streaming path ingests a whole micro-batch before
+        checking).  Each block keeps its own check: its own type signature,
+        its own plan and its own ``now`` — but the plans for every block of
+        the trip are resolved **up front**, against the triggered/enabled
+        state at the start of the trip, which is what lets the shard
+        coordinator ship the whole trip to each process worker in one round
+        trip.  The batched semantics, identical in every execution mode:
+
+        * plans are computed per block against the trip-start state (no
+          decisions applied in between);
+        * candidates are evaluated block by block, in definition order, each
+          against its block's ``(window start, now]`` view of the (complete)
+          Event Base; later blocks of the trip skip the rules their plans
+          would no longer contain had the earlier decisions applied
+          per-block — rules that came out triggered earlier in the trip,
+          and pending-full-check riders that saw a non-empty window earlier
+          in the trip (they would have left the pending set);
+        * all decisions are applied after the trip evaluates, block by block
+          in definition order, so counters, heaps and the newly-triggered
+          order line up across serial, thread and process execution.
+
+        A single-block trip delegates to :meth:`check_after_block` and is
+        byte-identical to the per-block path.  Without the subscription index
+        there is no up-front planning to batch, so the trip degrades to
+        consecutive per-block checks.
+        """
+        if len(blocks) == 1:
+            occurrences, now = blocks[0]
+            return self.check_after_block(
+                occurrences,
+                now,
+                transaction_start,
+                getattr(occurrences, "type_signature", None),
+            )
+        if not (self.use_static_optimization and self.use_subscription_index):
+            newly_triggered: list[RuleState] = []
+            for occurrences, now in blocks:
+                newly_triggered.extend(
+                    self.check_after_block(
+                        occurrences,
+                        now,
+                        transaction_start,
+                        getattr(occurrences, "type_signature", None),
+                    )
+                )
+            return newly_triggered
+        planned: list[tuple[Timestamp, TriggerPlan]] = []
+        for occurrences, now in blocks:
+            self.stats.blocks += 1
+            if not occurrences:
+                continue
+            planned.append((now, self._plan_segment(occurrences)))
+        evaluated: list[tuple[Timestamp, list[tuple[RuleState, object]]]] = []
+        triggered_in_trip: set[str] = set()
+        saw_nonempty_window: set[str] = set()
+        for now, plan in planned:
+            rows: list[tuple[RuleState, object]] = []
+            for state in plan.candidates:
+                name = state.rule.name
+                if name in triggered_in_trip or (
+                    name in plan.pending_only and name in saw_nonempty_window
+                ):
+                    continue
+                self.prepare_rule(state)
+                decision = self._evaluate_rule(
+                    state, now, transaction_start, self.stats.evaluation
+                )
+                if decision.triggered:
+                    triggered_in_trip.add(name)
+                if decision.window_size > 0:
+                    saw_nonempty_window.add(name)
+                rows.append((state, decision))
+            evaluated.append((now, rows))
+        newly_triggered = []
+        for now, rows in evaluated:
+            for state, decision in rows:
+                self.stats.rules_checked += 1
+                if self._apply_decision(state, decision, now):
+                    newly_triggered.append(state)
         return newly_triggered
 
     def recheck_all(self, now: Timestamp, transaction_start: Timestamp) -> list[RuleState]:
@@ -272,6 +391,21 @@ class TriggerSupport:
         serially afterwards (:meth:`_apply_decision`).
         """
         window_start = state.triggering_window_start(transaction_start)
+        return self._evaluate_item(state, window_start, now, evaluation_stats)
+
+    def _evaluate_item(
+        self,
+        state: RuleState,
+        window_start: Timestamp,
+        now: Timestamp,
+        evaluation_stats: EvaluationStats,
+    ):
+        """Evaluate one planned work item (an explicit ``(window start, now)``).
+
+        The batched dispatch path plans whole trips up front, so window
+        starts are resolved at planning time; this is the shared evaluation
+        kernel both the per-block and the multi-block paths call.
+        """
         return is_triggered(
             state.rule.events,
             self.event_base,

@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.events.event import EventOccurrence, EventType, Operation, parse_event_type
+from repro.events.event import EventOccurrence, parse_event_type
 from repro.events.event_base import EventBase
 from repro.oodb.database import ChimeraDatabase
 from repro.oodb.objects import OID

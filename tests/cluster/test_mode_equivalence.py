@@ -77,6 +77,80 @@ def test_larger_pool_process_mode():
     assert run_scenario(scenario, shards=4, shard_mode="processes") == reference
 
 
+# ---------------------------------------------------------------------------
+# Micro-batched dispatch (PR 5): batch sizes 1-8, every mode byte-identical
+# ---------------------------------------------------------------------------
+
+
+def test_batch_size_one_is_byte_identical_to_per_block():
+    """``check_after_blocks`` with one-block trips == the PR-3/PR-4 path."""
+    for seed in (0, 7):
+        scenario = build_scenario(seed)
+        per_block = run_scenario(scenario)
+        assert run_scenario(scenario, batch_blocks=1) == per_block
+        for mode in MODES:
+            assert (
+                run_scenario(scenario, shards=4, shard_mode=mode, batch_blocks=1)
+                == per_block
+            ), f"seed {seed}, {mode}: batch_blocks=1 diverged from per-block"
+
+
+def test_batched_dispatch_identical_across_modes_for_batch_sizes_1_to_8():
+    """For every batch size 1-8: serial == threads == processes == unsharded.
+
+    The unsharded batched run is the reference — traces, per-rule counters
+    and Trigger Support stats (``instants_sampled`` included) must be
+    byte-identical in every coordinator execution mode at the same batch
+    size.
+    """
+    for seed in (2, 9):
+        scenario = build_scenario(seed)
+        for batch_blocks in range(1, 9):
+            reference = run_scenario(scenario, batch_blocks=batch_blocks)
+            for mode in MODES:
+                result = run_scenario(
+                    scenario, shards=4, shard_mode=mode, batch_blocks=batch_blocks
+                )
+                for key in ("trace", "counters", "stats"):
+                    assert result[key] == reference[key], (
+                        f"seed {seed}, batch {batch_blocks}, {mode}: {key} diverged"
+                    )
+
+
+def test_batched_dispatch_across_shard_counts():
+    """Batched trips stay identical as the worker count follows the shards."""
+    scenario = build_scenario(13)
+    for batch_blocks in (3, 8):
+        reference = run_scenario(scenario, batch_blocks=batch_blocks)
+        for shards in (1, 2, 5, 8):
+            result = run_scenario(
+                scenario, shards=shards, shard_mode="processes", batch_blocks=batch_blocks
+            )
+            assert result == reference, (
+                f"batch {batch_blocks}, {shards} shards: batched dispatch diverged"
+            )
+
+
+def test_batched_dispatch_with_periodic_exhaustive_recheck():
+    """Commit-style rechecks between trips keep the worker memos in lockstep."""
+    scenario = build_scenario(11)
+    for batch_blocks in (2, 4):
+        reference = run_scenario(
+            scenario, recheck_every=batch_blocks * 2, batch_blocks=batch_blocks
+        )
+        for mode in MODES:
+            result = run_scenario(
+                scenario,
+                shards=4,
+                shard_mode=mode,
+                recheck_every=batch_blocks * 2,
+                batch_blocks=batch_blocks,
+            )
+            assert result == reference, (
+                f"batch {batch_blocks}, {mode}: recheck between trips diverged"
+            )
+
+
 def test_worker_definitions_pruned_on_rule_removal():
     """A long-lived pool under add/remove churn stays bounded by live rules."""
     from repro.core.parser import parse_expression

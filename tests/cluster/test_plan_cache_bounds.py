@@ -95,8 +95,6 @@ def test_bounded_caches_do_not_change_decisions():
     from tests.rules.test_planner_equivalence import build_scenario
     from repro.events.event_base import EventBase as EB
     from repro.rules.event_handler import EventHandler
-    from repro.rules.rule_table import RuleTable
-    from repro.rules.trigger_support import TriggerSupport
 
     scenario = build_scenario(6)
     reference = run_scenario(scenario)

@@ -21,7 +21,6 @@ from repro.cluster.coordinator import ShardCoordinator
 from repro.cluster.sharding import ShardedRuleTable
 from repro.events.event_base import EventBase
 from repro.rules.event_handler import EventHandler
-from repro.rules.rule import ECCoupling
 from repro.rules.rule_table import RuleTable
 from repro.rules.trigger_support import TriggerSupport
 
@@ -34,6 +33,7 @@ def run_scenario(
     parallel: bool = False,
     shard_mode: str | None = None,
     recheck_every: int = 0,
+    batch_blocks: int = 1,
 ) -> dict:
     """Execute a scenario; ``shards=0`` is the single-table reference.
 
@@ -41,7 +41,11 @@ def run_scenario(
     (``parallel=True`` remains the PR-3 spelling of ``"threads"``);
     ``recheck_every=N`` runs a commit-style ``recheck_all`` after every Nth
     block, exercising the exhaustive path the process mode must also route
-    through its workers.
+    through its workers.  ``batch_blocks=N`` coalesces the stream into
+    N-block micro-batches checked through ``check_after_blocks`` — one
+    dispatch trip per chunk, with churn applied at trip boundaries and
+    considerations drained once per trip; ``batch_blocks=1`` goes through
+    the same call and is byte-identical to the per-block path.
     """
     event_base = EventBase()
     if shards > 0:
@@ -61,42 +65,49 @@ def run_scenario(
         support = TriggerSupport(table, event_base)
 
     trace: list[tuple] = []
-    for position, block in enumerate(scenario.blocks):
-        for name in scenario.removals.get(position, ()):
-            if name not in removed:
-                table.remove(name)
-                removed.add(name)
-        for rule in scenario.readds.get(position, ()):
-            if rule.name in removed:
-                table.add(rule).reset(0)
-                removed.discard(rule.name)
-        for name in scenario.flips.get(position, ()):
-            if name in removed:
-                continue
-            if name in disabled:
-                table.enable(name)
-                disabled.discard(name)
-            else:
-                table.disable(name)
-                disabled.add(name)
-        batch = handler.store_external(block)
-        now = block[-1].timestamp if block else (event_base.latest_timestamp() or 1)
-        newly = support.check_after_block(
-            batch, now, 0, type_signature=batch.type_signature
-        )
+    for start in range(0, len(scenario.blocks), batch_blocks):
+        chunk = scenario.blocks[start : start + batch_blocks]
+        # Churn for every position of the chunk applies at the trip boundary
+        # (no table mutation mid-trip — the trip's plans are resolved up
+        # front against one consistent table state).
+        for position in range(start, start + len(chunk)):
+            for name in scenario.removals.get(position, ()):
+                if name not in removed:
+                    table.remove(name)
+                    removed.add(name)
+            for rule in scenario.readds.get(position, ()):
+                if rule.name in removed:
+                    table.add(rule).reset(0)
+                    removed.discard(rule.name)
+            for name in scenario.flips.get(position, ()):
+                if name in removed:
+                    continue
+                if name in disabled:
+                    table.enable(name)
+                    disabled.discard(name)
+                else:
+                    table.disable(name)
+                    disabled.add(name)
+        segments = []
+        for block in chunk:
+            batch = handler.store_external(block)
+            now = block[-1].timestamp if block else (event_base.latest_timestamp() or 1)
+            segments.append((batch, now))
+        newly = support.check_after_blocks(segments, 0)
+        now = segments[-1][1]
         considered: list[str] = []
         while (selected := table.select_for_consideration()) is not None:
             considered.append(selected.rule.name)
             selected.mark_considered(now, executed=False)
         rechecked: list[str] = []
-        if recheck_every and (position + 1) % recheck_every == 0:
+        if recheck_every and (start + len(chunk)) % recheck_every == 0:
             rechecked = [state.rule.name for state in support.recheck_all(now, 0)]
             while (selected := table.select_for_consideration()) is not None:
                 rechecked.append(selected.rule.name)
                 selected.mark_considered(now, executed=False)
         trace.append(
             (
-                position,
+                start,
                 [state.rule.name for state in newly],
                 considered,
                 rechecked,

@@ -83,7 +83,7 @@ class TestPipelinedEquivalence:
         pipelined = make_engine(shards)
         add_rule(pipelined, "stock_watch", "create(stock)")
         add_rule(pipelined, "pair", "create(stock) + create(order)")
-        with StreamIngestor(pipelined, max_pending=4) as ingestor:
+        with StreamIngestor(pipelined, max_pending=4, max_batch_blocks=1) as ingestor:
             for block in stream:
                 ingestor.submit(block)
             ingestor.flush()
@@ -121,7 +121,7 @@ class TestBackpressureAndLifecycle:
             original(batch, bulk=bulk, type_signature=type_signature)
 
         engine.run_stream_block = slow_run
-        ingestor = StreamIngestor(engine, max_pending=2).start()
+        ingestor = StreamIngestor(engine, max_pending=2, max_batch_blocks=1).start()
         stream = blocks(6)
         for block in stream[:3]:
             ingestor.submit(block)  # 1 in flight + 2 queued
@@ -159,7 +159,7 @@ class TestBackpressureAndLifecycle:
             original(batch, bulk=bulk, type_signature=type_signature)
 
         engine.run_stream_block = slow_run
-        ingestor = StreamIngestor(engine, max_pending=8).start()
+        ingestor = StreamIngestor(engine, max_pending=8, max_batch_blocks=1).start()
         for block in blocks(4):
             ingestor.submit(block)
         gate.set()
@@ -189,7 +189,7 @@ class TestErrorPropagation:
             raise ValueError("broken block")
 
         engine.run_stream_block = boom
-        ingestor = StreamIngestor(engine, max_pending=8).start()
+        ingestor = StreamIngestor(engine, max_pending=8, max_batch_blocks=1).start()
         stream = blocks(3)
         for block in stream:
             ingestor.submit(block)
@@ -203,6 +203,151 @@ class TestErrorPropagation:
             ingestor.submit(stream[0])
         # ...but the (already-delivered) error does not resurface on close.
         ingestor.close()
+
+
+class TestCoalescing:
+    """The PR-5 micro-batching consumer: drain up to max_batch_blocks per wake-up."""
+
+    def run_pipelined(self, stream, max_batch_blocks, gate_first=True):
+        """Drive a gated ingestor so the queue fills before the consumer runs."""
+        engine = make_engine()
+        add_rule(engine, "stock_watch", "create(stock)")
+        gate = threading.Event()
+        original_single = engine.run_stream_block
+        original_multi = engine.run_stream_blocks
+
+        def gated_single(batch, bulk=True, type_signature=None):
+            gate.wait(timeout=5)
+            original_single(batch, bulk=bulk, type_signature=type_signature)
+
+        def gated_multi(batches, bulk=True, type_signatures=None):
+            gate.wait(timeout=5)
+            original_multi(batches, bulk=bulk, type_signatures=type_signatures)
+
+        if gate_first:
+            engine.run_stream_block = gated_single
+            engine.run_stream_blocks = gated_multi
+        else:
+            gate.set()
+        ingestor = StreamIngestor(
+            engine, max_pending=len(stream) + 1, max_batch_blocks=max_batch_blocks
+        ).start()
+        for one_block in stream:
+            ingestor.submit(one_block)
+        gate.set()
+        ingestor.close()
+        return engine, ingestor
+
+    def test_consumer_coalesces_a_backlog(self):
+        stream = blocks(9)
+        engine, ingestor = self.run_pipelined(stream, max_batch_blocks=4)
+        stats = ingestor.stats
+        assert stats.processed_blocks == 9
+        assert stats.dropped_blocks == 0
+        # The backlog was drained in micro-batches: strictly fewer wake-ups
+        # than blocks, never more than the bound per trip.
+        assert stats.coalesced_trips < stats.processed_blocks
+        assert 2 <= stats.max_blocks_per_trip <= 4
+        # Block boundaries survive coalescing: every submitted block was
+        # flushed on its own (plus one flush per consideration the
+        # processing loop ran), and the log kept submission order.
+        assert engine.event_handler.blocks_processed >= len(stream)
+        assert len(engine.event_base) == sum(len(b) for b in stream)
+        stamps = [occurrence.timestamp for occurrence in engine.event_base.occurrences]
+        assert stamps == sorted(stamps)
+
+    def test_batch_bound_one_is_byte_identical_to_per_block(self):
+        stream = blocks(12)
+        direct = make_engine()
+        add_rule(direct, "stock_watch", "create(stock)")
+        for one_block in stream:
+            direct.run_stream_block(one_block)
+
+        engine, ingestor = self.run_pipelined(stream, max_batch_blocks=1)
+        assert ingestor.stats.max_blocks_per_trip == 1
+        assert ingestor.stats.coalesced_trips == len(stream)
+        assert (
+            direct.rule_table.get("stock_watch").times_triggered
+            == engine.rule_table.get("stock_watch").times_triggered
+        )
+        assert [record.rule_name for record in direct.considerations] == [
+            record.rule_name for record in engine.considerations
+        ]
+        assert (
+            direct.trigger_support.stats.as_dict()
+            == engine.trigger_support.stats.as_dict()
+        )
+
+    def test_flush_waits_for_the_whole_backlog(self):
+        engine = make_engine()
+        add_rule(engine, "stock_watch", "create(stock)")
+        with StreamIngestor(engine, max_pending=16, max_batch_blocks=4) as ingestor:
+            stream = blocks(10)
+            for one_block in stream:
+                ingestor.submit(one_block)
+            ingestor.flush()
+            # flush() returns only once every submitted block is processed,
+            # whatever trip boundaries the consumer chose.
+            assert ingestor.stats.processed_blocks == 10
+            assert len(engine.event_base) == sum(len(b) for b in stream)
+
+    def test_failure_mid_batch_latches_and_drops_later_blocks(self):
+        engine = make_engine()
+        gate = threading.Event()
+        calls: list[int] = []
+
+        def boom_multi(batches, bulk=True, type_signatures=None):
+            gate.wait(timeout=5)
+            calls.append(len(batches))
+            raise ValueError("broken trip")
+
+        def boom_single(batch, bulk=True, type_signature=None):
+            boom_multi([batch])
+
+        engine.run_stream_blocks = boom_multi
+        engine.run_stream_block = boom_single
+        ingestor = StreamIngestor(engine, max_pending=16, max_batch_blocks=4).start()
+        stream = blocks(10)
+        for one_block in stream:
+            ingestor.submit(one_block)
+        gate.set()
+        # The error is delivered exactly once...
+        with pytest.raises(RuntimeError, match="stream ingestion failed"):
+            ingestor.flush()
+        # ...the engine was reached for the failing trip only, and every
+        # other queued block was dropped, not applied.
+        assert len(calls) == 1
+        assert ingestor.stats.processed_blocks == 0
+        assert ingestor.stats.dropped_blocks == 10
+        with pytest.raises(RuntimeError, match="failed"):
+            ingestor.submit(stream[0])
+        ingestor.close()  # already-delivered error does not resurface
+
+    def test_max_batch_blocks_validation_and_ambient_default(self, monkeypatch):
+        from repro.cluster.streaming import default_batch_blocks
+
+        engine = make_engine()
+        with pytest.raises(ValueError, match="max_batch_blocks"):
+            StreamIngestor(engine, max_batch_blocks=0)
+        monkeypatch.setenv("CHIMERA_BATCH_BLOCKS", "6")
+        assert default_batch_blocks() == 6
+        assert StreamIngestor(engine).max_batch_blocks == 6
+        monkeypatch.setenv("CHIMERA_BATCH_BLOCKS", "not-a-number")
+        assert default_batch_blocks() == 1
+        monkeypatch.delenv("CHIMERA_BATCH_BLOCKS")
+        assert default_batch_blocks() == 1
+
+    def test_database_stream_ingestor_threads_the_knob(self):
+        from repro.oodb.database import ChimeraDatabase
+
+        db = ChimeraDatabase(batch_blocks=3)
+        try:
+            ingestor = db.stream_ingestor()
+            assert ingestor.max_batch_blocks == 3
+            assert ingestor.engine is db.engine
+            assert db.stream_ingestor(batch_blocks=5).max_batch_blocks == 5
+        finally:
+            db.close()
 
 
 class TestSignaturePassThrough:

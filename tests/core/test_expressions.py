@@ -23,7 +23,7 @@ from repro.core.expressions import (
 )
 from repro.errors import CompositionError
 
-from tests.conftest import A, B, C, PA, PB, PC
+from tests.conftest import A, B, PA, PB, PC
 
 
 class TestPrimitive:

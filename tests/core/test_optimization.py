@@ -1,6 +1,5 @@
 """Static optimization: derivation rules (Fig. 6), simplification (Fig. 7), V(E)."""
 
-import pytest
 
 from repro.core.expressions import (
     InstanceConjunction,

@@ -7,7 +7,6 @@ from repro.core.evaluation import ts
 from repro.core.expressions import (
     InstanceConjunction,
     InstanceNegation,
-    Primitive,
     SetConjunction,
     SetDisjunction,
     SetNegation,
@@ -16,7 +15,7 @@ from repro.core.expressions import (
 from repro.core.parser import parse_expression
 from repro.core.simplify import simplification_report, simplify_expression
 
-from tests.conftest import A, B, C, PA, PB, PC, history
+from tests.conftest import A, B, C, PA, PB, history
 from tests.core.test_properties import histories, set_expressions
 
 

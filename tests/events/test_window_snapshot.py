@@ -19,7 +19,7 @@ import pytest
 from repro.cluster.coordinator import ShardCoordinator
 from repro.cluster.sharding import ShardedRuleTable
 from repro.errors import SnapshotError
-from repro.events.event import EventOccurrence, EventType, Operation
+from repro.events.event import EventType, Operation
 from repro.events.event_base import EventBase, WindowSnapshot
 from repro.rules.event_handler import EventHandler
 

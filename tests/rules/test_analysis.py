@@ -1,6 +1,5 @@
 """Tests for the rule-set static analysis (triggering graph, termination)."""
 
-import pytest
 
 from repro.core.parser import parse_expression
 from repro.events.event import EventType, Operation

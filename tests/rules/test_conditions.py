@@ -5,7 +5,6 @@ import pytest
 from repro.core.parser import parse_expression
 from repro.errors import ConditionError
 from repro.events.clock import TransactionClock
-from repro.events.event import EventType, Operation
 from repro.events.event_base import EventBase
 from repro.oodb.objects import ObjectStore
 from repro.oodb.operations import OperationExecutor
@@ -116,10 +115,6 @@ class TestAtFormula:
 
     def test_multiple_instants_produce_multiple_bindings(self, environment):
         context, high, low = environment
-        # A second modification adds a second activation instant.
-        operations = OperationExecutor(
-            context.schema, context.store, EventBase(), TransactionClock(start=10)
-        )
         condition = Condition(
             (AtFormula(parse_expression("modify(stock.quantity)"), "S", "T"),)
         )
