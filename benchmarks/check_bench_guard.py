@@ -158,11 +158,45 @@ def check_x10(
     _check_equivalence(results, failures)
 
 
+def check_x11(
+    results: dict, limits: dict, tolerance: float, failures: list[str]
+) -> None:
+    minimum = _relax(limits["min_check_speedup"], tolerance)
+    for row in results["kernel"]:
+        _check(
+            row["check_speedup"] >= minimum,
+            f"{row['rules']} rules: compiled kernel holds its margin "
+            f"({row['check_speedup']}x >= {minimum:.2f}x)",
+            failures,
+        )
+    process = results["process"]
+    _check(
+        process["check_speedup"] >= minimum,
+        f"X9 grid point ({process['rules']} rules, {process['workers']} "
+        f"workers): compiled kernel holds its margin "
+        f"({process['check_speedup']}x >= {minimum:.2f}x)",
+        failures,
+    )
+    sweep = results["sweep"]
+    _check(
+        sweep.get("identical") is True and sweep.get("runs", 0) > 0,
+        f"compiled x mode x batch sweep byte-identical ({sweep.get('runs')} runs)",
+        failures,
+    )
+    _check(
+        len(sweep.get("batch_sizes", [])) >= 4 and len(sweep.get("modes", [])) == 3,
+        "sweep covered every coordinator mode at multiple batch sizes",
+        failures,
+    )
+    _check_equivalence(results, failures)
+
+
 CHECKERS = {
     "x7_rule_scaling": check_x7,
     "x8_shard_scaling": check_x8,
     "x9_process_scaling": check_x9,
     "x10_dispatch_amortization": check_x10,
+    "x11_compiled_check": check_x11,
 }
 
 

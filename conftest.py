@@ -7,7 +7,10 @@ construct a :class:`repro.cluster.sharding.ShardedRuleTable` and a
 suite then exercises the sharded planner (CI runs it with ``--shards 4``
 alongside the plain run).  ``--shard-mode serial|threads|processes`` exports
 ``CHIMERA_SHARD_MODE`` the same way, so ``--shards 4 --shard-mode processes``
-runs every database's shard checks on the process worker pool.  Defined here,
+runs every database's shard checks on the process worker pool.
+``--compiled-checks`` exports ``CHIMERA_COMPILED_CHECKS=1``, running every
+exact triggering check through the compiled closures of
+:mod:`repro.core.compile` instead of the interpreted evaluator.  Defined here,
 not in ``tests/conftest.py``, because option registration must happen in an
 initial conftest.
 """
@@ -30,6 +33,12 @@ def pytest_addoption(parser):
         default=None,
         help="shard-check execution mode for every sharded ChimeraDatabase",
     )
+    parser.addoption(
+        "--compiled-checks",
+        action="store_true",
+        default=False,
+        help="run every exact triggering check through the compiled closures",
+    )
 
 
 def pytest_configure(config):
@@ -39,3 +48,5 @@ def pytest_configure(config):
     shard_mode = config.getoption("--shard-mode")
     if shard_mode:
         os.environ["CHIMERA_SHARD_MODE"] = shard_mode
+    if config.getoption("--compiled-checks"):
+        os.environ["CHIMERA_COMPILED_CHECKS"] = "1"

@@ -29,13 +29,16 @@ Installed as the ``chimera-events`` console script (or run with
     checks execute (``processes`` = the multi-core worker pool;
     ``--parallel-shards`` is the legacy spelling of ``threads``),
     ``--plan-cache-size`` overrides the LRU bound of the route/plan caches,
-    and ``--batch-blocks N`` coalesces N stream blocks per trigger-check
-    dispatch trip (the micro-batched worker dispatch of PR 5).
+    ``--batch-blocks N`` coalesces N stream blocks per trigger-check
+    dispatch trip (the micro-batched worker dispatch of PR 5), and
+    ``--compiled-checks`` evaluates the exact checks through the compiled
+    per-rule closures of PR 6 instead of the interpreted evaluator.
 ``bench``
     Run a benchmark sweep from the installed package (``x7``, the rule-count
     scaling / bulk-ingestion bench; ``x8``, the shard-scaling /
-    pipelined-ingestion bench; ``x9``, the process-mode scaling bench; or
-    ``x10``, the dispatch-amortization bench; ``--smoke`` for a tiny grid).
+    pipelined-ingestion bench; ``x9``, the process-mode scaling bench;
+    ``x10``, the dispatch-amortization bench; or ``x11``, the compiled
+    exact-check bench; ``--smoke`` for a tiny grid).
 """
 
 from __future__ import annotations
@@ -154,10 +157,19 @@ def build_parser() -> argparse.ArgumentParser:
             "(amortizes the process-mode worker round trip; 1 = per-block)"
         ),
     )
+    workload_parser.add_argument(
+        "--compiled-checks",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "evaluate exact checks through the compiled per-rule closures "
+            "(default: the $CHIMERA_COMPILED_CHECKS ambient setting)"
+        ),
+    )
 
     bench_parser = commands.add_parser("bench", help="run a benchmark sweep")
     bench_parser.add_argument(
-        "which", choices=["x7", "x8", "x9", "x10"], help="benchmark to run"
+        "which", choices=["x7", "x8", "x9", "x10", "x11"], help="benchmark to run"
     )
     bench_parser.add_argument("--smoke", action="store_true", help="tiny grid (seconds)")
     bench_parser.add_argument("--out", default=None, help="write the JSON results here")
@@ -284,6 +296,7 @@ def _command_workload(args: argparse.Namespace) -> int:
         shard_mode=shard_mode,
         plan_cache_size=args.plan_cache_size,
         batch_blocks=args.batch_blocks,
+        use_compiled_checks=args.compiled_checks,
     )
     stream = EventStreamGenerator(
         event_types=universe, seed=args.seed + 1, events_per_block=args.events_per_block
@@ -303,6 +316,11 @@ def _command_workload(args: argparse.Namespace) -> int:
                     "ingest mode": "bulk extend" if args.bulk_ingest else "per-append loop",
                     "planning": planning,
                     "batch blocks": args.batch_blocks,
+                    "exact checks": (
+                        "compiled"
+                        if workload.support.use_compiled_checks
+                        else "interpreted"
+                    ),
                     "ingest ms": round(outcome.ingest_seconds * 1e3, 2),
                     "check ms": round(outcome.check_seconds * 1e3, 2),
                     "select ms": round(outcome.select_seconds * 1e3, 2),
@@ -342,7 +360,12 @@ def _command_workload(args: argparse.Namespace) -> int:
 def _command_bench(args: argparse.Namespace) -> int:
     import json
 
-    if args.which == "x10":
+    if args.which == "x11":
+        from repro.workloads.compiled_check import render_x11, run_x11_sweeps
+
+        results = run_x11_sweeps(smoke=args.smoke)
+        print(render_x11(results))
+    elif args.which == "x10":
         from repro.workloads.dispatch_amortization import render_x10, run_x10_sweeps
 
         results = run_x10_sweeps(smoke=args.smoke)

@@ -133,6 +133,7 @@ class ShardCoordinator(TriggerSupport):
         shard_mode: str | None = None,
         parallel: bool = False,
         max_workers: int | None = None,
+        use_compiled_checks: bool | None = None,
     ) -> None:
         if not isinstance(rule_table, ShardedRuleTable):
             raise TypeError("ShardCoordinator requires a ShardedRuleTable")
@@ -142,6 +143,7 @@ class ShardCoordinator(TriggerSupport):
             use_static_optimization=use_static_optimization,
             mode=mode,
             use_subscription_index=use_subscription_index,
+            use_compiled_checks=use_compiled_checks,
         )
         # ``parallel=True`` is the PR-3 spelling of what is now
         # ``shard_mode="threads"``; an explicit shard_mode wins.
@@ -467,9 +469,38 @@ class ShardCoordinator(TriggerSupport):
         segment_items: dict[int, list[tuple[RuleState, Timestamp, bool]]],
         nows: list[Timestamp],
     ) -> tuple[list[tuple[int, RuleState, TriggeringDecision]], EvaluationStats]:
-        """Evaluate one home worker's share of a trip (worker-safe)."""
+        """Evaluate one home worker's share of a trip (worker-safe).
+
+        With compiled checks the batch regroups rule-major and runs each
+        rule's ordered trip entries through one
+        :meth:`~repro.core.compile.CompiledCheck.check_trip` pass — safe
+        because the skip sets below key on the rule name alone, and a rule's
+        compiled evaluator (mutable bulk-stats cells included) is touched by
+        exactly one home batch per trip.  The final per-segment ordering is
+        definition order either way (the caller sorts before applying).
+        """
         local_stats = EvaluationStats()
         rows: list[tuple[int, RuleState, TriggeringDecision]] = []
+        if self.use_compiled_checks:
+            per_rule: dict[
+                str, tuple[RuleState, Timestamp, list[tuple[int, Timestamp, bool]]]
+            ] = {}
+            for index in sorted(segment_items):
+                now = nows[index]
+                for state, window_start, pending_only in segment_items[index]:
+                    name = state.rule.name
+                    entry = per_rule.get(name)
+                    if entry is None:
+                        entry = per_rule[name] = (state, window_start, [])
+                    entry[2].append((index, now, pending_only))
+            for state, window_start, items in per_rule.values():
+                decisions = self._check_rule_trip(
+                    state, window_start, items, local_stats
+                )
+                for (index, _now, _pending), decision in zip(items, decisions):
+                    if decision is not None:
+                        rows.append((index, state, decision))
+            return rows, local_stats
         triggered_in_trip: set[str] = set()
         saw_nonempty_window: set[str] = set()
         for index in sorted(segment_items):
@@ -625,7 +656,9 @@ class ShardCoordinator(TriggerSupport):
     def _ensure_process_pool(self) -> ProcessShardPool:
         if self._process_pool is None:
             self._process_pool = ProcessShardPool(
-                self._process_worker_count(), mode=self.mode
+                self._process_worker_count(),
+                mode=self.mode,
+                use_compiled_checks=self.use_compiled_checks,
             )
         return self._process_pool
 

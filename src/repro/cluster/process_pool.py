@@ -66,6 +66,7 @@ import traceback
 import weakref
 from typing import Sequence
 
+from repro.core.compile import compile_check
 from repro.core.evaluation import EvaluationMode, EvaluationStats
 from repro.core.triggering import TriggerMemo, TriggeringDecision, is_triggered
 from repro.errors import ShardWorkerError, SnapshotError
@@ -85,14 +86,16 @@ _PROTOCOL = pickle.HIGHEST_PROTOCOL
 # ---------------------------------------------------------------------------
 
 
-def _worker_main(connection, mode_value: str) -> None:
+def _worker_main(connection, mode_value: str, compiled_checks: bool = False) -> None:
     """One shard worker: mirror EB + per-rule expressions/memos, message loop."""
     mode = EvaluationMode(mode_value)
     mirror = EventBase()
-    #: rule name -> [definition order, event expression, TriggerMemo].  The
-    #: definition order doubles as the definition *version*: a re-added rule
-    #: gets a fresh one, which makes the coordinator re-ship it and this
-    #: worker replace the entry (memo included).
+    #: rule name -> [definition order, event expression, TriggerMemo,
+    #: CompiledCheck | None].  The definition order doubles as the definition
+    #: *version*: a re-added rule gets a fresh one, which makes the
+    #: coordinator re-ship it and this worker replace the entry (memo and
+    #: compiled closure included) — so a shard-resident rule is compiled
+    #: exactly once per shipped definition version.
     rules: dict[str, list] = {}
     type_cache: dict[tuple, EventType] = {}
     while True:
@@ -110,11 +113,15 @@ def _worker_main(connection, mode_value: str) -> None:
         try:
             if kind == "reset":
                 # New EB log (transaction boundary): the mirror and every
-                # memo describe the old one.  Definitions survive.
+                # memo describe the old one.  Definitions survive; compiled
+                # closures drop their pre-resolved index handles (they point
+                # into the abandoned mirror) and re-bind on the next check.
                 mirror = EventBase()
                 type_cache.clear()
                 for entry in rules.values():
                     entry[2].clear()
+                    if entry[3] is not None:
+                        entry[3].invalidate()
                 connection.send_bytes(pickle.dumps(("ok", (), None), _PROTOCOL))
                 continue
             _, delta_bytes, defs, drops, segments = request
@@ -126,10 +133,57 @@ def _worker_main(connection, mode_value: str) -> None:
             for name in drops:
                 rules.pop(name, None)
             for name, order, expression in defs:
-                rules[name] = [order, expression, TriggerMemo()]
+                rules[name] = [
+                    order,
+                    expression,
+                    TriggerMemo(),
+                    compile_check(expression, mode) if compiled_checks else None,
+                ]
             state_applied = True
             stats = EvaluationStats()
             replies: list[tuple[int, tuple]] = []
+            if compiled_checks:
+                # Rule-major regroup: each rule's trip entries go through one
+                # compiled check_trip call (the trip-local skip flags are
+                # keyed by rule name alone, so per-rule batching is exactly
+                # the segment-major walk below), then the per-segment replies
+                # are rebuilt in the original item order.
+                entries_by_rule: dict[str, list[tuple]] = {}
+                positions_by_rule: dict[str, list[int]] = {}
+                for segment_index, items, now in segments:
+                    for name, window_start, pending_only in items:
+                        entries_by_rule.setdefault(name, []).append(
+                            (window_start, now, pending_only)
+                        )
+                        positions_by_rule.setdefault(name, []).append(segment_index)
+                decided: dict[tuple[int, str], tuple] = {}
+                for name, entries in entries_by_rule.items():
+                    entry = rules[name]
+                    decisions_for_rule = entry[3].check_trip(
+                        mirror, entries, memo=entry[2], stats=stats
+                    )
+                    for segment_index, decision in zip(
+                        positions_by_rule[name], decisions_for_rule
+                    ):
+                        if decision is not None:
+                            decided[(segment_index, name)] = (
+                                decision.triggered,
+                                decision.instant,
+                                decision.ts_value,
+                                decision.window_size,
+                                decision.instants_sampled,
+                            )
+                for segment_index, items, _now in segments:
+                    decisions = [
+                        (name, decided[(segment_index, name)])
+                        for name, _ws, _po in items
+                        if (segment_index, name) in decided
+                    ]
+                    replies.append((segment_index, tuple(decisions)))
+                connection.send_bytes(
+                    pickle.dumps(("ok", tuple(replies), stats), _PROTOCOL)
+                )
+                continue
             #: Trip-local skips, exactly the rules whose later-segment plans
             #: would be gone had the earlier decisions applied per-block:
             #: rules found triggered earlier in this trip, and pending-only
@@ -138,7 +192,7 @@ def _worker_main(connection, mode_value: str) -> None:
             tripped: set[str] = set()
             saw_nonempty: set[str] = set()
             for segment_index, items, now in segments:
-                decisions: list[tuple[str, tuple]] = []
+                decisions = []
                 for name, window_start, pending_only in items:
                     if name in tripped or (pending_only and name in saw_nonempty):
                         continue
@@ -246,11 +300,13 @@ class ProcessShardPool:
         num_workers: int,
         mode: EvaluationMode = EvaluationMode.LOGICAL,
         start_method: str | None = None,
+        use_compiled_checks: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"a process shard pool needs at least 1 worker (got {num_workers})")
         self.num_workers = num_workers
         self.mode = mode
+        self.use_compiled_checks = use_compiled_checks
         if start_method is None:
             # fork keeps startup in the low milliseconds and needs no
             # re-imports; the worker main stays spawn-compatible for
@@ -264,7 +320,7 @@ class ProcessShardPool:
             parent_end, child_end = context.Pipe()
             process = context.Process(
                 target=_worker_main,
-                args=(child_end, mode.value),
+                args=(child_end, mode.value, use_compiled_checks),
                 name=f"shard-worker-{worker_id}",
                 daemon=True,
             )

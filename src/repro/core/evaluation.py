@@ -114,7 +114,9 @@ def ts(
     stamp) when the expression is active and ``-t`` otherwise.
     """
     if instant <= 0:
-        raise EvaluationError(f"ts must be evaluated at a positive instant (got {instant})")
+        raise EvaluationError(
+            f"ts must be evaluated at a positive instant (got {instant})"
+        )
     recorder = stats if stats is not None else _NULL_STATS
     recorder.evaluations += 1
     return _ts(expression, window, instant, mode, recorder)
@@ -214,7 +216,9 @@ def ots(
     expression (the paper forbids set-oriented operators below instance ones).
     """
     if instant <= 0:
-        raise EvaluationError(f"ots must be evaluated at a positive instant (got {instant})")
+        raise EvaluationError(
+            f"ots must be evaluated at a positive instant (got {instant})"
+        )
     if not expression.may_be_instance_operand():
         raise EvaluationError(
             "ots is only defined for instance-oriented expressions "

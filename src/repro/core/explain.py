@@ -107,7 +107,9 @@ def _last_occurrence(
 ) -> EventOccurrence | None:
     occurrences = window.occurrences_of(primitive.event_type, until=instant)
     if oid is not None:
-        occurrences = [occurrence for occurrence in occurrences if occurrence.oid == oid]
+        occurrences = [
+            occurrence for occurrence in occurrences if occurrence.oid == oid
+        ]
     return occurrences[-1] if occurrences else None
 
 
@@ -154,7 +156,10 @@ def explain(
             node.blocking_occurrence = blocking[-1] if blocking else None
         return node
 
-    if isinstance(expression, (SetPrecedence,)) or expression.operator_name == "precedence":
+    if (
+        isinstance(expression, (SetPrecedence,))
+        or expression.operator_name == "precedence"
+    ):
         right = explain(expression.right, window, instant, oid, mode)
         # The left operand is probed at the right operand's activation instant.
         probe_instant = right.value if right.active else instant
@@ -162,9 +167,9 @@ def explain(
         node.children.extend([left, right])
         return node
 
-    if isinstance(expression, (SetConjunction, SetDisjunction)) or expression.operator_name in (
-        "conjunction",
-        "disjunction",
+    if (
+        isinstance(expression, (SetConjunction, SetDisjunction))
+        or expression.operator_name in ("conjunction", "disjunction")
     ):
         node.children.append(explain(expression.left, window, instant, oid, mode))
         node.children.append(explain(expression.right, window, instant, oid, mode))

@@ -317,7 +317,9 @@ class _BinaryOperator(EventExpression):
             self.left.priority == self.priority and type(self.left) is not type(self)
         ):
             left = f"({left})"
-        if self.right.priority <= self.priority and not isinstance(self.right, Primitive):
+        if self.right.priority <= self.priority and not isinstance(
+            self.right, Primitive
+        ):
             right = f"({right})"
         return f"{left} {self.symbol} {right}"
 
@@ -432,7 +434,9 @@ def _fold(
 ) -> EventExpression:
     expressions = [_as_expression(operand) for operand in operands]
     if not expressions:
-        raise CompositionError(f"{operator.operator_name} requires at least one operand")
+        raise CompositionError(
+            f"{operator.operator_name} requires at least one operand"
+        )
     result = expressions[0]
     for operand in expressions[1:]:
         result = operator(result, operand)
@@ -459,17 +463,23 @@ def negation(operand: EventExpression | EventType | str) -> SetNegation:
     return SetNegation(_as_expression(operand))
 
 
-def instance_conjunction(*operands: EventExpression | EventType | str) -> EventExpression:
+def instance_conjunction(
+    *operands: EventExpression | EventType | str,
+) -> EventExpression:
     """Left-folded instance-oriented conjunction of the operands."""
     return _fold(InstanceConjunction, operands)
 
 
-def instance_disjunction(*operands: EventExpression | EventType | str) -> EventExpression:
+def instance_disjunction(
+    *operands: EventExpression | EventType | str,
+) -> EventExpression:
     """Left-folded instance-oriented disjunction of the operands."""
     return _fold(InstanceDisjunction, operands)
 
 
-def instance_precedence(*operands: EventExpression | EventType | str) -> EventExpression:
+def instance_precedence(
+    *operands: EventExpression | EventType | str,
+) -> EventExpression:
     """Left-folded instance-oriented precedence of the operands."""
     return _fold(InstancePrecedence, operands)
 

@@ -252,10 +252,14 @@ def check_law(
 ) -> LawCheckResult:
     """Evaluate both sides of a law over concrete operands and compare them."""
     if len(operands) != law.arity:
-        raise ValueError(f"law {law.name} needs {law.arity} operands, got {len(operands)}")
+        raise ValueError(
+            f"law {law.name} needs {law.arity} operands, got {len(operands)}"
+        )
     lhs_value = ts(law.lhs(*operands), window, instant, mode)
     rhs_value = ts(law.rhs(*operands), window, instant, mode)
-    return LawCheckResult(law=law, lhs_value=lhs_value, rhs_value=rhs_value, instant=instant)
+    return LawCheckResult(
+        law=law, lhs_value=lhs_value, rhs_value=rhs_value, instant=instant
+    )
 
 
 def expressions_equivalent(
@@ -310,7 +314,9 @@ def eliminate_double_negation(expression: EventExpression) -> EventExpression:
         if isinstance(operand, InstanceNegation):
             return operand.operand
         return InstanceNegation(operand)
-    return _rebuild(expression, [eliminate_double_negation(c) for c in expression.children()])
+    return _rebuild(
+        expression, [eliminate_double_negation(c) for c in expression.children()]
+    )
 
 
 def negation_normal_form(expression: EventExpression) -> EventExpression:
@@ -325,16 +331,22 @@ def negation_normal_form(expression: EventExpression) -> EventExpression:
         return _negate_set(negation_normal_form(expression.operand))
     if isinstance(expression, InstanceNegation):
         return _negate_instance(negation_normal_form(expression.operand))
-    return _rebuild(expression, [negation_normal_form(c) for c in expression.children()])
+    return _rebuild(
+        expression, [negation_normal_form(c) for c in expression.children()]
+    )
 
 
 def _negate_set(expression: EventExpression) -> EventExpression:
     if isinstance(expression, SetNegation):
         return expression.operand
     if isinstance(expression, SetConjunction):
-        return SetDisjunction(_negate_set(expression.left), _negate_set(expression.right))
+        return SetDisjunction(
+            _negate_set(expression.left), _negate_set(expression.right)
+        )
     if isinstance(expression, SetDisjunction):
-        return SetConjunction(_negate_set(expression.left), _negate_set(expression.right))
+        return SetConjunction(
+            _negate_set(expression.left), _negate_set(expression.right)
+        )
     return SetNegation(expression)
 
 

@@ -26,7 +26,14 @@ Derivation rules (Fig. 6, reconstructed — see DESIGN.md §2):
   the whole precedence must be watched (``A < -B`` becomes active on a new
   ``A``);
 * crossing into an instance-oriented sub-expression switches the granularity
-  to object-level.
+  to object-level.  The crossing is also a *lift boundary*: the set-oriented
+  evaluation quantifies the sub-expression over the objects affected by any of
+  its event types, so a new occurrence of any of them can enlarge that domain.
+  A universal lift (instance negation) only moves down when the domain grows
+  (the flipped sign covers it); an existential lift containing an instance
+  negation can activate on a fresh object (its negated branches default
+  active), so every primitive of the sub-expression is watched in the
+  requested direction.
 
 Simplification rules (Fig. 7) merge variations of the same primitive type:
 opposite signs collapse to ``Δ``, and a set-level variation absorbs an
@@ -155,6 +162,39 @@ def derive_variations(
     if isinstance(expression, Primitive):
         return {Variation(expression.event_type, sign, scope)}
 
+    if scope is Scope.SET and isinstance(
+        expression,
+        (
+            InstanceNegation,
+            InstanceConjunction,
+            InstanceDisjunction,
+            InstancePrecedence,
+        ),
+    ):
+        # Lift boundary: evaluating an instance-oriented sub-expression in set
+        # context quantifies it over the objects affected by *any* of its
+        # event types, so a new occurrence of any of them can enlarge that
+        # domain on top of the per-object value changes tracked below.
+        # A universal lift (instance negation; empty domain is vacuously
+        # active) can only move *down* when the domain grows, so the flipped
+        # sign covers it.  An existential lift can only move *up*, and a fresh
+        # object's value can come out positive "for free" exactly when the
+        # sub-expression contains an instance negation (a type the fresh
+        # object has no occurrences of defaults to active) — without one, a
+        # fresh object needs positive occurrences of its own, which the
+        # per-object derivation already watches.
+        derived = derive_variations(expression, sign, Scope.OBJECT)
+        if isinstance(expression, InstanceNegation):
+            growth_sign = sign.flipped()
+        elif any(isinstance(node, InstanceNegation) for node in expression.walk()):
+            growth_sign = sign
+        else:
+            return derived
+        return derived | {
+            Variation(event_type, growth_sign, Scope.OBJECT)
+            for event_type in expression.event_types()
+        }
+
     if isinstance(expression, SetNegation):
         return derive_variations(expression.operand, sign.flipped(), scope)
     if isinstance(expression, InstanceNegation):
@@ -165,9 +205,8 @@ def derive_variations(
             expression.right, sign, scope
         )
     if isinstance(expression, (InstanceConjunction, InstanceDisjunction)):
-        return derive_variations(expression.left, sign, Scope.OBJECT) | derive_variations(
-            expression.right, sign, Scope.OBJECT
-        )
+        left = derive_variations(expression.left, sign, Scope.OBJECT)
+        return left | derive_variations(expression.right, sign, Scope.OBJECT)
 
     if isinstance(expression, (SetPrecedence, InstancePrecedence)):
         # A new occurrence matching the right operand moves ts(E2) and with it
@@ -177,7 +216,9 @@ def derive_variations(
         # operand can be ignored; with a negation in the right operand the
         # probe instant tracks the current time and every primitive of the
         # precedence must be watched.
-        target_scope = Scope.OBJECT if isinstance(expression, InstancePrecedence) else scope
+        target_scope = (
+            Scope.OBJECT if isinstance(expression, InstancePrecedence) else scope
+        )
         right_has_negation = any(
             isinstance(node, (SetNegation, InstanceNegation))
             for node in expression.right.walk()
@@ -187,7 +228,9 @@ def derive_variations(
             if right_has_negation
             else expression.right.event_types()
         )
-        return {Variation(event_type, Sign.BOTH, target_scope) for event_type in watched}
+        return {
+            Variation(event_type, Sign.BOTH, target_scope) for event_type in watched
+        }
 
     raise TypeError(f"cannot derive variations for {type(expression).__name__}")
 
@@ -216,7 +259,8 @@ def simplify_variations(variations: Iterable[Variation]) -> set[Variation]:
                 Scope.merge(scope, variation.scope),
             )
     return {
-        Variation(event_type, sign, scope) for event_type, (sign, scope) in merged.items()
+        Variation(event_type, sign, scope)
+        for event_type, (sign, scope) in merged.items()
     }
 
 

@@ -128,7 +128,9 @@ class _Parser:
         trailing = self._peek()
         if trailing.kind != "END":
             raise ExpressionSyntaxError(
-                f"unexpected trailing input {trailing.text!r}", self.text, trailing.position
+                f"unexpected trailing input {trailing.text!r}",
+                self.text,
+                trailing.position,
             )
         return expression
 

@@ -58,7 +58,9 @@ _ASSOCIATIVE_OPERATORS = (
 def _flatten(expression: EventExpression, operator: type) -> list[EventExpression]:
     """Operands of a maximal same-operator chain (left-fold flattening)."""
     if isinstance(expression, operator):
-        return _flatten(expression.left, operator) + _flatten(expression.right, operator)
+        return _flatten(expression.left, operator) + _flatten(
+            expression.right, operator
+        )
     return [expression]
 
 

@@ -614,7 +614,7 @@ class BoundedView:
     so a bounded view over an EB behaves exactly like a frozen window.
     """
 
-    __slots__ = ("_parent", "after", "until")
+    __slots__ = ("_parent", "after", "until", "_resolved")
 
     def __init__(
         self,
@@ -629,6 +629,30 @@ class BoundedView:
         self._parent = parent
         self.after = after
         self.until = until
+        self._resolved: tuple[int, dict[EventType, tuple[_TypeIndex, ...]]] | None = None
+
+    def _indexes_for(self, event_type: EventType) -> tuple[_TypeIndex, ...]:
+        """View-local memo of the parent's ``_indexes_matching`` resolution.
+
+        The per-instant calculus loops (``ts`` sampling a window at every
+        candidate instant, precedence re-probing its left operand, lifting
+        over affected objects) hit the same few event types over and over;
+        resolving through the parent each time pays a dict probe per call.
+        The memo is validated against the parent's type count — a resolution
+        can only change when a *new* type index registers (exactly when the
+        parent drops its own match cache), so the count pins it while the
+        view stays live.
+        """
+        parent = self._parent
+        resolved = self._resolved
+        count = len(parent._by_type)
+        if resolved is None or resolved[0] != count:
+            resolved = self._resolved = (count, {})
+        cache = resolved[1]
+        indexes = cache.get(event_type)
+        if indexes is None:
+            indexes = cache[event_type] = parent._indexes_matching(event_type)
+        return indexes
 
     # -- bound helpers -----------------------------------------------------
     def _effective_until(self, instant: Timestamp | None) -> Timestamp | None:
@@ -716,7 +740,7 @@ class BoundedView:
         """Most recent in-bounds occurrence of ``event_type`` at/before ``instant``."""
         bound = self._effective_until(instant)
         best: Timestamp | None = None
-        for index in self._parent._indexes_matching(event_type):
+        for index in self._indexes_for(event_type):
             candidate = index.last_in_bounds(self.after, bound)
             if candidate is not None and (best is None or candidate > best):
                 best = candidate
@@ -728,7 +752,7 @@ class BoundedView:
         """Most recent in-bounds occurrence of ``event_type`` on ``oid`` at/before ``instant``."""
         bound = self._effective_until(instant)
         best: Timestamp | None = None
-        for index in self._parent._indexes_matching(event_type):
+        for index in self._indexes_for(event_type):
             candidate = index.last_on_oid_in_bounds(oid, self.after, bound)
             if candidate is not None and (best is None or candidate > best):
                 best = candidate
@@ -757,7 +781,7 @@ class BoundedView:
         bound = self._effective_until(until)
         affected: set[Any] = set()
         for event_type in event_types:
-            for index in self._parent._indexes_matching(event_type):
+            for index in self._indexes_for(event_type):
                 for oid in index.per_oid:
                     if oid not in affected and index.oid_in_bounds(oid, self.after, bound):
                         affected.add(oid)

@@ -49,6 +49,7 @@ class ChimeraDatabase:
         parallel_shards: bool = False,
         plan_cache_size: int | None = None,
         batch_blocks: int | None = None,
+        use_compiled_checks: bool | None = None,
     ) -> None:
         from repro.cluster.sharding import ShardedRuleTable, default_shard_count
         from repro.cluster.streaming import default_batch_blocks
@@ -88,6 +89,11 @@ class ChimeraDatabase:
             shard_mode=shard_mode,
             parallel_shards=parallel_shards,
             plan_cache_size=plan_cache_size,
+            # use_compiled_checks=None defers to the ambient default
+            # ($CHIMERA_COMPILED_CHECKS — the test suite's --compiled-checks
+            # option runs everything compiled this way); the Trigger Support
+            # resolves it.
+            use_compiled_checks=use_compiled_checks,
         )
         # batch_blocks=None defers to the ambient default
         # ($CHIMERA_BATCH_BLOCKS); it bounds how many stream blocks a

@@ -76,6 +76,10 @@ class RuleEngine:
     #: LRU cap for the coordinator's route cache and the per-shard plan
     #: caches (None = the generous default in repro.cluster.sharding).
     plan_cache_size: int | None = None
+    #: Lower each rule's event expression into specialized closures for the
+    #: exact triggering check (``None`` defers to the ambient
+    #: ``$CHIMERA_COMPILED_CHECKS`` default, off when unset).
+    use_compiled_checks: bool | None = None
 
     def __post_init__(self) -> None:
         from repro.cluster.coordinator import ShardCoordinator
@@ -105,12 +109,14 @@ class RuleEngine:
                 self.event_base,
                 use_static_optimization=self.use_static_optimization,
                 shard_mode=shard_mode,
+                use_compiled_checks=self.use_compiled_checks,
             )
         else:
             self.trigger_support = TriggerSupport(
                 self.rule_table,
                 self.event_base,
                 use_static_optimization=self.use_static_optimization,
+                use_compiled_checks=self.use_compiled_checks,
             )
         self.transaction_start: Timestamp = self.clock.now()
         self.considerations: list[ConsiderationRecord] = []

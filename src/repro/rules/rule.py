@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:
+    from repro.core.compile import CompiledCheck
 
 from repro.core.expressions import EventExpression
 from repro.core.optimization import RecomputationFilter
@@ -121,6 +124,12 @@ class RuleState:
     #: considerations — cleared by mark_considered/reset (the window start
     #: moves) and by the check itself when the rule triggers.
     trigger_memo: TriggerMemo = field(default_factory=TriggerMemo, repr=False)
+    #: The rule's event expression lowered into specialized closures (built
+    #: lazily by the Trigger Support when compiled checks are enabled; None on
+    #: the interpreted path).  Holds pre-resolved per-type index handles, so
+    #: it must be invalidated whenever those could go stale — see
+    #: :meth:`invalidate_compiled`.
+    compiled_check: "CompiledCheck | None" = field(default=None, repr=False, compare=False)
     #: Set by the owning Rule Table; notified whenever the triggered flag or
     #: the window bookkeeping changes so derived indexes stay in sync.
     observer: RuleStateObserver | None = field(default=None, repr=False, compare=False)
@@ -167,6 +176,17 @@ class RuleState:
         self.had_nonempty_window = False
         self.trigger_memo.clear()
         self._notify()
+
+    def invalidate_compiled(self) -> None:
+        """Drop the compiled check's pre-resolved index handles (if any).
+
+        Called on every transition after which a cached resolution could be
+        stale — schema rebind, disable/re-enable, Event Base swap.  The
+        compiled closures themselves stay valid (they only depend on the
+        expression and the evaluation mode); the next check re-binds them.
+        """
+        if self.compiled_check is not None:
+            self.compiled_check.invalidate()
 
     def observation_window_start(self, transaction_start: Timestamp) -> Timestamp:
         """Lower bound of the window visible to the rule's event formulas."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.core.compile import compile_check, default_compiled_checks
 from repro.core.evaluation import EvaluationMode, EvaluationStats
 from repro.core.optimization import RecomputationFilter
 from repro.core.triggering import is_triggered
@@ -160,20 +161,33 @@ class TriggerSupport:
         use_static_optimization: bool = True,
         mode: EvaluationMode = EvaluationMode.LOGICAL,
         use_subscription_index: bool = True,
+        use_compiled_checks: bool | None = None,
     ) -> None:
         self.rule_table = rule_table
         self.event_base = event_base
         self.use_static_optimization = use_static_optimization
         self.use_subscription_index = use_subscription_index
         self.mode = mode
+        # use_compiled_checks=None defers to the ambient default
+        # ($CHIMERA_COMPILED_CHECKS — the test suite's --compiled-checks
+        # option runs everything compiled this way); False pins the
+        # interpreted evaluator, True the compiled closures.  The two are
+        # byte-identical (tests/core/test_compiled_equivalence.py).
+        if use_compiled_checks is None:
+            use_compiled_checks = default_compiled_checks()
+        self.use_compiled_checks = use_compiled_checks
         self.planner = TriggerPlanner(rule_table)
         self.stats = TriggerSupportStats()
 
     # -- set-up -----------------------------------------------------------
     def prepare_rule(self, state: RuleState) -> None:
-        """Build the rule's recomputation filter (idempotent)."""
+        """Build the rule's recomputation filter and compiled check (idempotent)."""
         if state.recomputation_filter is None:
             state.recomputation_filter = RecomputationFilter(state.rule.events)
+        if self.use_compiled_checks:
+            compiled = state.compiled_check
+            if compiled is None or compiled.mode is not self.mode:
+                state.compiled_check = compile_check(state.rule.events, self.mode)
 
     # -- the core check -----------------------------------------------------
     def check_after_block(
@@ -319,27 +333,30 @@ class TriggerSupport:
             if not occurrences:
                 continue
             planned.append((now, self._plan_segment(occurrences)))
-        evaluated: list[tuple[Timestamp, list[tuple[RuleState, object]]]] = []
-        triggered_in_trip: set[str] = set()
-        saw_nonempty_window: set[str] = set()
-        for now, plan in planned:
-            rows: list[tuple[RuleState, object]] = []
-            for state in plan.candidates:
-                name = state.rule.name
-                if name in triggered_in_trip or (
-                    name in plan.pending_only and name in saw_nonempty_window
-                ):
-                    continue
-                self.prepare_rule(state)
-                decision = self._evaluate_rule(
-                    state, now, transaction_start, self.stats.evaluation
-                )
-                if decision.triggered:
-                    triggered_in_trip.add(name)
-                if decision.window_size > 0:
-                    saw_nonempty_window.add(name)
-                rows.append((state, decision))
-            evaluated.append((now, rows))
+        if self.use_compiled_checks:
+            evaluated = self._evaluate_trip_compiled(planned, transaction_start)
+        else:
+            evaluated = []
+            triggered_in_trip: set[str] = set()
+            saw_nonempty_window: set[str] = set()
+            for now, plan in planned:
+                rows: list[tuple[RuleState, object]] = []
+                for state in plan.candidates:
+                    name = state.rule.name
+                    if name in triggered_in_trip or (
+                        name in plan.pending_only and name in saw_nonempty_window
+                    ):
+                        continue
+                    self.prepare_rule(state)
+                    decision = self._evaluate_rule(
+                        state, now, transaction_start, self.stats.evaluation
+                    )
+                    if decision.triggered:
+                        triggered_in_trip.add(name)
+                    if decision.window_size > 0:
+                        saw_nonempty_window.add(name)
+                    rows.append((state, decision))
+                evaluated.append((now, rows))
         newly_triggered = []
         for now, rows in evaluated:
             for state, decision in rows:
@@ -347,6 +364,83 @@ class TriggerSupport:
                 if self._apply_decision(state, decision, now):
                     newly_triggered.append(state)
         return newly_triggered
+
+    def _evaluate_trip_compiled(
+        self,
+        planned: "list[tuple[Timestamp, TriggerPlan]]",
+        transaction_start: Timestamp,
+    ) -> "list[tuple[Timestamp, list[tuple[RuleState, object]]]]":
+        """Rule-major evaluation of a planned trip through compiled checks.
+
+        The block-major loop's in-trip skip sets key on the rule name alone,
+        so regrouping the trip by rule preserves them exactly; each rule's
+        ordered entries then evaluate in a single :meth:`CompiledCheck.check_trip`
+        pass over the timestamp arrays.  Decision rows are re-assembled in
+        every block's plan order, so the apply loop observes the same rows in
+        the same order as the block-major path.
+        """
+        per_rule: dict[str, tuple[RuleState, list[tuple[int, Timestamp, bool]]]] = {}
+        for block_index, (now, plan) in enumerate(planned):
+            for state in plan.candidates:
+                name = state.rule.name
+                entry = per_rule.get(name)
+                if entry is None:
+                    entry = per_rule[name] = (state, [])
+                entry[1].append((block_index, now, name in plan.pending_only))
+        decided: dict[tuple[int, str], object] = {}
+        for name, (state, items) in per_rule.items():
+            self.prepare_rule(state)
+            window_start = state.triggering_window_start(transaction_start)
+            decisions = self._check_rule_trip(
+                state, window_start, items, self.stats.evaluation
+            )
+            for (block_index, _now, _pending), decision in zip(items, decisions):
+                if decision is not None:
+                    decided[(block_index, name)] = decision
+        evaluated: list[tuple[Timestamp, list[tuple[RuleState, object]]]] = []
+        for block_index, (now, plan) in enumerate(planned):
+            rows = [
+                (state, decided[(block_index, state.rule.name)])
+                for state in plan.candidates
+                if (block_index, state.rule.name) in decided
+            ]
+            evaluated.append((now, rows))
+        return evaluated
+
+    def _check_rule_trip(
+        self,
+        state: RuleState,
+        window_start: Timestamp,
+        items: "list[tuple[int, Timestamp, bool]]",
+        evaluation_stats: EvaluationStats,
+    ) -> "list[object]":
+        """One rule's ordered trip entries -> decisions (None = skipped).
+
+        Uses the compiled batched kernel when the rule carries a matching
+        compiled check; otherwise replays the per-entry interpreted sequence
+        with identical skip semantics (triggered earlier in the trip, or a
+        pending-only rider after an in-trip non-empty window).
+        """
+        compiled = state.compiled_check
+        if compiled is not None and compiled.mode is self.mode:
+            entries = [(window_start, now, pending) for _index, now, pending in items]
+            return compiled.check_trip(
+                self.event_base, entries, state.trigger_memo, evaluation_stats
+            )
+        decisions: list[object] = []
+        triggered = False
+        saw_nonempty = False
+        for _index, now, pending in items:
+            if triggered or (pending and saw_nonempty):
+                decisions.append(None)
+                continue
+            decision = self._evaluate_item(state, window_start, now, evaluation_stats)
+            if decision.triggered:
+                triggered = True
+            if decision.window_size > 0:
+                saw_nonempty = True
+            decisions.append(decision)
+        return decisions
 
     def recheck_all(self, now: Timestamp, transaction_start: Timestamp) -> list[RuleState]:
         """Force a full re-evaluation of every untriggered rule (no filter).
@@ -404,8 +498,21 @@ class TriggerSupport:
 
         The batched dispatch path plans whole trips up front, so window
         starts are resolved at planning time; this is the shared evaluation
-        kernel both the per-block and the multi-block paths call.
+        kernel both the per-block and the multi-block paths call.  With
+        compiled checks enabled a prepared rule evaluates through its lowered
+        closures; the interpreted evaluator remains the fallback (and the
+        reference the compiled path is pinned byte-identical to).
         """
+        if self.use_compiled_checks:
+            compiled = state.compiled_check
+            if compiled is not None and compiled.mode is self.mode:
+                return compiled.check(
+                    self.event_base,
+                    window_start,
+                    now,
+                    memo=state.trigger_memo,
+                    stats=evaluation_stats,
+                )
         return is_triggered(
             state.rule.events,
             self.event_base,
@@ -435,7 +542,9 @@ class TriggerSupport:
         """Drop every rule's trigger memo (e.g. after rebinding the Event Base).
 
         The memo records how much of a specific EB log a check has seen; a new
-        log invalidates that bookkeeping even if the rule state survives.
+        log invalidates that bookkeeping even if the rule state survives — and
+        so do the compiled checks' pre-resolved index handles.
         """
         for state in self.rule_table.states():
             state.trigger_memo.clear()
+            state.invalidate_compiled()

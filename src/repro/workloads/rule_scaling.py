@@ -149,6 +149,7 @@ class ScalingWorkload:
         parallel_shards: bool = False,
         plan_cache_size: int | None = None,
         batch_blocks: int = 1,
+        use_compiled_checks: bool | None = None,
     ) -> None:
         if batch_blocks < 1:
             raise ValueError(f"batch_blocks must be positive (got {batch_blocks})")
@@ -174,6 +175,7 @@ class ScalingWorkload:
                 use_subscription_index=use_subscription_index,
                 shard_mode=shard_mode,
                 parallel=parallel_shards,
+                use_compiled_checks=use_compiled_checks,
             )
         else:
             self.support = TriggerSupport(
@@ -181,6 +183,7 @@ class ScalingWorkload:
                 self.event_base,
                 use_static_optimization=use_static_optimization,
                 use_subscription_index=use_subscription_index,
+                use_compiled_checks=use_compiled_checks,
             )
         self.bulk_ingest = bulk_ingest
         #: How many stream blocks each trigger-check dispatch trip coalesces

@@ -151,6 +151,68 @@ def test_batched_dispatch_with_periodic_exhaustive_recheck():
             )
 
 
+def test_zero_candidate_trip_merges_empty_stats_in_process_mode():
+    """A trip with no candidate rules must merge a pristine stats record.
+
+    ``_evaluate_in_processes`` returns ``[], EvaluationStats()`` without
+    contacting (or even spawning) the pool when no rule is assigned; the
+    coordinator still merges that empty record into its trip stats.  Pin both
+    halves: the merge leaves every counter untouched, and a later candidate
+    block accumulates on top of it normally.
+    """
+    from repro.core.evaluation import EvaluationStats
+    from repro.core.parser import parse_expression
+    from repro.events.event import EventType, Operation
+    from repro.events.event_base import EventBase
+    from repro.rules.actions import NO_ACTION
+    from repro.rules.conditions import TRUE_CONDITION
+    from repro.rules.event_handler import EventHandler
+    from repro.rules.rule import Rule
+    from repro.cluster.coordinator import ShardCoordinator
+    from repro.cluster.sharding import ShardedRuleTable
+
+    table = ShardedRuleTable(2)
+    state = table.add(
+        Rule(
+            name="w",
+            events=parse_expression("create(alpha)"),
+            condition=TRUE_CONDITION,
+            action=NO_ACTION,
+        )
+    )
+    state.reset(0)
+    event_base = EventBase()
+    handler = EventHandler(event_base)
+    support = ShardCoordinator(table, event_base, shard_mode="processes")
+    try:
+
+        def feed(class_name: str, stamp: int) -> list:
+            event_base.record(
+                EventType(Operation.CREATE, class_name), oid=f"{class_name}#1", timestamp=stamp
+            )
+            batch = handler.flush_block()
+            return support.check_after_block(
+                batch, stamp, 0, type_signature=batch.type_signature
+            )
+
+        # While the rule stays triggered it is not a candidate, so the beta
+        # block plans nothing at all.
+        assert [s.rule.name for s in feed("alpha", 1)] == ["w"]
+        baseline = EvaluationStats()
+        baseline.merge(support.stats.evaluation)
+        assert baseline.evaluations > 0
+        assert support.process_pool is not None
+
+        assert feed("beta", 2) == []  # zero-candidate trip
+        assert support.stats.evaluation == baseline
+
+        state.mark_considered(2, executed=False)
+        assert [s.rule.name for s in feed("alpha", 3)] == ["w"]
+        assert support.stats.evaluation.evaluations > baseline.evaluations
+    finally:
+        support.close()
+
+
 def test_worker_definitions_pruned_on_rule_removal():
     """A long-lived pool under add/remove churn stays bounded by live rules."""
     from repro.core.parser import parse_expression

@@ -34,6 +34,7 @@ def run_scenario(
     shard_mode: str | None = None,
     recheck_every: int = 0,
     batch_blocks: int = 1,
+    use_compiled_checks: bool | None = None,
 ) -> dict:
     """Execute a scenario; ``shards=0`` is the single-table reference.
 
@@ -46,6 +47,8 @@ def run_scenario(
     dispatch trip per chunk, with churn applied at trip boundaries and
     considerations drained once per trip; ``batch_blocks=1`` goes through
     the same call and is byte-identical to the per-block path.
+    ``use_compiled_checks`` selects the compiled exact-check closures
+    (``None`` defers to the ambient ``$CHIMERA_COMPILED_CHECKS`` default).
     """
     event_base = EventBase()
     if shards > 0:
@@ -59,10 +62,14 @@ def run_scenario(
     handler = EventHandler(event_base)
     if shards > 0:
         support: TriggerSupport = ShardCoordinator(
-            table, event_base, parallel=parallel, shard_mode=shard_mode
+            table,
+            event_base,
+            parallel=parallel,
+            shard_mode=shard_mode,
+            use_compiled_checks=use_compiled_checks,
         )
     else:
-        support = TriggerSupport(table, event_base)
+        support = TriggerSupport(table, event_base, use_compiled_checks=use_compiled_checks)
 
     trace: list[tuple] = []
     for start in range(0, len(scenario.blocks), batch_blocks):
