@@ -191,12 +191,58 @@ def check_x11(
     _check_equivalence(results, failures)
 
 
+def check_x12(
+    results: dict, limits: dict, tolerance: float, failures: list[str]
+) -> None:
+    strict_cap = limits["max_overhead_pct"] * (1.0 + tolerance)
+    # An overhead measurement is only as precise as its arms are long:
+    # min-of-reps converges to well under 1% once an arm runs for seconds
+    # (the full X12 grid) but stays at several percent of scheduler jitter —
+    # either sign — on sub-second smoke arms and on processes rows, whose
+    # cost is dominated by worker round-trip latency.  Those rows get a
+    # documented looser cap and lean on the structural snapshot checks
+    # below as the primary acceptance.
+    loose_limit = limits.get("max_loose_overhead_pct", limits["max_overhead_pct"])
+    loose_cap = loose_limit * (1.0 + tolerance)
+    precise_floor_ms = limits.get("precise_off_ms", 0)
+    for row in results["x7_grid"] + results["x10_grid"]:
+        precise = row["shard_mode"] != "processes" and row["off_ms"] >= precise_floor_ms
+        cap = strict_cap if precise else loose_cap
+        _check(
+            row["overhead_pct"] <= cap,
+            f"{row['rules']} rules, {row['shard_mode']} x batch "
+            f"{row['batch_blocks']}: instrumentation overhead bounded "
+            f"({row['overhead_pct']}% <= {cap:.2f}%)",
+            failures,
+        )
+        _check(
+            row["span_count"] > 0,
+            f"{row['rules']} rules, {row['shard_mode']} x batch "
+            f"{row['batch_blocks']}: enabled arm recorded spans "
+            f"({row['span_count']} > 0)",
+            failures,
+        )
+    snapshot = results["snapshot"]
+    _check(
+        snapshot.get("counters_match_stats") is True,
+        "snapshot counters byte-equal to the live stats sources",
+        failures,
+    )
+    _check(
+        snapshot.get("worker_deltas_merged") is True,
+        "process-worker metric deltas merged into the coordinator snapshot",
+        failures,
+    )
+    _check_equivalence(results, failures)
+
+
 CHECKERS = {
     "x7_rule_scaling": check_x7,
     "x8_shard_scaling": check_x8,
     "x9_process_scaling": check_x9,
     "x10_dispatch_amortization": check_x10,
     "x11_compiled_check": check_x11,
+    "x12_observability_overhead": check_x12,
 }
 
 

@@ -8,29 +8,42 @@ statistics — this module keeps that logic out of the bench bodies.
 from __future__ import annotations
 
 import statistics
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.obs.registry import Histogram
+
 __all__ = ["Timer", "timed", "speedup", "summarize", "Sweep"]
 
 
-@dataclass
 class Timer:
-    """Accumulates wall-clock time over several :func:`timed` sections."""
+    """Accumulates wall-clock time over several :func:`timed` sections.
 
-    elapsed: float = 0.0
-    sections: int = 0
+    Since PR 8 this is a thin veneer over the observability layer's
+    :class:`~repro.obs.registry.Histogram` — the benches keep their
+    ``elapsed`` / ``sections`` API but gain the bucketed distribution
+    (``histogram.quantile(0.99)`` etc.) for free.
+    """
 
-    @contextmanager
-    def measure(self) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.elapsed += time.perf_counter() - start
-            self.sections += 1
+    __slots__ = ("histogram",)
+
+    def __init__(self) -> None:
+        self.histogram = Histogram("bench.timer")
+
+    @property
+    def elapsed(self) -> float:
+        """Total wall-clock seconds across all measured sections."""
+        return self.histogram.total
+
+    @property
+    def sections(self) -> int:
+        """How many sections contributed to :attr:`elapsed`."""
+        return self.histogram.count
+
+    def measure(self):
+        """Context manager timing one section into the underlying histogram."""
+        return self.histogram.time()
 
 
 @contextmanager

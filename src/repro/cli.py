@@ -37,8 +37,9 @@ Installed as the ``chimera-events`` console script (or run with
     Run a benchmark sweep from the installed package (``x7``, the rule-count
     scaling / bulk-ingestion bench; ``x8``, the shard-scaling /
     pipelined-ingestion bench; ``x9``, the process-mode scaling bench;
-    ``x10``, the dispatch-amortization bench; or ``x11``, the compiled
-    exact-check bench; ``--smoke`` for a tiny grid).
+    ``x10``, the dispatch-amortization bench; ``x11``, the compiled
+    exact-check bench; or ``x12``, the observability-overhead bench;
+    ``--smoke`` for a tiny grid).
 """
 
 from __future__ import annotations
@@ -166,10 +167,26 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: the $CHIMERA_COMPILED_CHECKS ambient setting)"
         ),
     )
+    workload_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry's text report after the run",
+    )
+    workload_parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append the final metrics snapshot to this JSON-lines file "
+            "(ambient alternative: $CHIMERA_METRICS on any engine)"
+        ),
+    )
 
     bench_parser = commands.add_parser("bench", help="run a benchmark sweep")
     bench_parser.add_argument(
-        "which", choices=["x7", "x8", "x9", "x10", "x11"], help="benchmark to run"
+        "which",
+        choices=["x7", "x8", "x9", "x10", "x11", "x12"],
+        help="benchmark to run",
     )
     bench_parser.add_argument("--smoke", action="store_true", help="tiny grid (seconds)")
     bench_parser.add_argument("--out", default=None, help="write the JSON results here")
@@ -277,6 +294,7 @@ def _command_workload(args: argparse.Namespace) -> int:
         # subscription index; refuse rather than silently run the scan.
         print("error: --full-scan and --shards are mutually exclusive", file=sys.stderr)
         return 2
+    from repro.obs import JsonLinesExporter, MetricsRegistry, render_metrics_report
     from repro.workloads.generator import EventStreamGenerator
     from repro.workloads.rule_scaling import (
         ScalingWorkload,
@@ -287,6 +305,10 @@ def _command_workload(args: argparse.Namespace) -> int:
     shard_mode = args.shard_mode
     if shard_mode is None and args.parallel_shards:
         shard_mode = "threads"
+    # The registry is always on for the CLI workload: the report/export flags
+    # only decide whether its snapshot is *surfaced* (the x12 bench pins the
+    # instrumentation overhead under 3%).
+    metrics = MetricsRegistry()
     universe = build_scaling_universe(args.rules)
     workload = ScalingWorkload(
         build_scaling_rules(args.rules, universe, seed=args.seed),
@@ -297,6 +319,7 @@ def _command_workload(args: argparse.Namespace) -> int:
         plan_cache_size=args.plan_cache_size,
         batch_blocks=args.batch_blocks,
         use_compiled_checks=args.compiled_checks,
+        metrics=metrics,
     )
     stream = EventStreamGenerator(
         event_types=universe, seed=args.seed + 1, events_per_block=args.events_per_block
@@ -352,6 +375,14 @@ def _command_workload(args: argparse.Namespace) -> int:
                 for key, value in pool.transport_stats().items():
                     cluster[f"pool_{key}"] = value
             print(render_kv(cluster, title="Shard Coordinator"))
+        if args.metrics:
+            print()
+            print(render_metrics_report(metrics.snapshot()))
+        if args.metrics_json:
+            exporter = JsonLinesExporter(args.metrics_json)
+            exporter.export(metrics)
+            exporter.close()
+            print(f"\nwrote metrics snapshot to {args.metrics_json}")
     finally:
         workload.close()
     return 0
@@ -360,7 +391,12 @@ def _command_workload(args: argparse.Namespace) -> int:
 def _command_bench(args: argparse.Namespace) -> int:
     import json
 
-    if args.which == "x11":
+    if args.which == "x12":
+        from repro.workloads.observability import render_x12, run_x12_sweeps
+
+        results = run_x12_sweeps(smoke=args.smoke)
+        print(render_x12(results))
+    elif args.which == "x11":
         from repro.workloads.compiled_check import render_x11, run_x11_sweeps
 
         results = run_x11_sweeps(smoke=args.smoke)

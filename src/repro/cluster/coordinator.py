@@ -56,6 +56,8 @@ from repro.cluster.sharding import SHARD_MODES, ShardedRuleTable
 from repro.events.clock import Timestamp
 from repro.events.event import EventOccurrence, EventType
 from repro.events.event_base import EventBase
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import MergeableStats
 from repro.rules.rule import RuleState
 from repro.rules.trigger_support import TriggerSupport
 
@@ -86,8 +88,12 @@ class ShardedPlan:
 
 
 @dataclass
-class ShardCoordinatorStats:
-    """Fan-out observability, on top of the inherited TriggerSupport stats."""
+class ShardCoordinatorStats(MergeableStats):
+    """Fan-out observability, on top of the inherited TriggerSupport stats.
+
+    ``as_dict()``/``merge()`` follow the shared stats protocol;
+    ``max_shards_per_block`` is a high-water mark and merges via ``max``.
+    """
 
     blocks_fanned_out: int = 0
     shards_consulted: int = 0
@@ -102,17 +108,6 @@ class ShardCoordinatorStats:
     blocks_dispatched: int = 0
     #: Route-cache entries evicted by the LRU bound (adversarial signatures).
     route_cache_evictions: int = 0
-
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "blocks_fanned_out": self.blocks_fanned_out,
-            "shards_consulted": self.shards_consulted,
-            "max_shards_per_block": self.max_shards_per_block,
-            "parallel_batches": self.parallel_batches,
-            "dispatch_trips": self.dispatch_trips,
-            "blocks_dispatched": self.blocks_dispatched,
-            "route_cache_evictions": self.route_cache_evictions,
-        }
 
 
 class ShardCoordinator(TriggerSupport):
@@ -134,6 +129,7 @@ class ShardCoordinator(TriggerSupport):
         parallel: bool = False,
         max_workers: int | None = None,
         use_compiled_checks: bool | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not isinstance(rule_table, ShardedRuleTable):
             raise TypeError("ShardCoordinator requires a ShardedRuleTable")
@@ -144,6 +140,7 @@ class ShardCoordinator(TriggerSupport):
             mode=mode,
             use_subscription_index=use_subscription_index,
             use_compiled_checks=use_compiled_checks,
+            metrics=metrics,
         )
         # ``parallel=True`` is the PR-3 spelling of what is now
         # ``shard_mode="threads"``; an explicit shard_mode wins.
@@ -171,6 +168,17 @@ class ShardCoordinator(TriggerSupport):
         ] = OrderedDict()
         self._route_epoch: tuple[int, int] | None = None
         self.cluster_stats = ShardCoordinatorStats()
+        self.metrics.register_source("cluster", self.cluster_stats)
+        #: Dispatch = dealing a planned trip to home workers; plan/check/apply
+        #: histograms are inherited from the base Trigger Support.
+        self._dispatch_hist = self.metrics.histogram("trip.dispatch")
+        #: Per-shard candidate counts — the skew signal.  Planning is
+        #: mode-independent, so these counters are byte-equal across serial,
+        #: threads and processes at the same shard count.
+        self._shard_candidate_counters = [
+            self.metrics.counter(f"shard.candidates.{shard_id}")
+            for shard_id in range(rule_table.num_shards)
+        ]
 
     # -- planning -------------------------------------------------------------
     def plan_sharded(self, type_signature: Sequence[EventType]) -> ShardedPlan:
@@ -252,49 +260,53 @@ class ShardCoordinator(TriggerSupport):
         newly_triggered: list[RuleState] = []
         if not new_occurrences:
             return newly_triggered
-        plan = self._plan_segment(new_occurrences, type_signature)
+        with self._plan_hist.time():
+            plan = self._plan_segment(new_occurrences, type_signature)
         cluster = self.cluster_stats
         if plan.candidates:
             cluster.dispatch_trips += 1
             cluster.blocks_dispatched += 1
 
-        if self.shard_mode == "processes":
-            # Out-of-process evaluate phase: even a single-shard plan goes to
-            # the workers, because the rules' incremental memos live there.
-            evaluated, merged_stats = self._evaluate_in_processes(
-                plan, now, transaction_start
-            )
-            self.stats.evaluation.merge(merged_stats)
-        else:
-            if self.shard_mode == "threads" and len(plan.per_shard) > 1:
-                cluster.parallel_batches += len(plan.per_shard)
-                futures = [
-                    self._ensure_pool().submit(
-                        self._evaluate_shard, states, now, transaction_start
-                    )
-                    for _, states in plan.per_shard
-                ]
-                shard_results = [future.result() for future in futures]
+        with self._check_hist.time():
+            if self.shard_mode == "processes":
+                # Out-of-process evaluate phase: even a single-shard plan goes
+                # to the workers, because the rules' incremental memos live
+                # there.
+                evaluated, merged_stats = self._evaluate_in_processes(
+                    plan, now, transaction_start
+                )
+                self.stats.evaluation.merge(merged_stats)
             else:
-                shard_results = [
-                    self._evaluate_shard(states, now, transaction_start)
-                    for _, states in plan.per_shard
-                ]
-            # Evaluation stats merge in shard order — exactly the order the
-            # serial mode accumulates them.
-            evaluated = []
-            for decisions, local_stats in shard_results:
-                self.stats.evaluation.merge(local_stats)
-                evaluated.extend(decisions)
+                if self.shard_mode == "threads" and len(plan.per_shard) > 1:
+                    cluster.parallel_batches += len(plan.per_shard)
+                    futures = [
+                        self._ensure_pool().submit(
+                            self._evaluate_shard, states, now, transaction_start
+                        )
+                        for _, states in plan.per_shard
+                    ]
+                    shard_results = [future.result() for future in futures]
+                else:
+                    shard_results = [
+                        self._evaluate_shard(states, now, transaction_start)
+                        for _, states in plan.per_shard
+                    ]
+                # Evaluation stats merge in shard order — exactly the order
+                # the serial mode accumulates them.
+                evaluated = []
+                for decisions, local_stats in shard_results:
+                    self.stats.evaluation.merge(local_stats)
+                    evaluated.extend(decisions)
 
         # Deterministic merge: decisions applied in definition order —
         # exactly the order the single-table check applies them, so heaps,
         # counters and the returned list line up.
         evaluated.sort(key=lambda pair: pair[0].definition_order)
-        for state, decision in evaluated:
-            self.stats.rules_checked += 1
-            if self._apply_decision(state, decision, now):
-                newly_triggered.append(state)
+        with self._apply_hist.time():
+            for state, decision in evaluated:
+                self.stats.rules_checked += 1
+                if self._apply_decision(state, decision, now):
+                    newly_triggered.append(state)
         return newly_triggered
 
     def _evaluate_shard(
@@ -337,6 +349,9 @@ class ShardCoordinator(TriggerSupport):
         cluster.max_shards_per_block = max(
             cluster.max_shards_per_block, len(plan.per_shard)
         )
+        counters = self._shard_candidate_counters
+        for shard_id, states in plan.per_shard:
+            counters[shard_id].inc(len(states))
         return plan
 
     # -- the micro-batched check -------------------------------------------------
@@ -372,26 +387,31 @@ class ShardCoordinator(TriggerSupport):
             )
         cluster = self.cluster_stats
         segments: list[tuple[Timestamp, ShardedPlan]] = []
-        for occurrences, now in blocks:
-            self.stats.blocks += 1
-            if not occurrences:
-                continue
-            segments.append((now, self._plan_segment(occurrences)))
+        with self._plan_hist.time():
+            for occurrences, now in blocks:
+                self.stats.blocks += 1
+                if not occurrences:
+                    continue
+                segments.append((now, self._plan_segment(occurrences)))
         planned_blocks = sum(1 for _, plan in segments if plan.candidates)
         if planned_blocks:
             cluster.dispatch_trips += 1
             cluster.blocks_dispatched += planned_blocks
-        if self.shard_mode == "processes":
-            per_segment = self._evaluate_trip_in_processes(segments, transaction_start)
-        else:
-            per_segment = self._evaluate_trip_inline(segments, transaction_start)
+        with self._check_hist.time():
+            if self.shard_mode == "processes":
+                per_segment = self._evaluate_trip_in_processes(
+                    segments, transaction_start
+                )
+            else:
+                per_segment = self._evaluate_trip_inline(segments, transaction_start)
         newly_triggered: list[RuleState] = []
-        for (now, _), rows in zip(segments, per_segment):
-            rows.sort(key=lambda pair: pair[0].definition_order)
-            for state, decision in rows:
-                self.stats.rules_checked += 1
-                if self._apply_decision(state, decision, now):
-                    newly_triggered.append(state)
+        with self._apply_hist.time():
+            for (now, _), rows in zip(segments, per_segment):
+                rows.sort(key=lambda pair: pair[0].definition_order)
+                for state, decision in rows:
+                    self.stats.rules_checked += 1
+                    if self._apply_decision(state, decision, now):
+                        newly_triggered.append(state)
         return newly_triggered
 
     def _trip_assignments(
@@ -438,9 +458,10 @@ class ShardCoordinator(TriggerSupport):
         equivalent of what each process worker does with its trip message.
         """
         nows = [now for now, _ in segments]
-        assignments = self._trip_assignments(
-            segments, transaction_start, self.rule_table.num_shards
-        )
+        with self._dispatch_hist.time():
+            assignments = self._trip_assignments(
+                segments, transaction_start, self.rule_table.num_shards
+            )
         per_segment: list[list[tuple[RuleState, TriggeringDecision]]] = [
             [] for _ in segments
         ]
@@ -528,7 +549,10 @@ class ShardCoordinator(TriggerSupport):
         num_workers = self._process_worker_count()
         if self._process_pool is not None:
             self._prune_worker_defs(self._process_pool)
-        assignments = self._trip_assignments(segments, transaction_start, num_workers)
+        with self._dispatch_hist.time():
+            assignments = self._trip_assignments(
+                segments, transaction_start, num_workers
+            )
         if not assignments:
             return [[] for _ in segments]
         pool = self._ensure_process_pool()
@@ -575,12 +599,13 @@ class ShardCoordinator(TriggerSupport):
             # (pruning touches no worker — drops piggyback on the next send).
             self._prune_worker_defs(self._process_pool)
         assignments: dict[int, list[tuple[RuleState, Timestamp]]] = {}
-        for _, states in plan.per_shard:
-            for state in states:
-                self.prepare_rule(state)
-                assignments.setdefault(self._worker_of(state, num_workers), []).append(
-                    (state, state.triggering_window_start(transaction_start))
-                )
+        with self._dispatch_hist.time():
+            for _, states in plan.per_shard:
+                for state in states:
+                    self.prepare_rule(state)
+                    assignments.setdefault(
+                        self._worker_of(state, num_workers), []
+                    ).append((state, state.triggering_window_start(transaction_start)))
         if not assignments:
             # Nothing to evaluate: do not spawn (or even contact) the pool —
             # a rule-free database pays nothing for the processes mode.
@@ -659,6 +684,12 @@ class ShardCoordinator(TriggerSupport):
                 self._process_worker_count(),
                 mode=self.mode,
                 use_compiled_checks=self.use_compiled_checks,
+                metrics=self.metrics,
+            )
+            # Transport health (messages, bytes, worker restarts) folds into
+            # the same snapshot as everything else.
+            self.metrics.register_source(
+                "pool", self._process_pool.transport_stats
             )
         return self._process_pool
 

@@ -73,6 +73,7 @@ from repro.errors import ShardWorkerError, SnapshotError
 from repro.events.clock import Timestamp
 from repro.events.event import EventType
 from repro.events.event_base import EventBase, WindowSnapshot
+from repro.obs.registry import MetricsRegistry
 from repro.rules.rule import RuleState
 
 __all__ = ["ProcessShardPool"]
@@ -86,10 +87,25 @@ _PROTOCOL = pickle.HIGHEST_PROTOCOL
 # ---------------------------------------------------------------------------
 
 
-def _worker_main(connection, mode_value: str, compiled_checks: bool = False) -> None:
+def _worker_main(
+    connection,
+    mode_value: str,
+    compiled_checks: bool = False,
+    metrics_enabled: bool = False,
+) -> None:
     """One shard worker: mirror EB + per-rule expressions/memos, message loop."""
     mode = EvaluationMode(mode_value)
     mirror = EventBase()
+    # The worker accumulates its own registry and ships compact deltas
+    # piggybacked on every reply (drain-and-reset keeps the payload small);
+    # the coordinator merges them, so one snapshot covers the whole logical
+    # engine.  Only the *enabled flag* crosses the process boundary — with
+    # metrics off these are shared null instruments and the drain returns
+    # None, adding one tuple element to the reply and nothing else.
+    registry = MetricsRegistry(enabled=metrics_enabled)
+    trips_counter = registry.counter("worker.trips")
+    rules_counter = registry.counter("worker.rules_evaluated")
+    check_hist = registry.histogram("worker.check")
     #: rule name -> [definition order, event expression, TriggerMemo,
     #: CompiledCheck | None].  The definition order doubles as the definition
     #: *version*: a re-added rule gets a fresh one, which makes the
@@ -142,6 +158,7 @@ def _worker_main(connection, mode_value: str, compiled_checks: bool = False) -> 
             state_applied = True
             stats = EvaluationStats()
             replies: list[tuple[int, tuple]] = []
+            trips_counter.inc()
             if compiled_checks:
                 # Rule-major regroup: each rule's trip entries go through one
                 # compiled check_trip call (the trip-local skip flags are
@@ -157,22 +174,24 @@ def _worker_main(connection, mode_value: str, compiled_checks: bool = False) -> 
                         )
                         positions_by_rule.setdefault(name, []).append(segment_index)
                 decided: dict[tuple[int, str], tuple] = {}
-                for name, entries in entries_by_rule.items():
-                    entry = rules[name]
-                    decisions_for_rule = entry[3].check_trip(
-                        mirror, entries, memo=entry[2], stats=stats
-                    )
-                    for segment_index, decision in zip(
-                        positions_by_rule[name], decisions_for_rule
-                    ):
-                        if decision is not None:
-                            decided[(segment_index, name)] = (
-                                decision.triggered,
-                                decision.instant,
-                                decision.ts_value,
-                                decision.window_size,
-                                decision.instants_sampled,
-                            )
+                with check_hist.time():
+                    for name, entries in entries_by_rule.items():
+                        entry = rules[name]
+                        decisions_for_rule = entry[3].check_trip(
+                            mirror, entries, memo=entry[2], stats=stats
+                        )
+                        rules_counter.inc(len(entries))
+                        for segment_index, decision in zip(
+                            positions_by_rule[name], decisions_for_rule
+                        ):
+                            if decision is not None:
+                                decided[(segment_index, name)] = (
+                                    decision.triggered,
+                                    decision.instant,
+                                    decision.ts_value,
+                                    decision.window_size,
+                                    decision.instants_sampled,
+                                )
                 for segment_index, items, _now in segments:
                     decisions = [
                         (name, decided[(segment_index, name)])
@@ -181,7 +200,10 @@ def _worker_main(connection, mode_value: str, compiled_checks: bool = False) -> 
                     ]
                     replies.append((segment_index, tuple(decisions)))
                 connection.send_bytes(
-                    pickle.dumps(("ok", tuple(replies), stats), _PROTOCOL)
+                    pickle.dumps(
+                        ("ok", tuple(replies), stats, registry.drain_delta()),
+                        _PROTOCOL,
+                    )
                 )
                 continue
             #: Trip-local skips, exactly the rules whose later-segment plans
@@ -191,33 +213,45 @@ def _worker_main(connection, mode_value: str, compiled_checks: bool = False) -> 
             #: left the pending-full-check set).
             tripped: set[str] = set()
             saw_nonempty: set[str] = set()
-            for segment_index, items, now in segments:
-                decisions = []
-                for name, window_start, pending_only in items:
-                    if name in tripped or (pending_only and name in saw_nonempty):
-                        continue
-                    entry = rules[name]
-                    decision = is_triggered(
-                        entry[1], mirror, window_start, now, mode, stats, memo=entry[2]
-                    )
-                    if decision.triggered:
-                        tripped.add(name)
-                    if decision.window_size > 0:
-                        saw_nonempty.add(name)
-                    decisions.append(
-                        (
-                            name,
-                            (
-                                decision.triggered,
-                                decision.instant,
-                                decision.ts_value,
-                                decision.window_size,
-                                decision.instants_sampled,
-                            ),
+            with check_hist.time():
+                for segment_index, items, now in segments:
+                    decisions = []
+                    for name, window_start, pending_only in items:
+                        if name in tripped or (pending_only and name in saw_nonempty):
+                            continue
+                        entry = rules[name]
+                        decision = is_triggered(
+                            entry[1],
+                            mirror,
+                            window_start,
+                            now,
+                            mode,
+                            stats,
+                            memo=entry[2],
                         )
-                    )
-                replies.append((segment_index, tuple(decisions)))
-            connection.send_bytes(pickle.dumps(("ok", tuple(replies), stats), _PROTOCOL))
+                        rules_counter.inc()
+                        if decision.triggered:
+                            tripped.add(name)
+                        if decision.window_size > 0:
+                            saw_nonempty.add(name)
+                        decisions.append(
+                            (
+                                name,
+                                (
+                                    decision.triggered,
+                                    decision.instant,
+                                    decision.ts_value,
+                                    decision.window_size,
+                                    decision.instants_sampled,
+                                ),
+                            )
+                        )
+                    replies.append((segment_index, tuple(decisions)))
+            connection.send_bytes(
+                pickle.dumps(
+                    ("ok", tuple(replies), stats, registry.drain_delta()), _PROTOCOL
+                )
+            )
         except Exception as exc:
             # Ship the exception object itself when it pickles, so the
             # coordinator can re-raise the same type the serial mode would
@@ -301,12 +335,18 @@ class ProcessShardPool:
         mode: EvaluationMode = EvaluationMode.LOGICAL,
         start_method: str | None = None,
         use_compiled_checks: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"a process shard pool needs at least 1 worker (got {num_workers})")
         self.num_workers = num_workers
         self.mode = mode
         self.use_compiled_checks = use_compiled_checks
+        #: Coordinator-side registry the workers' reply deltas merge into
+        #: (None = discard them).  Workers receive only the enabled *flag* —
+        #: registries do not cross the process boundary.
+        self.metrics = metrics
+        metrics_enabled = metrics is not None and metrics.enabled
         if start_method is None:
             # fork keeps startup in the low milliseconds and needs no
             # re-imports; the worker main stays spawn-compatible for
@@ -320,7 +360,7 @@ class ProcessShardPool:
             parent_end, child_end = context.Pipe()
             process = context.Process(
                 target=_worker_main,
-                args=(child_end, mode.value, use_compiled_checks),
+                args=(child_end, mode.value, use_compiled_checks, metrics_enabled),
                 name=f"shard-worker-{worker_id}",
                 daemon=True,
             )
@@ -466,7 +506,7 @@ class ProcessShardPool:
         first_error: BaseException | None = None
         for handle, _, _ in prepared:
             try:
-                reply_segments, worker_stats = self._receive(handle)
+                reply_segments, worker_stats, metrics_delta = self._receive(handle)
             except BaseException as exc:  # transport death poisons in _receive
                 if first_error is None:
                     first_error = exc
@@ -475,6 +515,10 @@ class ProcessShardPool:
                 continue
             if worker_stats is not None:
                 merged.merge(worker_stats)
+            if metrics_delta and self.metrics is not None:
+                # Deltas are commutative (sums and maxima), so the reply
+                # order cannot change the merged snapshot.
+                self.metrics.merge_delta(metrics_delta)
             for segment_index, decisions in reply_segments:
                 rows = per_segment[segment_index]
                 for name, row in decisions:
@@ -573,7 +617,8 @@ class ProcessShardPool:
                 # there, with the worker traceback chained as the cause.
                 raise original from cause
             raise cause
-        return reply[1], reply[2]
+        # Reset replies predate the metrics element and stay 3-tuples.
+        return reply[1], reply[2], (reply[3] if len(reply) > 3 else None)
 
     # -- lifecycle ------------------------------------------------------------
     def transport_stats(self) -> dict[str, int | float]:

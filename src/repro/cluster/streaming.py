@@ -48,6 +48,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from repro.events.event import EventOccurrence
+from repro.obs.registry import COUNT_BUCKETS, MetricsRegistry
+from repro.obs.stats import MergeableStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a package cycle)
     from repro.rules.executor import RuleEngine
@@ -78,8 +80,12 @@ def default_batch_blocks() -> int:
 
 
 @dataclass
-class StreamIngestStats:
-    """Producer/consumer accounting for one ingestor lifetime."""
+class StreamIngestStats(MergeableStats):
+    """Producer/consumer accounting for one ingestor lifetime.
+
+    ``as_dict()``/``merge()`` follow the shared stats protocol; the two
+    ``max_*`` fields are high-water marks and merge via ``max``.
+    """
 
     submitted_blocks: int = 0
     submitted_events: int = 0
@@ -95,18 +101,6 @@ class StreamIngestStats:
     #: Largest micro-batch one wake-up drained (bounded by
     #: ``max_batch_blocks``).
     max_blocks_per_trip: int = 0
-
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "submitted_blocks": self.submitted_blocks,
-            "submitted_events": self.submitted_events,
-            "processed_blocks": self.processed_blocks,
-            "processed_events": self.processed_events,
-            "dropped_blocks": self.dropped_blocks,
-            "max_queue_depth": self.max_queue_depth,
-            "coalesced_trips": self.coalesced_trips,
-            "max_blocks_per_trip": self.max_blocks_per_trip,
-        }
 
 
 class StreamIngestor:
@@ -147,6 +141,17 @@ class StreamIngestor:
         #: block-at-a-time behavior, byte for byte.
         self.max_batch_blocks = max_batch_blocks
         self.stats = StreamIngestStats()
+        # Ride on the engine's registry when it has one (one snapshot for the
+        # whole pipeline); otherwise a disabled stand-in so the probes below
+        # are unconditional no-ops.
+        self.metrics: MetricsRegistry = (
+            getattr(engine, "metrics", None) or MetricsRegistry(enabled=False)
+        )
+        self.metrics.register_source("ingest", self.stats)
+        self._queue_gauge = self.metrics.gauge("ingest.queue_depth")
+        self._coalesce_hist = self.metrics.histogram(
+            "ingest.coalesce_blocks", bounds=COUNT_BUCKETS
+        )
         self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
         self._thread: threading.Thread | None = None
         self._error: BaseException | None = None
@@ -211,7 +216,9 @@ class StreamIngestor:
             self.start()
         batch = tuple(occurrences)
         signature = frozenset(occurrence.event_type for occurrence in batch)
-        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue.qsize())
+        depth = self._queue.qsize()
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, depth)
+        self._queue_gauge.set(depth)
         self._queue.put((batch, signature))
         self.stats.submitted_blocks += 1
         self.stats.submitted_events += len(batch)
@@ -283,6 +290,7 @@ class StreamIngestor:
             self.stats.max_blocks_per_trip = max(
                 self.stats.max_blocks_per_trip, len(items)
             )
+            self._coalesce_hist.observe(len(items))
 
     def _raise_pending_error(self) -> None:
         if self._error is not None:

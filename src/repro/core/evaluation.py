@@ -43,6 +43,7 @@ from repro.core.expressions import (
 from repro.core.ts import TsValue, unit_step
 from repro.events.clock import Timestamp
 from repro.events.event_base import WindowLike
+from repro.obs.stats import MergeableStats
 
 __all__ = [
     "EvaluationMode",
@@ -64,12 +65,14 @@ class EvaluationMode(Enum):
 
 
 @dataclass
-class EvaluationStats:
+class EvaluationStats(MergeableStats):
     """Counters describing the work done by the evaluator.
 
     These feed the static-optimization benchmarks: the interesting quantity is
     how many primitive look-ups and node visits a Trigger Support performs with
-    and without the ``V(E)`` filter.
+    and without the ``V(E)`` filter.  ``as_dict()``/``merge()`` follow the
+    shared :class:`~repro.obs.stats.MergeableStats` protocol (``merge`` is
+    hand-written — it runs once per shard batch on the check path).
     """
 
     node_visits: int = 0

@@ -1,0 +1,58 @@
+"""Runtime observability: one registry for the whole logical engine.
+
+The engine's pipeline stages (ingest → plan → dispatch → check → apply) run
+across three shard execution modes and two evaluator paths; before this
+package their only telemetry was four disjoint ad-hoc stats dataclasses plus
+bench-local timers.  ``repro.obs`` gives them one spine:
+
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry`, a dependency-free
+  registry of counters, gauges and fixed-bucket histograms with a sampled
+  ``span()`` timing API.  A disabled registry hands out shared null
+  instruments, so metrics-off costs one attribute lookup per probe.  Worker
+  processes accumulate their own registries and ship compact **deltas**
+  (:meth:`MetricsRegistry.drain_delta`) piggybacked on the existing trip
+  reply messages; the coordinator merges them
+  (:meth:`MetricsRegistry.merge_delta`) so one snapshot covers the whole
+  logical engine in every shard mode.
+* :mod:`repro.obs.stats` — :class:`MergeableStats`, the shared
+  ``as_dict()`` / ``merge()`` protocol behind ``TriggerSupportStats``,
+  ``ShardCoordinatorStats``, ``EvaluationStats`` and ``StreamIngestStats``.
+  The live stats objects are registered as snapshot *sources*, so the
+  workload report and the metrics export read the same numbers by
+  construction.
+* :mod:`repro.obs.export` — the human text report
+  (:func:`render_metrics_report`) and the JSON-lines periodic exporter
+  (``workload --metrics-json PATH``; ambient ``$CHIMERA_METRICS``).
+
+Instrumentation points and the sampling model are documented in
+PERFORMANCE.md ("Observability"); the measured overhead is guarded ≤3% by
+``benchmarks/bench_x12_observability_overhead.py``.
+"""
+
+from repro.obs.export import (
+    METRICS_ENV_VAR,
+    JsonLinesExporter,
+    render_metrics_report,
+)
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.stats import MergeableStats
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "METRICS_ENV_VAR",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesExporter",
+    "MergeableStats",
+    "MetricsRegistry",
+    "render_metrics_report",
+]

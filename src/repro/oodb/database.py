@@ -19,7 +19,7 @@ rules are processed; the Event Base is transaction-scoped.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from repro.errors import TransactionError
 from repro.events.clock import TransactionClock
@@ -32,6 +32,9 @@ from repro.rules.executor import ConsiderationRecord, RuleEngine
 from repro.rules.language import parse_rule
 from repro.rules.rule import Rule, RuleState
 from repro.rules.rule_table import RuleTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["ChimeraDatabase"]
 
@@ -50,6 +53,7 @@ class ChimeraDatabase:
         plan_cache_size: int | None = None,
         batch_blocks: int | None = None,
         use_compiled_checks: bool | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         from repro.cluster.sharding import ShardedRuleTable, default_shard_count
         from repro.cluster.streaming import default_batch_blocks
@@ -94,6 +98,9 @@ class ChimeraDatabase:
             # option runs everything compiled this way); the Trigger Support
             # resolves it.
             use_compiled_checks=use_compiled_checks,
+            # metrics=None lets the engine create its own enabled registry;
+            # pass MetricsRegistry(enabled=False) to run uninstrumented.
+            metrics=metrics,
         )
         # batch_blocks=None defers to the ambient default
         # ($CHIMERA_BATCH_BLOCKS); it bounds how many stream blocks a
@@ -281,6 +288,16 @@ class ChimeraDatabase:
     def trigger_statistics(self) -> dict[str, int]:
         """Counters of the Trigger Support (ts computations, filter skips, ...)."""
         return self.engine.trigger_support.stats.as_dict()
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """One metrics snapshot covering the whole logical engine.
+
+        Counters fold in every registered stats source (``trigger.*``,
+        ``cluster.*``, ``ingest.*``, ``pool.*``) plus the live counters —
+        including ``worker.*`` deltas merged back from process shard workers
+        — alongside the pipeline gauges and span histograms.
+        """
+        return self.engine.metrics_snapshot()
 
     def rule_statistics(self) -> dict[str, dict[str, int]]:
         """Per-rule counters: triggered / considered / executed / ts computations."""

@@ -26,6 +26,8 @@ from repro.errors import NonTerminationError
 from repro.events.clock import Timestamp, TransactionClock
 from repro.events.event import EventOccurrence, EventType
 from repro.events.event_base import EventBase
+from repro.obs.export import JsonLinesExporter
+from repro.obs.registry import MetricsRegistry
 from repro.oodb.objects import ObjectStore
 from repro.oodb.operations import OperationExecutor
 from repro.oodb.schema import Schema
@@ -80,6 +82,12 @@ class RuleEngine:
     #: exact triggering check (``None`` defers to the ambient
     #: ``$CHIMERA_COMPILED_CHECKS`` default, off when unset).
     use_compiled_checks: bool | None = None
+    #: The engine's metrics registry — threaded through the Trigger Support /
+    #: Shard Coordinator (and from there the process pool), so one
+    #: :meth:`metrics_snapshot` covers the whole logical engine.  ``None``
+    #: creates an enabled private registry; pass
+    #: ``MetricsRegistry(enabled=False)`` to run uninstrumented.
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         from repro.cluster.coordinator import ShardCoordinator
@@ -98,6 +106,8 @@ class RuleEngine:
         # builds) sees the engine's schema.
         self.rule_table.bind_schema(self.schema)
         self.event_handler = EventHandler(self.event_base)
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
         if isinstance(self.rule_table, ShardedRuleTable):
             shard_mode = self.shard_mode
             if shard_mode is None:
@@ -110,6 +120,7 @@ class RuleEngine:
                 use_static_optimization=self.use_static_optimization,
                 shard_mode=shard_mode,
                 use_compiled_checks=self.use_compiled_checks,
+                metrics=self.metrics,
             )
         else:
             self.trigger_support = TriggerSupport(
@@ -117,10 +128,17 @@ class RuleEngine:
                 self.event_base,
                 use_static_optimization=self.use_static_optimization,
                 use_compiled_checks=self.use_compiled_checks,
+                metrics=self.metrics,
             )
         self.transaction_start: Timestamp = self.clock.now()
         self.considerations: list[ConsiderationRecord] = []
         self._executions_this_transaction = 0
+        self._commit_hist = self.metrics.histogram("oodb.commit")
+        self._commit_counter = self.metrics.counter("oodb.commits")
+        #: Ambient JSON-lines export ($CHIMERA_METRICS): snapshots are
+        #: appended at block/commit boundaries, rate-limited by the exporter,
+        #: with a final forced snapshot on close().
+        self._metrics_exporter = JsonLinesExporter.from_env()
 
     # -- transaction boundaries ------------------------------------------------
     def begin_transaction(self) -> None:
@@ -150,6 +168,19 @@ class RuleEngine:
         closer = getattr(self.trigger_support, "close", None)
         if closer is not None:
             closer()
+        if self._metrics_exporter is not None:
+            self._metrics_exporter.export(self.metrics)
+            self._metrics_exporter.close()
+            self._metrics_exporter = None
+
+    # -- observability -----------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """One snapshot covering the whole logical engine (workers included)."""
+        return self.metrics.snapshot()
+
+    def _export_metrics(self) -> None:
+        if self._metrics_exporter is not None:
+            self._metrics_exporter.maybe_export(self.metrics)
 
     # -- block execution ----------------------------------------------------------
     def run_user_block(self, block: Callable[[], Any]) -> Any:
@@ -177,6 +208,7 @@ class RuleEngine:
         batch = self._ingest_stream_batch(occurrences, bulk, type_signature)
         self._check_block(batch)
         self._processing_loop(ECCoupling.IMMEDIATE, phase="stream")
+        self._export_metrics()
 
     def run_stream_blocks(
         self,
@@ -214,6 +246,7 @@ class RuleEngine:
         if segments:
             self.trigger_support.check_after_blocks(segments, self.transaction_start)
         self._processing_loop(ECCoupling.IMMEDIATE, phase="stream")
+        self._export_metrics()
 
     def _ingest_stream_batch(
         self,
@@ -236,11 +269,14 @@ class RuleEngine:
 
     def process_commit(self) -> None:
         """Process deferred (and any remaining triggered) rules at commit time."""
-        # Make sure anything recorded since the last flush is accounted for.
-        self._after_block(ECCoupling.IMMEDIATE, phase="commit")
-        now = self.clock.now()
-        self.trigger_support.recheck_all(now, self.transaction_start)
-        self._processing_loop(coupling=None, phase="commit")
+        with self._commit_hist.time():
+            # Make sure anything recorded since the last flush is accounted for.
+            self._after_block(ECCoupling.IMMEDIATE, phase="commit")
+            now = self.clock.now()
+            self.trigger_support.recheck_all(now, self.transaction_start)
+            self._processing_loop(coupling=None, phase="commit")
+        self._commit_counter.inc()
+        self._export_metrics()
 
     # -- internals -------------------------------------------------------------------
     def _after_block(self, coupling: ECCoupling | None, phase: str) -> None:

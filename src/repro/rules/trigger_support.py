@@ -36,6 +36,8 @@ from repro.core.triggering import is_triggered
 from repro.events.clock import Timestamp
 from repro.events.event import EventOccurrence, EventType
 from repro.events.event_base import EventBase
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import MergeableStats
 from repro.rules.rule import RuleState
 from repro.rules.rule_table import RuleTable
 
@@ -43,8 +45,13 @@ __all__ = ["TriggerSupportStats", "TriggerPlan", "TriggerPlanner", "TriggerSuppo
 
 
 @dataclass
-class TriggerSupportStats:
-    """Aggregate counters used by the X1 benchmark (optimized vs. naive)."""
+class TriggerSupportStats(MergeableStats):
+    """Aggregate counters used by the X1 benchmark (optimized vs. naive).
+
+    ``as_dict()``/``merge()`` come from the shared stats protocol; the nested
+    ``evaluation`` record is flattened into the view, so the dict exposes the
+    evaluator counters (``primitive_lookups``, ``node_visits``, …) directly.
+    """
 
     blocks: int = 0
     rules_checked: int = 0
@@ -67,22 +74,6 @@ class TriggerSupportStats:
     #: full scan would have iterated (and filter-skipped) one at a time.
     rules_bypassed_by_index: int = 0
     evaluation: EvaluationStats = field(default_factory=EvaluationStats)
-
-    def as_dict(self) -> dict[str, int]:
-        """Plain-dict view (handy for report tables)."""
-        return {
-            "blocks": self.blocks,
-            "rules_checked": self.rules_checked,
-            "ts_computations": self.ts_computations,
-            "ts_skipped_by_filter": self.ts_skipped_by_filter,
-            "ts_skipped_empty_window": self.ts_skipped_empty_window,
-            "rules_triggered": self.rules_triggered,
-            "instants_sampled": self.instants_sampled,
-            "rules_routed": self.rules_routed,
-            "rules_bypassed_by_index": self.rules_bypassed_by_index,
-            "primitive_lookups": self.evaluation.primitive_lookups,
-            "node_visits": self.evaluation.node_visits,
-        }
 
 
 @dataclass
@@ -162,6 +153,7 @@ class TriggerSupport:
         mode: EvaluationMode = EvaluationMode.LOGICAL,
         use_subscription_index: bool = True,
         use_compiled_checks: bool | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.rule_table = rule_table
         self.event_base = event_base
@@ -178,6 +170,19 @@ class TriggerSupport:
         self.use_compiled_checks = use_compiled_checks
         self.planner = TriggerPlanner(rule_table)
         self.stats = TriggerSupportStats()
+        # Metrics are opt-in per engine: callers that do not pass a registry
+        # get an enabled private one (snapshots still work standalone), while
+        # the engine threads a single registry through every component so one
+        # snapshot covers the whole pipeline.  The stats record is folded into
+        # snapshots as a *source* — the report and the export can never
+        # disagree with the benchmark counters.  Histogram handles are cached
+        # here because the hot loops probe them per trip, not per rule.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.register_source("trigger", self.stats)
+        self._plan_hist = self.metrics.histogram("trip.plan")
+        self._check_hist = self.metrics.histogram("trip.check")
+        self._apply_hist = self.metrics.histogram("trip.apply")
+        self._block_hist = self.metrics.histogram("block.check")
 
     # -- set-up -----------------------------------------------------------
     def prepare_rule(self, state: RuleState) -> None:
@@ -216,37 +221,42 @@ class TriggerSupport:
             # non-empty were evaluated when those occurrences arrived).
             return newly_triggered
 
-        if self.use_static_optimization and self.use_subscription_index:
-            plan = self._plan_segment(new_occurrences, type_signature)
-            for state in plan.candidates:
+        with self._block_hist.time():
+            if self.use_static_optimization and self.use_subscription_index:
+                plan = self._plan_segment(new_occurrences, type_signature)
+                for state in plan.candidates:
+                    self.stats.rules_checked += 1
+                    self.prepare_rule(state)
+                    if self._check_rule(state, now, transaction_start):
+                        newly_triggered.append(state)
+                return newly_triggered
+
+            for state in self.rule_table.untriggered_states():
                 self.stats.rules_checked += 1
                 self.prepare_rule(state)
+                # The V(E) filter is sound only once the rule's window has
+                # been evaluated non-empty: before that, the rule may be
+                # blocked solely by the R != {} condition (e.g. a pure
+                # negation), and then any new occurrence — of any type — can
+                # trigger it.
+                filter_applicable = (
+                    self.use_static_optimization
+                    and state.recomputation_filter is not None
+                    and state.had_nonempty_window
+                )
+                if filter_applicable:
+                    if not state.recomputation_filter.needs_recomputation(
+                        new_occurrences
+                    ):
+                        # The rule's trigger memo is deliberately NOT
+                        # advanced: the skipped block's instants stay
+                        # unsampled and a later check covers them, so
+                        # correctness never rests on the filter.
+                        self.stats.ts_skipped_by_filter += 1
+                        continue
                 if self._check_rule(state, now, transaction_start):
                     newly_triggered.append(state)
             return newly_triggered
-
-        for state in self.rule_table.untriggered_states():
-            self.stats.rules_checked += 1
-            self.prepare_rule(state)
-            # The V(E) filter is sound only once the rule's window has been
-            # evaluated non-empty: before that, the rule may be blocked solely
-            # by the R != {} condition (e.g. a pure negation), and then any new
-            # occurrence — of any type — can trigger it.
-            filter_applicable = (
-                self.use_static_optimization
-                and state.recomputation_filter is not None
-                and state.had_nonempty_window
-            )
-            if filter_applicable:
-                if not state.recomputation_filter.needs_recomputation(new_occurrences):
-                    # The rule's trigger memo is deliberately NOT advanced: the
-                    # skipped block's instants stay unsampled and a later check
-                    # covers them, so correctness never rests on the filter.
-                    self.stats.ts_skipped_by_filter += 1
-                    continue
-            if self._check_rule(state, now, transaction_start):
-                newly_triggered.append(state)
-        return newly_triggered
 
     def _plan_segment(self, occurrences, type_signature=None):
         """Plan one non-empty block and account the plan-time stats.
@@ -328,41 +338,44 @@ class TriggerSupport:
                 )
             return newly_triggered
         planned: list[tuple[Timestamp, TriggerPlan]] = []
-        for occurrences, now in blocks:
-            self.stats.blocks += 1
-            if not occurrences:
-                continue
-            planned.append((now, self._plan_segment(occurrences)))
-        if self.use_compiled_checks:
-            evaluated = self._evaluate_trip_compiled(planned, transaction_start)
-        else:
-            evaluated = []
-            triggered_in_trip: set[str] = set()
-            saw_nonempty_window: set[str] = set()
-            for now, plan in planned:
-                rows: list[tuple[RuleState, object]] = []
-                for state in plan.candidates:
-                    name = state.rule.name
-                    if name in triggered_in_trip or (
-                        name in plan.pending_only and name in saw_nonempty_window
-                    ):
-                        continue
-                    self.prepare_rule(state)
-                    decision = self._evaluate_rule(
-                        state, now, transaction_start, self.stats.evaluation
-                    )
-                    if decision.triggered:
-                        triggered_in_trip.add(name)
-                    if decision.window_size > 0:
-                        saw_nonempty_window.add(name)
-                    rows.append((state, decision))
-                evaluated.append((now, rows))
+        with self._plan_hist.time():
+            for occurrences, now in blocks:
+                self.stats.blocks += 1
+                if not occurrences:
+                    continue
+                planned.append((now, self._plan_segment(occurrences)))
+        with self._check_hist.time():
+            if self.use_compiled_checks:
+                evaluated = self._evaluate_trip_compiled(planned, transaction_start)
+            else:
+                evaluated = []
+                triggered_in_trip: set[str] = set()
+                saw_nonempty_window: set[str] = set()
+                for now, plan in planned:
+                    rows: list[tuple[RuleState, object]] = []
+                    for state in plan.candidates:
+                        name = state.rule.name
+                        if name in triggered_in_trip or (
+                            name in plan.pending_only and name in saw_nonempty_window
+                        ):
+                            continue
+                        self.prepare_rule(state)
+                        decision = self._evaluate_rule(
+                            state, now, transaction_start, self.stats.evaluation
+                        )
+                        if decision.triggered:
+                            triggered_in_trip.add(name)
+                        if decision.window_size > 0:
+                            saw_nonempty_window.add(name)
+                        rows.append((state, decision))
+                    evaluated.append((now, rows))
         newly_triggered = []
-        for now, rows in evaluated:
-            for state, decision in rows:
-                self.stats.rules_checked += 1
-                if self._apply_decision(state, decision, now):
-                    newly_triggered.append(state)
+        with self._apply_hist.time():
+            for now, rows in evaluated:
+                for state, decision in rows:
+                    self.stats.rules_checked += 1
+                    if self._apply_decision(state, decision, now):
+                        newly_triggered.append(state)
         return newly_triggered
 
     def _evaluate_trip_compiled(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.reporting import render_table
 from repro.core.expressions import Primitive, SetConjunction
@@ -40,6 +41,9 @@ from repro.workloads.generator import (
     ExpressionGenerator,
     event_type_universe,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = [
     "ScalingWorkload",
@@ -150,6 +154,7 @@ class ScalingWorkload:
         plan_cache_size: int | None = None,
         batch_blocks: int = 1,
         use_compiled_checks: bool | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if batch_blocks < 1:
             raise ValueError(f"batch_blocks must be positive (got {batch_blocks})")
@@ -176,6 +181,7 @@ class ScalingWorkload:
                 shard_mode=shard_mode,
                 parallel=parallel_shards,
                 use_compiled_checks=use_compiled_checks,
+                metrics=metrics,
             )
         else:
             self.support = TriggerSupport(
@@ -184,6 +190,7 @@ class ScalingWorkload:
                 use_static_optimization=use_static_optimization,
                 use_subscription_index=use_subscription_index,
                 use_compiled_checks=use_compiled_checks,
+                metrics=metrics,
             )
         self.bulk_ingest = bulk_ingest
         #: How many stream blocks each trigger-check dispatch trip coalesces

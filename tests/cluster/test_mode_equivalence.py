@@ -151,6 +151,72 @@ def test_batched_dispatch_with_periodic_exhaustive_recheck():
             )
 
 
+# ---------------------------------------------------------------------------
+# Metrics snapshots (PR 8): registry counters pinned equal across modes
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_counters_identical_across_modes_batches_and_compiled():
+    """The PR-8 snapshot counters are as mode-invariant as the stats they fold.
+
+    ``run_scenario`` returns the registry's deterministic ``trigger.*``
+    snapshot counters; for every batch size 1-8, compiled checks on and off,
+    each coordinator mode must match the unsharded reference byte for byte —
+    the observability layer inherits the equivalence guarantee instead of
+    weakening it.
+    """
+    for use_compiled_checks in (False, True):
+        scenario = build_scenario(2)
+        for batch_blocks in range(1, 9):
+            reference = run_scenario(
+                scenario,
+                batch_blocks=batch_blocks,
+                use_compiled_checks=use_compiled_checks,
+            )
+            assert reference["metrics"], "snapshot must carry trigger.* counters"
+            for mode in MODES:
+                result = run_scenario(
+                    scenario,
+                    shards=4,
+                    shard_mode=mode,
+                    batch_blocks=batch_blocks,
+                    use_compiled_checks=use_compiled_checks,
+                )
+                assert result["metrics"] == reference["metrics"], (
+                    f"compiled={use_compiled_checks}, batch {batch_blocks}, "
+                    f"{mode}: snapshot counters diverged"
+                )
+
+
+def test_per_shard_candidate_counters_identical_across_modes():
+    """Per-shard candidate counters depend on planning, not execution mode.
+
+    ``shard.candidates.N`` counts plan-time candidates per shard; the plan is
+    computed coordinator-side in every mode, so at a fixed shard count the
+    counters must agree across serial / threads / processes (the unsharded
+    reference has no shards, hence no such counters — compare among modes).
+    """
+    scenario = build_scenario(9)
+    prefixes = ("trigger.", "shard.")
+    results = {
+        mode: run_scenario(
+            scenario, shards=4, shard_mode=mode, metric_prefixes=prefixes
+        )
+        for mode in MODES
+    }
+    reference = results["serial"]["metrics"]
+    candidates = {
+        name: value
+        for name, value in reference.items()
+        if name.startswith("shard.candidates.")
+    }
+    assert len(candidates) == 4 and sum(candidates.values()) > 0
+    for mode, result in results.items():
+        assert result["metrics"] == reference, (
+            f"{mode}: shard candidate counters diverged"
+        )
+
+
 def test_zero_candidate_trip_merges_empty_stats_in_process_mode():
     """A trip with no candidate rules must merge a pristine stats record.
 

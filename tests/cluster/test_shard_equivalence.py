@@ -35,6 +35,7 @@ def run_scenario(
     recheck_every: int = 0,
     batch_blocks: int = 1,
     use_compiled_checks: bool | None = None,
+    metric_prefixes: tuple[str, ...] = ("trigger.",),
 ) -> dict:
     """Execute a scenario; ``shards=0`` is the single-table reference.
 
@@ -49,6 +50,11 @@ def run_scenario(
     the same call and is byte-identical to the per-block path.
     ``use_compiled_checks`` selects the compiled exact-check closures
     (``None`` defers to the ambient ``$CHIMERA_COMPILED_CHECKS`` default).
+    ``metric_prefixes`` filters which snapshot counters of the PR-8 metrics
+    registry land in the returned ``"metrics"`` key — the default pins the
+    deterministic ``trigger.*`` counters; mode-dependent families
+    (``cluster.*``, ``worker.*``, ``pool.*``) are deliberately excluded so
+    whole-result equality across execution modes keeps holding.
     """
     event_base = EventBase()
     if shards > 0:
@@ -126,9 +132,14 @@ def run_scenario(
         for state in table.states()
     }
     stats = support.stats.as_dict()
+    metrics = {
+        name: value
+        for name, value in support.metrics.snapshot()["counters"].items()
+        if name.startswith(metric_prefixes)
+    }
     if shards > 0:
         support.close()
-    return {"trace": trace, "counters": counters, "stats": stats}
+    return {"trace": trace, "counters": counters, "stats": stats, "metrics": metrics}
 
 
 def test_sharded_equals_single_table_across_shard_counts():

@@ -1,0 +1,148 @@
+"""End-to-end instrumentation tests: the registry wired through the engine.
+
+These drive the real pipeline — :class:`ChimeraDatabase` transactions, the
+stream ingestor, the process-mode shard coordinator, the CLI — and assert
+the metrics snapshot reflects what actually happened: source counters equal
+to the canonical stats, worker deltas merged across the process boundary,
+ambient ``$CHIMERA_METRICS`` exports, and the ``workload`` command's
+``--metrics`` / ``--metrics-json`` surfaces.
+"""
+
+import json
+
+from repro.cli import main
+from repro.cluster.streaming import StreamIngestor
+from repro.events.event import EventOccurrence, EventType, Operation
+from repro.obs.export import METRICS_ENV_VAR
+from repro.oodb.database import ChimeraDatabase
+from repro.workloads.stock import CHECK_STOCK_QTY_RULE
+
+
+def _stock_db(**kwargs) -> ChimeraDatabase:
+    db = ChimeraDatabase(**kwargs)
+    db.define_class(
+        "stock", {"name": str, "quantity": int, "minquantity": int, "maxquantity": int}
+    )
+    db.define_rule(CHECK_STOCK_QTY_RULE)
+    return db
+
+
+def _drive(db: ChimeraDatabase, transactions: int = 3) -> None:
+    for index in range(transactions):
+        with db.transaction() as tx:
+            tx.create("stock", {"quantity": 500 + index, "maxquantity": 100})
+
+
+class TestDatabaseSnapshot:
+    def test_trigger_counters_equal_the_canonical_stats(self):
+        db = _stock_db()
+        try:
+            _drive(db)
+            snapshot = db.metrics_snapshot()
+            stats = db.trigger_statistics()
+            assert stats["blocks"] > 0
+            for key, value in stats.items():
+                assert snapshot["counters"][f"trigger.{key}"] == value
+        finally:
+            db.close()
+
+    def test_commit_path_is_instrumented(self):
+        db = _stock_db()
+        try:
+            _drive(db, transactions=2)
+            snapshot = db.metrics_snapshot()
+            assert snapshot["counters"]["oodb.commits"] == 2
+            assert snapshot["histograms"]["oodb.commit"]["count"] == 2
+        finally:
+            db.close()
+
+    def test_sharded_database_folds_cluster_and_candidate_counters(self):
+        db = _stock_db(shards=2, shard_mode="serial")
+        try:
+            _drive(db)
+            counters = db.metrics_snapshot()["counters"]
+            assert counters["cluster.blocks_fanned_out"] > 0
+            assert counters["cluster.dispatch_trips"] > 0
+            candidates = [
+                value
+                for name, value in counters.items()
+                if name.startswith("shard.candidates.")
+            ]
+            assert candidates and sum(candidates) > 0
+        finally:
+            db.close()
+
+    def test_process_mode_merges_worker_deltas(self):
+        db = _stock_db(shards=2, shard_mode="processes")
+        try:
+            _drive(db)
+            counters = db.metrics_snapshot()["counters"]
+            assert counters["worker.trips"] > 0
+            assert counters["worker.rules_evaluated"] > 0
+            # The canonical trigger stats still fold in alongside them.
+            for key, value in db.trigger_statistics().items():
+                assert counters[f"trigger.{key}"] == value
+        finally:
+            db.close()
+
+
+class TestIngestInstrumentation:
+    def test_ingestor_reports_queue_depth_and_coalesce_sizes(self):
+        stock_created = EventType(Operation.CREATE, "stock")
+        db = _stock_db()
+        try:
+            with db.stream_ingestor(max_pending=4, batch_blocks=2) as ingestor:
+                assert isinstance(ingestor, StreamIngestor)
+                for instant in range(1, 7):
+                    ingestor.submit(
+                        [
+                            EventOccurrence(
+                                eid=instant,
+                                event_type=stock_created,
+                                oid=f"o{instant}",
+                                timestamp=instant,
+                            )
+                        ]
+                    )
+                ingestor.flush()
+            snapshot = db.metrics_snapshot()
+            assert snapshot["counters"]["ingest.processed_blocks"] == 6
+            assert snapshot["gauges"]["ingest.queue_depth"]["updates"] == 6
+            assert snapshot["histograms"]["ingest.coalesce_blocks"]["count"] > 0
+        finally:
+            db.close()
+
+
+class TestAmbientExport:
+    def test_chimera_metrics_env_writes_json_lines(self, tmp_path, monkeypatch):
+        path = tmp_path / "ambient.jsonl"
+        monkeypatch.setenv(METRICS_ENV_VAR, str(path))
+        db = _stock_db()
+        try:
+            _drive(db)
+        finally:
+            db.close()
+        lines = path.read_text().splitlines()
+        assert lines, "engine close must write a final ambient snapshot"
+        final = json.loads(lines[-1])
+        assert final["counters"]["oodb.commits"] == 3
+        assert final["counters"]["trigger.blocks"] > 0
+
+
+class TestWorkloadCliSurfaces:
+    ARGS = ["workload", "--rules", "30", "--blocks", "8", "--events-per-block", "4"]
+
+    def test_metrics_flag_prints_the_text_report(self, capsys):
+        assert main([*self.ARGS, "--metrics"]) == 0
+        output = capsys.readouterr().out
+        assert "counters" in output
+        assert "trigger.blocks" in output
+
+    def test_metrics_json_writes_a_snapshot_line(self, tmp_path, capsys):
+        path = tmp_path / "workload.jsonl"
+        assert main([*self.ARGS, "--metrics-json", str(path)]) == 0
+        assert "wrote metrics snapshot" in capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        snapshot = json.loads(lines[0])
+        assert snapshot["counters"]["trigger.blocks"] == 8
