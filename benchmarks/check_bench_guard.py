@@ -236,6 +236,89 @@ def check_x12(
     _check_equivalence(results, failures)
 
 
+def check_x13(
+    results: dict, limits: dict, tolerance: float, failures: list[str]
+) -> None:
+    minimum = _relax(limits["min_delta_encode_speedup"], tolerance)
+    for grid_point in results["transport"]:
+        shm = grid_point["transports"]["shm"]
+        pickled = grid_point["transports"]["pickle"]
+        flavor = "payload-bearing" if grid_point["payloads"] else "payload-free"
+        _check(
+            shm["deltas_shm"] > 0 and shm["deltas_pickled"] == 0,
+            f"{flavor}: shm arm shipped every delta through the ring "
+            f"({shm['deltas_shm']} shm / {shm['deltas_pickled']} pickled)",
+            failures,
+        )
+        _check(
+            pickled["deltas_shm"] == 0 and pickled["deltas_pickled"] > 0,
+            f"{flavor}: pickle arm never touched the ring "
+            f"({pickled['deltas_pickled']} pickled)",
+            failures,
+        )
+        if grid_point["payloads"]:
+            _check(
+                shm["shm_rows_fallback"] > 0 and shm["shm_rows_inline"] == 0,
+                f"{flavor}: every row crossed via the per-row fallback "
+                f"({shm['shm_rows_fallback']} fallback rows)",
+                failures,
+            )
+        else:
+            _check(
+                shm["shm_rows_inline"] > 0 and shm["shm_rows_fallback"] == 0,
+                f"{flavor}: every row rode the ring inline "
+                f"({shm['shm_rows_inline']} inline rows)",
+                failures,
+            )
+            _check(
+                grid_point["delta_encode_speedup"] >= minimum,
+                f"{flavor}: row encoding beats snapshot pickling "
+                f"({grid_point['delta_encode_speedup']}x >= {minimum:.2f}x)",
+                failures,
+            )
+    adaptivity = results["adaptivity"]
+    adaptive = adaptivity["arms"]["adaptive"]
+    _check(
+        adaptive["widened"] >= 1 and adaptive["shrunk"] >= 1,
+        f"controller widened under backlog and shrank when it drained "
+        f"({adaptive['widened']} widen / {adaptive['shrunk']} shrink steps)",
+        failures,
+    )
+    _check(
+        adaptive["final_bound"] == 1,
+        f"controller settled back to per-block trips "
+        f"(final bound {adaptive['final_bound']})",
+        failures,
+    )
+    _check(
+        adaptive["idle_trips"] == adaptivity["idle_blocks"],
+        f"idle phase never coalesced ({adaptive['idle_trips']} trips over "
+        f"{adaptivity['idle_blocks']} blocks)",
+        failures,
+    )
+    _check(
+        adaptive["backlog_trips"] < adaptivity["backlog_blocks"],
+        f"backlog drained in batched trips ({adaptive['backlog_trips']} trips "
+        f"< {adaptivity['backlog_blocks']} blocks)",
+        failures,
+    )
+    latency_cap = limits["max_idle_latency_ratio"] * (1.0 + tolerance)
+    _check(
+        adaptivity["idle_latency_ratio"] <= latency_cap,
+        f"adaptive idle latency tracks static-1 "
+        f"({adaptivity['idle_latency_ratio']} <= {latency_cap:.2f})",
+        failures,
+    )
+    throughput_floor = _relax(limits["min_backlog_throughput_ratio"], tolerance)
+    _check(
+        adaptivity["backlog_throughput_ratio"] >= throughput_floor,
+        f"adaptive backlog throughput tracks static-8 "
+        f"({adaptivity['backlog_throughput_ratio']} >= {throughput_floor:.2f})",
+        failures,
+    )
+    _check_equivalence(results, failures)
+
+
 CHECKERS = {
     "x7_rule_scaling": check_x7,
     "x8_shard_scaling": check_x8,
@@ -243,6 +326,7 @@ CHECKERS = {
     "x10_dispatch_amortization": check_x10,
     "x11_compiled_check": check_x11,
     "x12_observability_overhead": check_x12,
+    "x13_transport_adaptivity": check_x13,
 }
 
 

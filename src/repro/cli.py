@@ -168,6 +168,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     workload_parser.add_argument(
+        "--transport",
+        choices=["pickle", "shm"],
+        default=None,
+        help=(
+            "delta transport of the processes shard mode: pickled snapshots "
+            "or the shared-memory row ring "
+            "(default: the $CHIMERA_TRANSPORT ambient setting, then pickle)"
+        ),
+    )
+    workload_parser.add_argument(
+        "--adaptive-batch",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "size dispatch trips with the closed-loop controller instead of "
+            "the static --batch-blocks bound "
+            "(default: the $CHIMERA_ADAPTIVE_BATCH ambient setting, off)"
+        ),
+    )
+    workload_parser.add_argument(
         "--metrics",
         action="store_true",
         help="print the metrics registry's text report after the run",
@@ -185,7 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = commands.add_parser("bench", help="run a benchmark sweep")
     bench_parser.add_argument(
         "which",
-        choices=["x7", "x8", "x9", "x10", "x11", "x12"],
+        choices=["x7", "x8", "x9", "x10", "x11", "x12", "x13"],
         help="benchmark to run",
     )
     bench_parser.add_argument("--smoke", action="store_true", help="tiny grid (seconds)")
@@ -320,6 +340,8 @@ def _command_workload(args: argparse.Namespace) -> int:
         batch_blocks=args.batch_blocks,
         use_compiled_checks=args.compiled_checks,
         metrics=metrics,
+        transport=args.transport,
+        adaptive_batch=args.adaptive_batch,
     )
     stream = EventStreamGenerator(
         event_types=universe, seed=args.seed + 1, events_per_block=args.events_per_block
@@ -391,7 +413,12 @@ def _command_workload(args: argparse.Namespace) -> int:
 def _command_bench(args: argparse.Namespace) -> int:
     import json
 
-    if args.which == "x12":
+    if args.which == "x13":
+        from repro.workloads.transport_adaptivity import render_x13, run_x13_sweeps
+
+        results = run_x13_sweeps(smoke=args.smoke)
+        print(render_x13(results))
+    elif args.which == "x12":
         from repro.workloads.observability import render_x12, run_x12_sweeps
 
         results = run_x12_sweeps(smoke=args.smoke)

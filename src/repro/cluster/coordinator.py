@@ -130,6 +130,7 @@ class ShardCoordinator(TriggerSupport):
         max_workers: int | None = None,
         use_compiled_checks: bool | None = None,
         metrics: MetricsRegistry | None = None,
+        transport: str | None = None,
     ) -> None:
         if not isinstance(rule_table, ShardedRuleTable):
             raise TypeError("ShardCoordinator requires a ShardedRuleTable")
@@ -153,6 +154,10 @@ class ShardCoordinator(TriggerSupport):
         self.shard_mode = shard_mode
         self.parallel = shard_mode == "threads"
         self.max_workers = max_workers
+        #: Delta transport of the process pool (``None`` defers to
+        #: ``$CHIMERA_TRANSPORT``, then ``pickle``); irrelevant to the other
+        #: modes, which share the coordinator's address space.
+        self.transport = transport
         self._pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessShardPool | None = None
         #: Plan epoch at the last worker-definition prune (processes mode).
@@ -685,6 +690,7 @@ class ShardCoordinator(TriggerSupport):
                 mode=self.mode,
                 use_compiled_checks=self.use_compiled_checks,
                 metrics=self.metrics,
+                transport=self.transport,
             )
             # Transport health (messages, bytes, worker restarts) folds into
             # the same snapshot as everything else.

@@ -55,15 +55,37 @@ Three design points make the equivalence exact rather than approximate:
 
 Workers are daemonic and additionally reaped by a ``weakref.finalize``
 shutdown, so an abandoned pool cannot leak processes past its coordinator.
+
+Two delta **transports** ship the mirror slices (PR 9):
+
+* ``pickle`` — the original path: the coordinator pickles a
+  :class:`WindowSnapshot` of the unseen EB slice into each worker's message;
+* ``shm`` — a ``multiprocessing.shared_memory`` **ring of fixed-width rows**
+  (:class:`~repro.events.event_base.SnapshotRowCodec`): every occurrence is
+  encoded exactly once, coordinator-side, into its ring slot (``position %
+  capacity``), and each worker's message carries only an ``(offset, count)``
+  descriptor — payload-free streams cross with zero pickling.  Rows that do
+  not fit the fixed-width form (payloads, wide OIDs) leave a placeholder in
+  the ring and travel as ordinary snapshot tuples piggybacked on the
+  descriptor; a worker lagging by more than the ring capacity falls back to
+  the pickled snapshot for that trip.  The pipe send/receive is the
+  synchronization barrier — a worker only reads slots the coordinator wrote
+  before sending the descriptor, so there are no torn reads.  Header or
+  codec divergence (a corrupted ring, a type index the worker never
+  received) raises :class:`SnapshotError` in the worker and poisons the
+  pool, exactly like a mirror divergence.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import struct
 import time
 import traceback
 import weakref
+from multiprocessing import shared_memory
 from typing import Sequence
 
 from repro.core.compile import compile_check
@@ -71,14 +93,281 @@ from repro.core.evaluation import EvaluationMode, EvaluationStats
 from repro.core.triggering import TriggerMemo, TriggeringDecision, is_triggered
 from repro.errors import ShardWorkerError, SnapshotError
 from repro.events.clock import Timestamp
-from repro.events.event import EventType
-from repro.events.event_base import EventBase, WindowSnapshot
+from repro.events.event import EventOccurrence, EventType
+from repro.events.event_base import (
+    ROW_WIDTH,
+    EventBase,
+    SnapshotRowCodec,
+    WindowSnapshot,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.rules.rule import RuleState
 
-__all__ = ["ProcessShardPool"]
+__all__ = [
+    "ProcessShardPool",
+    "TRANSPORTS",
+    "DEFAULT_TRANSPORT_ENV_VAR",
+    "default_transport",
+    "default_ring_rows",
+]
 
 _PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Delta transports the pool understands.
+TRANSPORTS = ("pickle", "shm")
+
+#: Environment variable consulted when ``transport`` is not given explicitly
+#: (mirrors ``$CHIMERA_SHARDS`` / ``$CHIMERA_SHARD_MODE``).
+DEFAULT_TRANSPORT_ENV_VAR = "CHIMERA_TRANSPORT"
+
+#: Environment variable sizing the shared-memory ring, in rows.
+RING_ROWS_ENV_VAR = "CHIMERA_SHM_ROWS"
+
+_DEFAULT_RING_ROWS = 65536
+
+#: Ring header: magic, format version, row width, capacity (rows).  Workers
+#: re-validate it on every descriptor read, so corruption fails loudly.
+_RING_HEADER = struct.Struct("<IIII")
+_RING_HEADER_SIZE = 64
+_RING_MAGIC = 0x43484D52  # "CHMR"
+_RING_VERSION = 1
+
+
+def default_transport() -> str:
+    """The ambient delta transport: ``$CHIMERA_TRANSPORT`` or ``pickle``."""
+    raw = os.environ.get(DEFAULT_TRANSPORT_ENV_VAR, "").strip().lower()
+    return raw if raw in TRANSPORTS else "pickle"
+
+
+def default_ring_rows() -> int:
+    """The ambient ring capacity: ``$CHIMERA_SHM_ROWS`` or 65536 rows."""
+    raw = os.environ.get(RING_ROWS_ENV_VAR, "").strip()
+    if not raw:
+        return _DEFAULT_RING_ROWS
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return _DEFAULT_RING_ROWS
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory ring (coordinator writes, workers read)
+# ---------------------------------------------------------------------------
+
+
+def _destroy_ring(shm) -> None:
+    """Best-effort ring teardown (idempotent; also runs via weakref.finalize)."""
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass
+
+
+class _SnapshotRing:
+    """Coordinator side of the shared-memory row ring.
+
+    EB position ``p`` lives at slot ``p % capacity``; every position is
+    encoded exactly once (per EB log), so any worker whose unseen slice fits
+    inside the last ``capacity`` rows reads it with zero re-encoding.  Rows
+    that cannot inline-encode keep their full snapshot tuples in
+    ``fallback_rows`` for as long as their slots stay live.
+    """
+
+    __slots__ = (
+        "capacity",
+        "shm",
+        "name",
+        "codec",
+        "encoded",
+        "fallback_rows",
+        "rows_inline",
+        "rows_fallback",
+    )
+
+    def __init__(self, capacity_rows: int) -> None:
+        self.capacity = capacity_rows
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=_RING_HEADER_SIZE + capacity_rows * ROW_WIDTH
+        )
+        self.name = self.shm.name
+        _RING_HEADER.pack_into(
+            self.shm.buf, 0, _RING_MAGIC, _RING_VERSION, ROW_WIDTH, capacity_rows
+        )
+        self.codec = SnapshotRowCodec()
+        #: EB positions ``[0, encoded)`` hold encoded rows (modulo capacity).
+        self.encoded = 0
+        #: position -> snapshot tuple for rows that did not inline-encode.
+        self.fallback_rows: dict[int, tuple] = {}
+        self.rows_inline = 0
+        self.rows_fallback = 0
+
+    def encode_through(self, event_base: EventBase, total: int) -> None:
+        """Encode EB positions ``[encoded, total)`` into their ring slots."""
+        if total <= self.encoded:
+            return
+        buf = self.shm.buf
+        capacity = self.capacity
+        encode = self.codec.encode_into
+        occurrences = event_base.occurrences
+        inline = fallback = 0
+        position = self.encoded
+        try:
+            while position < total:
+                # Slots of a run up to the ring edge are contiguous — walk
+                # them with one add per row instead of a modulo + multiply.
+                slot = position % capacity
+                run_end = min(total, position + capacity - slot)
+                offset = _RING_HEADER_SIZE + slot * ROW_WIDTH
+                for position in range(position, run_end):
+                    occurrence = occurrences[position]
+                    if encode(buf, offset, occurrence):
+                        inline += 1
+                    else:
+                        row = occurrence.snapshot()
+                        # Same synchronous-failure contract as
+                        # WindowSnapshot.pickled: an unpicklable user payload
+                        # surfaces here, naming the occurrence, instead of
+                        # crashing a worker.
+                        try:
+                            pickle.dumps(row, _PROTOCOL)
+                        except Exception as exc:
+                            raise SnapshotError(
+                                "window snapshot is not picklable — event "
+                                "payloads and OIDs must be picklable to cross "
+                                "a process boundary (first offender: "
+                                f"occurrence eid={row[0]}): {exc}"
+                            ) from exc
+                        self.fallback_rows[position] = row
+                        fallback += 1
+                    offset += ROW_WIDTH
+                position = run_end
+        finally:
+            self.rows_inline += inline
+            self.rows_fallback += fallback
+        self.encoded = total
+        horizon = total - capacity
+        if horizon > 0 and self.fallback_rows:
+            for position in [p for p in self.fallback_rows if p < horizon]:
+                del self.fallback_rows[position]
+
+    def descriptor(self, start: int, shipped_types: int) -> tuple | None:
+        """The ``("shm", ...)`` delta for positions ``[start, encoded)``.
+
+        ``None`` when the range no longer fits the ring (the lagging worker
+        falls back to a pickled snapshot for this trip).
+        """
+        if self.encoded - start > self.capacity:
+            return None
+        fallbacks: tuple = ()
+        if self.fallback_rows:
+            fallbacks = tuple(
+                sorted(
+                    (position, row)
+                    for position, row in self.fallback_rows.items()
+                    if position >= start
+                )
+            )
+        return (
+            "shm",
+            self.name,
+            start,
+            self.encoded - start,
+            fallbacks,
+            tuple(self.codec.type_snapshots[shipped_types:]),
+        )
+
+    def reset(self) -> None:
+        """Forget the encoded log (the coordinator's EB was rebound)."""
+        self.codec = SnapshotRowCodec()
+        self.encoded = 0
+        self.fallback_rows.clear()
+
+
+class _RingReader:
+    """Worker side: attach once, decode ``(offset, count)`` descriptors."""
+
+    __slots__ = ("_shm", "name", "codec")
+
+    def __init__(self) -> None:
+        self._shm = None
+        self.name: str | None = None
+        self.codec = SnapshotRowCodec()
+
+    def read(self, descriptor: tuple, type_cache: dict) -> list[EventOccurrence]:
+        """The occurrences of one descriptor, in log order."""
+        _, name, start, count, fallback_items, new_types = descriptor
+        self._attach(name)
+        buf = self._shm.buf
+        magic, version, row_width, capacity = _RING_HEADER.unpack_from(buf, 0)
+        if (
+            magic != _RING_MAGIC
+            or version != _RING_VERSION
+            or row_width != ROW_WIDTH
+            or capacity <= 0
+            or len(buf) != _RING_HEADER_SIZE + capacity * ROW_WIDTH
+        ):
+            raise SnapshotError(
+                "shared-memory ring header is corrupt (magic="
+                f"{magic:#x} version={version} row_width={row_width} "
+                f"capacity={capacity}); refusing to decode — close the pool "
+                "and let the coordinator spawn a fresh one"
+            )
+        if new_types:
+            self.codec.extend_types(new_types)
+        fallbacks = dict(fallback_items)
+        decode = self.codec.decode_from
+        from_snapshot = EventOccurrence.from_snapshot
+        occurrences: list[EventOccurrence] = []
+        for position in range(start, start + count):
+            offset = _RING_HEADER_SIZE + (position % capacity) * ROW_WIDTH
+            row = decode(buf, offset)
+            if row is None:
+                row = fallbacks.pop(position, None)
+                if row is None:
+                    raise SnapshotError(
+                        "shared-memory row codec divergence: position "
+                        f"{position} is a fallback placeholder with no "
+                        "out-of-band row"
+                    )
+            occurrences.append(from_snapshot(row, type_cache=type_cache))
+        if fallbacks:
+            raise SnapshotError(
+                "shared-memory row codec divergence: "
+                f"{len(fallbacks)} out-of-band rows matched no placeholder "
+                f"(positions {sorted(fallbacks)[:5]}...)"
+            )
+        return occurrences
+
+    def _attach(self, name: str) -> None:
+        if self.name == name and self._shm is not None:
+            return
+        self.detach()
+        shm = shared_memory.SharedMemory(name=name)
+        # Attaching re-registers the segment with the resource tracker on
+        # 3.8-3.12 (there is no track=False before 3.13).  Workers are forked,
+        # so they share the coordinator's tracker process and the re-register
+        # is an idempotent no-op there — an explicit unregister here would
+        # instead erase the coordinator's own registration and make its
+        # unlink complain.
+        self._shm = shm
+        self.name = name
+
+    def reset(self) -> None:
+        """New EB log: the positions (and type table) restart from zero."""
+        self.codec = SnapshotRowCodec()
+
+    def detach(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except Exception:
+                pass
+            self._shm = None
+            self.name = None
 
 
 # ---------------------------------------------------------------------------
@@ -114,6 +403,40 @@ def _worker_main(
     #: exactly once per shipped definition version.
     rules: dict[str, list] = {}
     type_cache: dict[tuple, EventType] = {}
+    ring_reader = _RingReader()
+    try:
+        _worker_loop(
+            connection,
+            mode,
+            compiled_checks,
+            registry,
+            trips_counter,
+            rules_counter,
+            check_hist,
+            rules,
+            type_cache,
+            ring_reader,
+            mirror,
+        )
+    finally:
+        # Whatever the exit path — stop message, pipe death, a raise — the
+        # shared-memory attachment is released before the process ends.
+        ring_reader.detach()
+
+
+def _worker_loop(
+    connection,
+    mode,
+    compiled_checks,
+    registry,
+    trips_counter,
+    rules_counter,
+    check_hist,
+    rules,
+    type_cache,
+    ring_reader,
+    mirror,
+) -> None:
     while True:
         try:
             request = pickle.loads(connection.recv_bytes())
@@ -134,16 +457,20 @@ def _worker_main(
                 # into the abandoned mirror) and re-bind on the next check.
                 mirror = EventBase()
                 type_cache.clear()
+                ring_reader.reset()
                 for entry in rules.values():
                     entry[2].clear()
                     if entry[3] is not None:
                         entry[3].invalidate()
                 connection.send_bytes(pickle.dumps(("ok", (), None), _PROTOCOL))
                 continue
-            _, delta_bytes, defs, drops, segments = request
-            if delta_bytes is not None:
-                delta = WindowSnapshot.from_pickled(delta_bytes)
-                mirror.extend(delta.occurrences(type_cache=type_cache))
+            _, delta, defs, drops, segments = request
+            if delta is not None:
+                if isinstance(delta, bytes):
+                    snapshot = WindowSnapshot.from_pickled(delta)
+                    mirror.extend(snapshot.occurrences(type_cache=type_cache))
+                else:
+                    mirror.extend(ring_reader.read(delta, type_cache))
             # Drops before defs: a removed-then-re-added name must end up
             # with the fresh definition, not the stale entry.
             for name in drops:
@@ -303,6 +630,7 @@ class _WorkerHandle:
         "process",
         "connection",
         "shipped_events",
+        "shipped_types",
         "shipped_defs",
         "pending_drops",
     )
@@ -313,6 +641,9 @@ class _WorkerHandle:
         self.connection = connection
         #: How much of the current EB log this worker's mirror holds.
         self.shipped_events = 0
+        #: How much of the ring codec's type table this worker holds (shm
+        #: transport; new types piggyback on each descriptor).
+        self.shipped_types = 0
         #: rule name -> definition order of the definition last shipped.
         self.shipped_defs: dict[str, int] = {}
         #: Removed rule names not yet delivered to the worker (piggybacked
@@ -336,12 +667,29 @@ class ProcessShardPool:
         start_method: str | None = None,
         use_compiled_checks: bool = False,
         metrics: MetricsRegistry | None = None,
+        transport: str | None = None,
+        ring_rows: int | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"a process shard pool needs at least 1 worker (got {num_workers})")
+        if transport is None:
+            transport = default_transport()
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of {', '.join(TRANSPORTS)}"
+            )
+        if ring_rows is None:
+            ring_rows = default_ring_rows()
+        if ring_rows < 1:
+            raise ValueError(f"ring_rows must be positive (got {ring_rows})")
         self.num_workers = num_workers
         self.mode = mode
         self.use_compiled_checks = use_compiled_checks
+        self.transport = transport
+        self.ring_rows = ring_rows
+        #: The shared-memory ring, created lazily on the first shm dispatch.
+        self._ring: _SnapshotRing | None = None
+        self._ring_finalizer = None
         #: Coordinator-side registry the workers' reply deltas merge into
         #: (None = discard them).  Workers receive only the enabled *flag* —
         #: registries do not cross the process boundary.
@@ -355,6 +703,15 @@ class ProcessShardPool:
             start_method = "fork" if "fork" in methods else methods[0]
         context = multiprocessing.get_context(start_method)
         self.start_method = start_method
+        if transport == "shm" and start_method == "fork":
+            # Spawn the resource tracker *before* forking: the children then
+            # inherit its pipe, so a worker's shm attach re-registers the
+            # ring with the coordinator's tracker (an idempotent no-op)
+            # instead of spawning a private tracker that would try to unlink
+            # the coordinator's live segment when the worker exits.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
         self._workers: list[_WorkerHandle] = []
         for worker_id in range(num_workers):
             parent_end, child_end = context.Pipe()
@@ -384,6 +741,13 @@ class ProcessShardPool:
         #: Coordinator-side serialization cost (snapshot + message pickling):
         #: the "snapshot cost" side of the crossover PERFORMANCE.md discusses.
         self.encode_seconds = 0.0
+        #: The delta-only share of ``encode_seconds`` (ring rows or pickled
+        #: snapshots) — the number the X13 transport bench compares.
+        self.delta_encode_seconds = 0.0
+        #: Per-worker deltas shipped by each path (pickle transport counts
+        #: everything under ``deltas_pickled``; the shm transport splits).
+        self.deltas_shm = 0
+        self.deltas_pickled = 0
         self._finalizer = weakref.finalize(
             self,
             _shutdown_workers,
@@ -445,9 +809,21 @@ class ProcessShardPool:
         total = len(event_base.occurrences)
         by_name: dict[str, RuleState] = {}
         encoded_deltas: dict[int, bytes] = {}
-        prepared: list[tuple[_WorkerHandle, bytes, list[tuple[str, int]]]] = []
+        prepared: list[tuple[_WorkerHandle, bytes, list[tuple[str, int]], int | None]] = []
         covered_blocks: set[int] = set()
         started = time.perf_counter()
+        ring: _SnapshotRing | None = None
+        if self.transport == "shm" and any(
+            self._workers[worker_id].shipped_events < total
+            for worker_id in assignments
+        ):
+            # Encode the unseen tail of the log once, into its ring slots —
+            # every lagging worker then ships an (offset, count) descriptor
+            # instead of a pickled snapshot.
+            ring = self._ensure_ring()
+            encode_started = time.perf_counter()
+            ring.encode_through(event_base, total)
+            self.delta_encode_seconds += time.perf_counter() - encode_started
         for worker_id in sorted(assignments):
             handle = self._workers[worker_id]
             segment_items = assignments[worker_id]
@@ -469,28 +845,44 @@ class ProcessShardPool:
                 if items:
                     segments.append((segment_index, tuple(items), nows[segment_index]))
                     covered_blocks.add(segment_index)
-            delta_bytes: bytes | None = None
+            delta: bytes | tuple | None = None
+            advance_types: int | None = None
             if handle.shipped_events < total:
                 offset = handle.shipped_events
-                delta_bytes = encoded_deltas.get(offset)
-                if delta_bytes is None:
-                    delta_bytes = event_base.delta_snapshot(offset).pickled()
-                    encoded_deltas[offset] = delta_bytes
+                if ring is not None:
+                    delta = ring.descriptor(offset, handle.shipped_types)
+                if delta is not None:
+                    advance_types = len(ring.codec.type_snapshots)
+                    self.deltas_shm += 1
+                else:
+                    # Pickle transport, or a worker lagging past the ring
+                    # capacity: ship the classic snapshot.
+                    delta = encoded_deltas.get(offset)
+                    if delta is None:
+                        encode_started = time.perf_counter()
+                        delta = event_base.delta_snapshot(offset).pickled()
+                        self.delta_encode_seconds += (
+                            time.perf_counter() - encode_started
+                        )
+                        encoded_deltas[offset] = delta
+                    self.deltas_pickled += 1
             message = (
                 "check",
-                delta_bytes,
+                delta,
                 tuple(defs),
                 tuple(handle.pending_drops),
                 tuple(segments),
             )
-            prepared.append((handle, self._encode(message), new_defs))
+            prepared.append((handle, self._encode(message), new_defs, advance_types))
         self.encode_seconds += time.perf_counter() - started
         # Nothing is sent until every message encoded cleanly: a snapshot
         # failure therefore leaves every worker exactly where it was.
-        for handle, payload, new_defs in prepared:
+        for handle, payload, new_defs, advance_types in prepared:
             self._send(handle, payload)
             handle.shipped_events = total
             handle.pending_drops.clear()
+            if advance_types is not None:
+                handle.shipped_types = advance_types
             for name, order in new_defs:
                 handle.shipped_defs[name] = order
         self.dispatches += 1
@@ -504,7 +896,7 @@ class ProcessShardPool:
         # left in a pipe would pair with the *next* request and desync the
         # pool permanently.  The first failure is re-raised afterwards.
         first_error: BaseException | None = None
-        for handle, _, _ in prepared:
+        for handle, _, _, _ in prepared:
             try:
                 reply_segments, worker_stats, metrics_delta = self._receive(handle)
             except BaseException as exc:  # transport death poisons in _receive
@@ -557,6 +949,9 @@ class ProcessShardPool:
         for handle in self._workers:
             self._receive(handle)
             handle.shipped_events = 0
+            handle.shipped_types = 0
+        if self._ring is not None:
+            self._ring.reset()
 
     # -- transport ------------------------------------------------------------
     def _require_usable(self) -> None:
@@ -621,8 +1016,20 @@ class ProcessShardPool:
         return reply[1], reply[2], (reply[3] if len(reply) > 3 else None)
 
     # -- lifecycle ------------------------------------------------------------
+    def _ensure_ring(self) -> _SnapshotRing:
+        if self._ring is None:
+            self._ring = _SnapshotRing(self.ring_rows)
+            # The ring outlives any single trip but never its pool: the
+            # finalizer unlinks the segment even when the pool is abandoned
+            # (or poisoned) without a close().
+            self._ring_finalizer = weakref.finalize(
+                self, _destroy_ring, self._ring.shm
+            )
+        return self._ring
+
     def transport_stats(self) -> dict[str, int | float]:
         """Wire-level counters (merged into the workload reports)."""
+        ring = self._ring
         return {
             "workers": self.num_workers,
             "dispatches": self.dispatches,
@@ -631,13 +1038,21 @@ class ProcessShardPool:
             "bytes_shipped": self.bytes_shipped,
             "bytes_received": self.bytes_received,
             "encode_ms": round(1e3 * self.encode_seconds, 2),
+            "delta_encode_ms": round(1e3 * self.delta_encode_seconds, 2),
+            "deltas_shm": self.deltas_shm,
+            "deltas_pickled": self.deltas_pickled,
+            "shm_rows_inline": 0 if ring is None else ring.rows_inline,
+            "shm_rows_fallback": 0 if ring is None else ring.rows_fallback,
         }
 
     def close(self) -> None:
-        """Stop and reap the workers (idempotent)."""
+        """Stop and reap the workers, then unlink the ring (idempotent)."""
         if not self._closed:
             self._closed = True
             self._finalizer()
+            if self._ring_finalizer is not None:
+                self._ring_finalizer()
+                self._ring = None
 
     def __enter__(self) -> "ProcessShardPool":
         return self

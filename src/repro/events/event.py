@@ -151,7 +151,7 @@ def parse_event_type(text: str) -> EventType:
     return EventType(operation, class_name, attribute or None)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventOccurrence:
     """One row of the Event Base.
 
@@ -159,7 +159,9 @@ class EventOccurrence:
     ``event_type``, ``oid`` (the affected object) and ``timestamp``.  The
     optional ``payload`` carries extra information produced by the operation
     (e.g. old/new attribute values) which is available to rule conditions but
-    is not part of the calculus.
+    is not part of the calculus.  Slotted: the EB holds millions of rows, and
+    the hot paths (snapshot encoding, trigger checks) read several attributes
+    per row — slots drop the per-instance dict and its extra cache miss.
     """
 
     eid: int

@@ -29,6 +29,7 @@ from __future__ import annotations
 import bisect
 import operator
 import pickle
+import struct
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -37,7 +38,15 @@ from repro.errors import EventCalculusError, SnapshotError
 from repro.events.clock import Timestamp
 from repro.events.event import EidGenerator, EventOccurrence, EventType
 
-__all__ = ["EventBase", "EventWindow", "BoundedView", "WindowSnapshot", "WindowLike"]
+__all__ = [
+    "EventBase",
+    "EventWindow",
+    "BoundedView",
+    "WindowSnapshot",
+    "WindowLike",
+    "SnapshotRowCodec",
+    "ROW_WIDTH",
+]
 
 #: ``True`` where an adjacent time-stamp pair decreases — used with ``map``
 #: over a batch and its one-shifted self to order-check in C instead of a
@@ -889,6 +898,166 @@ class WindowSnapshot:
                 f"pickled data does not contain a WindowSnapshot (got {type(snapshot).__name__})"
             )
         return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Fixed-width row codec: the shared-memory wire format of occurrence rows.
+# ---------------------------------------------------------------------------
+
+#: One ring row: eid (int64), timestamp (int64), event-type index (uint32),
+#: OID kind (uint8), OID length (uint8), OID bytes (fixed field).  48 bytes —
+#: cache-line friendly, and wide enough that the common OIDs of every shipped
+#: workload (small ints, short strings) encode inline.
+_ROW_STRUCT = struct.Struct("<qqIBB26s")
+
+#: Same 48-byte layout, with the OID field typed as a little-endian int64
+#: plus 18 zero pad bytes — lets the int-OID hot path pack the OID without
+#: the ``int.to_bytes`` round trip while producing byte-identical rows.
+_ROW_STRUCT_INT = struct.Struct("<qqIBBq18x")
+assert _ROW_STRUCT_INT.size == _ROW_STRUCT.size
+
+ROW_WIDTH = _ROW_STRUCT.size
+
+#: OID kinds.  ``FALLBACK`` marks a placeholder row: the occurrence did not
+#: fit the fixed-width form (payload present, wide OID, exotic types) and its
+#: full snapshot tuple travels out of band — the placeholder keeps the slot
+#: arithmetic at exactly one row per occurrence.
+_ROW_FALLBACK = 0
+_ROW_INT_OID = 1
+_ROW_STR_OID = 2
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+_OID_BYTES = 26
+
+
+class SnapshotRowCodec:
+    """Fixed-width encoder/decoder for :class:`WindowSnapshot`-style rows.
+
+    The shared-memory transport (``repro.cluster.process_pool``) ships the
+    Event Base delta as fixed-width rows instead of a pickled snapshot:
+    payload-free occurrences with small-int or short-string OIDs pack into
+    one :data:`ROW_WIDTH`-byte slot each, with the event type interned into a
+    side table that crosses the pipe once per new type.  Decoded rows are the
+    exact ``EventOccurrence.snapshot()`` tuples the pickle path produces, so
+    both transports rebuild byte-identical mirrors
+    (``tests/events/test_row_codec.py`` pins the round trip).
+
+    Encoder and decoder each hold one codec: the encoder grows
+    ``type_snapshots`` as it meets new event types (shipping
+    ``type_snapshots[seen:]`` slices), the decoder appends those slices via
+    :meth:`extend_types`.  The decoder's table must therefore always be a
+    prefix of the encoder's — a row referencing an unknown index is codec
+    divergence and raises :class:`SnapshotError`.
+    """
+
+    __slots__ = ("type_snapshots", "_type_ids", "_type_refs")
+
+    width = ROW_WIDTH
+
+    def __init__(self) -> None:
+        #: Event-type snapshot tuples, indexed by the rows' type field.
+        self.type_snapshots: list[tuple[str, str, str | None]] = []
+        # Keyed by object identity (int hash, no per-row dataclass __hash__);
+        # _type_refs pins every interned type so ids can never be reused.
+        # Equal-but-distinct EventType objects cost one duplicate table entry
+        # — harmless, the decoder interns by snapshot value.
+        self._type_ids: dict[int, int] = {}
+        self._type_refs: list[EventType] = []
+
+    # -- encoding ------------------------------------------------------------
+    def encode_into(self, buffer, offset: int, occurrence: EventOccurrence) -> bool:
+        """Pack one occurrence at ``buffer[offset:offset + ROW_WIDTH]``.
+
+        Returns ``False`` when the occurrence needs the fallback path (a
+        placeholder row is still written, so positions stay one row per
+        occurrence either way).
+        """
+        eid = occurrence.eid
+        timestamp = occurrence.timestamp
+        oid = occurrence.oid
+        # Hot path: payload-free row with int64 fields packs the OID straight
+        # into the 26-byte slot (little-endian, zero-padded — byte-identical
+        # to the generic encoding below, which the decoder reads either way).
+        if (
+            type(oid) is int
+            and type(eid) is int
+            and type(timestamp) is int
+            and not occurrence.payload
+            and _INT64_MIN <= oid <= _INT64_MAX
+            and _INT64_MIN <= eid <= _INT64_MAX
+            and timestamp <= _INT64_MAX
+        ):
+            index = self._type_ids.get(id(occurrence.event_type))
+            if index is None:
+                index = self._intern_type(occurrence.event_type)
+            _ROW_STRUCT_INT.pack_into(
+                buffer, offset, eid, timestamp, index, _ROW_INT_OID, 8, oid
+            )
+            return True
+        if (
+            occurrence.payload
+            or type(eid) is not int
+            or type(timestamp) is not int
+            or not _INT64_MIN <= eid <= _INT64_MAX
+            or timestamp > _INT64_MAX
+            or type(oid) is not str
+        ):
+            _ROW_STRUCT.pack_into(buffer, offset, 0, 0, 0, _ROW_FALLBACK, 0, b"")
+            return False
+        oid_raw = oid.encode("utf-8")
+        if len(oid_raw) > _OID_BYTES:
+            _ROW_STRUCT.pack_into(buffer, offset, 0, 0, 0, _ROW_FALLBACK, 0, b"")
+            return False
+        event_type = occurrence.event_type
+        index = self._type_ids.get(id(event_type))
+        if index is None:
+            index = self._intern_type(event_type)
+        _ROW_STRUCT.pack_into(
+            buffer, offset, eid, timestamp, index, _ROW_STR_OID, len(oid_raw), oid_raw
+        )
+        return True
+
+    def _intern_type(self, event_type: EventType) -> int:
+        index = self._type_ids[id(event_type)] = len(self.type_snapshots)
+        self.type_snapshots.append(event_type.snapshot())
+        self._type_refs.append(event_type)
+        return index
+
+    # -- decoding ------------------------------------------------------------
+    def extend_types(self, snapshots: Iterable[tuple[str, str, str | None]]) -> None:
+        """Append type-table entries shipped by the encoding side."""
+        self.type_snapshots.extend(snapshots)
+
+    def decode_from(self, buffer, offset: int) -> tuple | None:
+        """The snapshot tuple at ``offset``, or ``None`` for a placeholder.
+
+        A row whose type index or OID kind the decoder cannot resolve means
+        the two codecs diverged (or the ring was corrupted) — that raises
+        :class:`SnapshotError` so the transport can fail loudly instead of
+        rebuilding a wrong mirror.
+        """
+        eid, timestamp, type_index, kind, oid_len, oid_raw = _ROW_STRUCT.unpack_from(
+            buffer, offset
+        )
+        if kind == _ROW_FALLBACK:
+            return None
+        if kind == _ROW_INT_OID:
+            oid: Any = int.from_bytes(oid_raw[:8], "little", signed=True)
+        elif kind == _ROW_STR_OID:
+            oid = oid_raw[:oid_len].decode("utf-8")
+        else:
+            raise SnapshotError(
+                f"shared-memory row codec divergence: unknown OID kind {kind} "
+                f"at byte offset {offset}"
+            )
+        if type_index >= len(self.type_snapshots):
+            raise SnapshotError(
+                f"shared-memory row codec divergence: row references event "
+                f"type {type_index} but only {len(self.type_snapshots)} types "
+                f"were shipped"
+            )
+        return (eid, self.type_snapshots[type_index], oid, timestamp, None)
 
 
 #: The structures the calculus (``ts``/``ots``, condition formulas, traces)

@@ -316,6 +316,22 @@ class MetricsRegistry:
                 instrument = self._histograms.setdefault(name, Histogram(name, bounds))
         return instrument
 
+    def counter_values(self, prefix: str) -> dict[str, int]:
+        """Live values of the counters whose names start with ``prefix``.
+
+        A cheap probe for control loops (e.g. the dispatch controller reading
+        the ``shard.candidates.N`` family) — no source folding, no snapshot
+        cost.  Empty when disabled.
+        """
+        if not self.enabled:
+            return {}
+        with self._lock:
+            return {
+                name: counter.value
+                for name, counter in self._counters.items()
+                if name.startswith(prefix)
+            }
+
     # -- spans ----------------------------------------------------------------
     def span(self, name: str, **attributes: int):
         """Time a pipeline section: ``with registry.span("trip", rules=n):``.

@@ -88,6 +88,10 @@ class RuleEngine:
     #: creates an enabled private registry; pass
     #: ``MetricsRegistry(enabled=False)`` to run uninstrumented.
     metrics: MetricsRegistry | None = None
+    #: Delta transport of the processes shard mode — "pickle" (snapshot
+    #: pickling) or "shm" (shared-memory row ring).  ``None`` defers to the
+    #: ambient ``$CHIMERA_TRANSPORT`` default.
+    transport: str | None = None
 
     def __post_init__(self) -> None:
         from repro.cluster.coordinator import ShardCoordinator
@@ -121,6 +125,7 @@ class RuleEngine:
                 shard_mode=shard_mode,
                 use_compiled_checks=self.use_compiled_checks,
                 metrics=self.metrics,
+                transport=self.transport,
             )
         else:
             self.trigger_support = TriggerSupport(

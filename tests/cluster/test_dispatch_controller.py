@@ -1,0 +1,120 @@
+"""DispatchController unit tests on synthetic metric feeds.
+
+The controller's only inputs are the ``ingest.queue_depth`` gauge and the
+``trip.dispatch`` latency histogram, so every control path is drivable with
+a plain :class:`MetricsRegistry` and hand-set instrument values — no stream,
+no shards.  These tests pin the control law itself: widen-on-backlog toward
+the bound, shrink-to-1 on idle, hysteresis damping, the latency-pressure
+widen path, inertness without instruments, and the advisory-only shard
+rebalance readout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.streaming import DispatchController
+from repro.obs.registry import MetricsRegistry
+
+
+def make_controller(max_batch_blocks: int = 8, **kwargs):
+    metrics = MetricsRegistry(enabled=True)
+    controller = DispatchController(metrics, max_batch_blocks, **kwargs)
+    return metrics, controller
+
+
+def feed(metrics: MetricsRegistry, controller: DispatchController, depths) -> list[int]:
+    """Set the queue-depth gauge to each value and observe once per value."""
+    gauge = metrics.gauge("ingest.queue_depth")
+    bounds = []
+    for depth in depths:
+        gauge.set(depth)
+        bounds.append(controller.observe())
+    return bounds
+
+
+def test_backlog_widens_toward_max_and_stops_there():
+    metrics, controller = make_controller(max_batch_blocks=8)
+    assert controller.batch_blocks == 1  # earns its way up, never starts wide
+    # Sustained depth >= widen_depth doubles the bound every `hysteresis`
+    # observations: 1 -> 2 -> 4 -> 8, then holds at the configured max.
+    bounds = feed(metrics, controller, [5] * 10)
+    assert bounds == [1, 2, 2, 4, 4, 8, 8, 8, 8, 8]
+    assert metrics.gauge("controller.batch_blocks").value == 8
+    assert metrics.counter("controller.widened").value == 3
+
+
+def test_idle_shrinks_back_to_one():
+    metrics, controller = make_controller(max_batch_blocks=8)
+    feed(metrics, controller, [5] * 6)
+    assert controller.batch_blocks == 8
+    # A drained queue needs `hysteresis` consecutive zero observations, then
+    # drops straight to 1 (no gradual descent — latency mode is binary).
+    bounds = feed(metrics, controller, [0, 0, 0])
+    assert bounds == [8, 1, 1]
+    assert metrics.counter("controller.shrunk").value == 1
+    assert metrics.gauge("controller.batch_blocks").value == 1
+
+
+def test_hysteresis_damps_alternating_signals():
+    metrics, controller = make_controller(max_batch_blocks=8, hysteresis=2)
+    # Depth alternating deep/drained never completes a same-direction streak:
+    # the bound must hold at 1 through arbitrary oscillation.
+    bounds = feed(metrics, controller, [5, 0, 5, 0, 5, 0, 5, 0])
+    assert bounds == [1] * 8
+    assert metrics.counter("controller.widened").value == 0
+    assert metrics.counter("controller.shrunk").value == 0
+    # Intermediate depths (0 < depth < widen_depth, no latency pressure) are
+    # neutral: they reset the streak without steering it.
+    feed(metrics, controller, [5])
+    bounds = feed(metrics, controller, [1, 5, 1, 5])
+    assert bounds == [1] * 4
+
+
+def test_latency_pressure_widens_below_depth_threshold():
+    metrics, controller = make_controller(max_batch_blocks=4, widen_depth=10)
+    # Depth 1 is far below widen_depth, but a slow dispatch path projects a
+    # drain time over the latency budget: depth * p99 = 1 * ~0.1s >= 0.050s.
+    metrics.histogram("trip.dispatch").observe(0.1)
+    bounds = feed(metrics, controller, [1, 1])
+    assert bounds == [1, 2]
+    assert metrics.counter("controller.widened").value == 1
+    # The same depth with a fast dispatch path stays per-block.
+    metrics2, controller2 = make_controller(max_batch_blocks=4, widen_depth=10)
+    metrics2.histogram("trip.dispatch").observe(0.0001)
+    assert feed(metrics2, controller2, [1, 1, 1, 1]) == [1, 1, 1, 1]
+
+
+def test_disabled_registry_is_static_pr5_behavior():
+    metrics = MetricsRegistry(enabled=False)
+    controller = DispatchController(metrics, 8)
+    assert controller.enabled is False
+    # Inert: the static bound, every observation, regardless of signals.
+    assert [controller.observe() for _ in range(5)] == [8] * 5
+    assert controller.rebalance_advice() is None
+
+
+def test_max_batch_blocks_one_is_inert():
+    metrics, controller = make_controller(max_batch_blocks=1)
+    assert controller.enabled is False  # no room to adapt in
+    assert feed(metrics, controller, [5, 5, 5]) == [1, 1, 1]
+
+
+def test_rebalance_advice_reads_candidate_counters():
+    metrics, controller = make_controller()
+    # No advice before any per-shard candidate counters exist.
+    assert controller.rebalance_advice() is None
+    metrics.counter("shard.candidates.0").inc(30)
+    assert controller.rebalance_advice() is None  # a single shard is not skew
+    metrics.counter("shard.candidates.1").inc(10)
+    advice = controller.rebalance_advice()
+    assert advice == {"max": 30.0, "mean": 20.0, "imbalance": 1.5}
+    assert metrics.gauge("controller.shard_imbalance").value == 1.5
+
+
+def test_constructor_validates_knobs():
+    metrics = MetricsRegistry(enabled=True)
+    with pytest.raises(ValueError, match="max_batch_blocks"):
+        DispatchController(metrics, 0)
+    with pytest.raises(ValueError, match="hysteresis"):
+        DispatchController(metrics, 8, hysteresis=0)

@@ -152,6 +152,132 @@ def test_batched_dispatch_with_periodic_exhaustive_recheck():
 
 
 # ---------------------------------------------------------------------------
+# Bursty arrivals (PR 9): variable trips x transports x modes byte-identical
+# ---------------------------------------------------------------------------
+
+TRANSPORTS = ("pickle", "shm")
+
+
+def _bursty_trip_sizes(seed: int, max_batch: int = 8) -> tuple[int, ...]:
+    """A Poisson-ish arrival pattern as a trip partition.
+
+    Idle gaps realize as per-block trips; bursts realize as multi-block
+    trips up to ``max_batch`` — exactly the partitions the adaptive
+    dispatch controller produces, made deterministic so every execution
+    mode and transport can replay the identical structure.
+    """
+    rng = random.Random(seed)
+    sizes = []
+    for _ in range(32):
+        if rng.random() < 0.5:
+            sizes.append(1)  # idle gap: the consumer keeps up
+        else:
+            sizes.append(min(max_batch, 1 + int(rng.expovariate(0.4))))
+    return tuple(sizes)
+
+
+def test_bursty_trips_identical_across_modes_and_transports():
+    """Variable-size trips (bursts + idle gaps, churn at trip boundaries):
+    serial / threads / processes x pickle / shm must all match the unsharded
+    reference replaying the same partition, byte for byte."""
+    for seed in (3, 17):
+        scenario = build_scenario(seed)
+        sizes = _bursty_trip_sizes(seed * 7 + 1)
+        reference = run_scenario(scenario, trip_sizes=sizes)
+        assert len({size for size in sizes}) > 1  # genuinely bursty
+        for mode in MODES:
+            for transport in TRANSPORTS:
+                result = run_scenario(
+                    scenario,
+                    shards=4,
+                    shard_mode=mode,
+                    transport=transport,
+                    trip_sizes=sizes,
+                )
+                for key in ("trace", "counters", "stats", "metrics"):
+                    assert result[key] == reference[key], (
+                        f"seed {seed}, {mode} x {transport}: {key} diverged "
+                        f"on the bursty partition"
+                    )
+
+
+def test_bursty_trips_with_recheck_and_compiled_checks():
+    """The bursty partition composes with commit-style rechecks and the
+    compiled exact-check kernel without losing equivalence."""
+    scenario = build_scenario(11)
+    sizes = _bursty_trip_sizes(29)
+    for use_compiled_checks in (False, True):
+        reference = run_scenario(
+            scenario,
+            trip_sizes=sizes,
+            recheck_every=6,
+            use_compiled_checks=use_compiled_checks,
+        )
+        for transport in TRANSPORTS:
+            result = run_scenario(
+                scenario,
+                shards=3,
+                shard_mode="processes",
+                transport=transport,
+                trip_sizes=sizes,
+                recheck_every=6,
+                use_compiled_checks=use_compiled_checks,
+            )
+            assert result == reference, (
+                f"compiled={use_compiled_checks}, {transport}: bursty "
+                f"partition with rechecks diverged"
+            )
+
+
+def test_adaptive_ingestor_matches_unsharded_replay_of_realized_trips():
+    """The real closed-loop pipeline, pinned end to end: bursty submits
+    through an adaptive ``StreamIngestor`` over process shards + shm
+    transport, then the *realized* trip partition replayed on an unsharded
+    engine — triggerings, consideration order and stats must be identical."""
+    from repro.workloads.shard_scaling import build_shard_rules, build_shaped_blocks
+    from repro.workloads.rule_scaling import build_scaling_universe
+    from repro.workloads.transport_adaptivity import (
+        _build_stream_engine,
+        _replay_partition,
+    )
+    from repro.cluster.streaming import StreamIngestor
+
+    universe = build_scaling_universe(160)
+    rules = build_shard_rules(160, universe, seed=23)
+    blocks = build_shaped_blocks(universe, 36, events_per_block=6, seed=5)
+    engine = _build_stream_engine(rules, 2, "processes", "shm")
+    try:
+        with StreamIngestor(
+            engine, max_pending=64, max_batch_blocks=8, adaptive_batch=True
+        ) as ingestor:
+            for index, block in enumerate(blocks):
+                ingestor.submit(block)
+                # Idle gaps between bursts of ~6: flushing drains the queue,
+                # so the controller sees depth 0 and shrinks back.
+                if index % 6 == 5:
+                    ingestor.flush()
+            ingestor.flush()
+            partition = list(ingestor.trip_sizes)
+        assert sum(partition) == len(blocks)
+        pipelined = {
+            "triggerings": {
+                state.rule.name: state.times_triggered
+                for state in engine.rule_table.states()
+            },
+            "considerations": [
+                record.rule_name for record in engine.considerations
+            ],
+            "stats": engine.trigger_support.stats.as_dict(),
+        }
+    finally:
+        engine.close()
+    replay = _replay_partition(rules, blocks, partition)
+    assert pipelined == replay, (
+        f"adaptive pipeline diverged from its replay (partition {partition})"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Metrics snapshots (PR 8): registry counters pinned equal across modes
 # ---------------------------------------------------------------------------
 

@@ -11,17 +11,23 @@ wrong out of process:
   reply can pair with a later request;
 * a dead worker poisons the pool: the failing call raises
   ``ShardWorkerError`` and every subsequent call fails loudly instead of
-  silently desyncing.
+  silently desyncing;
+* the shared-memory transport inherits the same contracts: a worker death
+  with the row ring attached leaks no segment past ``close()``, and a
+  corrupted ring header surfaces as a worker-side ``SnapshotError`` that
+  poisons the pool instead of rebuilding a wrong mirror.
 """
 
 from __future__ import annotations
+
+from multiprocessing import shared_memory
 
 import pytest
 
 from repro.cluster.coordinator import ShardCoordinator
 from repro.cluster.sharding import ShardedRuleTable
 from repro.core.parser import parse_expression
-from repro.errors import ShardWorkerError
+from repro.errors import ShardWorkerError, SnapshotError
 from repro.events.event import EventType, Operation
 from repro.events.event_base import EventBase
 from repro.rules.actions import NO_ACTION
@@ -33,7 +39,7 @@ from repro.rules.rule import Rule
 CREATE_ALPHA = EventType(Operation.CREATE, "alpha")
 
 
-def build_support(rule_count: int = 4):
+def build_support(rule_count: int = 4, transport: str | None = None):
     table = ShardedRuleTable(2)
     event_base = EventBase()
     for index in range(rule_count):
@@ -46,7 +52,9 @@ def build_support(rule_count: int = 4):
             )
         ).reset(0)
     handler = EventHandler(event_base)
-    support = ShardCoordinator(table, event_base, shard_mode="processes")
+    support = ShardCoordinator(
+        table, event_base, shard_mode="processes", transport=transport
+    )
     return table, event_base, handler, support
 
 
@@ -120,6 +128,65 @@ def test_dead_worker_poisons_the_pool():
         event_base.record(CREATE_ALPHA, oid="alpha#3", timestamp=3)
         batch = handler.flush_block()
         with pytest.raises(ShardWorkerError, match="broken|gone|died"):
+            support.check_after_block(batch, 3, 0, type_signature=batch.type_signature)
+    finally:
+        support.close()
+
+
+def test_dead_worker_with_shm_ring_leaks_no_segment():
+    """Worker death mid-trip must not leak the shared-memory ring."""
+    table, event_base, handler, support = build_support(transport="shm")
+    ring_name = None
+    try:
+        assert feed_block(event_base, handler, support, 1)
+        pool = support.process_pool
+        assert pool is not None
+        ring = pool._ring
+        assert ring is not None  # the shm transport built its ring lazily
+        ring_name = ring.name
+        # The segment is live and attachable while the pool runs.
+        probe = shared_memory.SharedMemory(name=ring_name)
+        probe.close()
+
+        for handle in pool._workers:
+            handle.process.kill()
+            handle.process.join(timeout=2.0)
+        event_base.record(CREATE_ALPHA, oid="alpha#2", timestamp=2)
+        batch = handler.flush_block()
+        with pytest.raises(ShardWorkerError):
+            support.check_after_block(batch, 2, 0, type_signature=batch.type_signature)
+    finally:
+        support.close()
+    # close() unlinked the ring even though the pool died broken: attaching
+    # by name must fail — nothing stays behind in /dev/shm.
+    assert ring_name is not None
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=ring_name)
+
+
+def test_corrupted_ring_header_poisons_the_pool_loudly():
+    """A clobbered ring header is codec divergence, not a wrong mirror."""
+    table, event_base, handler, support = build_support(transport="shm")
+    try:
+        assert feed_block(event_base, handler, support, 1)
+        pool = support.process_pool
+        assert pool is not None and pool._ring is not None
+        # Clobber the magic word: every subsequent worker-side read must
+        # refuse to decode.
+        pool._ring.shm.buf[0:4] = b"\x00\x00\x00\x00"
+
+        event_base.record(CREATE_ALPHA, oid="alpha#2", timestamp=2)
+        batch = handler.flush_block()
+        with pytest.raises(SnapshotError, match="ring header is corrupt") as excinfo:
+            support.check_after_block(batch, 2, 0, type_signature=batch.type_signature)
+        # The worker traceback rides along, exactly like other worker errors.
+        assert isinstance(excinfo.value.__cause__, ShardWorkerError)
+
+        # The failing worker never applied its delta, so its mirror diverged
+        # from the coordinator's bookkeeping: the pool must be poisoned.
+        event_base.record(CREATE_ALPHA, oid="alpha#3", timestamp=3)
+        batch = handler.flush_block()
+        with pytest.raises(ShardWorkerError, match="broken"):
             support.check_after_block(batch, 3, 0, type_signature=batch.type_signature)
     finally:
         support.close()

@@ -34,7 +34,9 @@ def run_scenario(
     shard_mode: str | None = None,
     recheck_every: int = 0,
     batch_blocks: int = 1,
+    trip_sizes: tuple[int, ...] | None = None,
     use_compiled_checks: bool | None = None,
+    transport: str | None = None,
     metric_prefixes: tuple[str, ...] = ("trigger.",),
 ) -> dict:
     """Execute a scenario; ``shards=0`` is the single-table reference.
@@ -48,8 +50,15 @@ def run_scenario(
     dispatch trip per chunk, with churn applied at trip boundaries and
     considerations drained once per trip; ``batch_blocks=1`` goes through
     the same call and is byte-identical to the per-block path.
+    ``trip_sizes`` overrides the fixed batch with an explicit trip
+    partition (cycled if it runs out) — the bursty-arrival replay: the
+    variable-size trips an adaptive consumer realizes under Poisson bursts
+    and idle gaps, still with churn at trip boundaries.
     ``use_compiled_checks`` selects the compiled exact-check closures
     (``None`` defers to the ambient ``$CHIMERA_COMPILED_CHECKS`` default).
+    ``transport`` selects the process mode's delta transport (pickled
+    snapshots or the shared-memory row ring; ``None`` defers to
+    ``$CHIMERA_TRANSPORT``).
     ``metric_prefixes`` filters which snapshot counters of the PR-8 metrics
     registry land in the returned ``"metrics"`` key — the default pins the
     deterministic ``trigger.*`` counters; mode-dependent families
@@ -73,13 +82,23 @@ def run_scenario(
             parallel=parallel,
             shard_mode=shard_mode,
             use_compiled_checks=use_compiled_checks,
+            transport=transport,
         )
     else:
         support = TriggerSupport(table, event_base, use_compiled_checks=use_compiled_checks)
 
+    spans: list[tuple[int, int]] = []
+    position = 0
+    while position < len(scenario.blocks):
+        if trip_sizes:
+            size = max(1, trip_sizes[len(spans) % len(trip_sizes)])
+        else:
+            size = batch_blocks
+        spans.append((position, min(position + size, len(scenario.blocks))))
+        position += size
     trace: list[tuple] = []
-    for start in range(0, len(scenario.blocks), batch_blocks):
-        chunk = scenario.blocks[start : start + batch_blocks]
+    for start, stop in spans:
+        chunk = scenario.blocks[start:stop]
         # Churn for every position of the chunk applies at the trip boundary
         # (no table mutation mid-trip — the trip's plans are resolved up
         # front against one consistent table state).
