@@ -22,7 +22,13 @@ EVERY_OPERATOR_EXPRESSION = (
 
 def operator_rows() -> list[list[str]]:
     return [
-        [info.name, info.set_symbol, info.instance_symbol, str(info.priority), info.dimension.value]
+        [
+            info.name,
+            info.set_symbol,
+            info.instance_symbol,
+            str(info.priority),
+            info.dimension.value,
+        ]
         for info in OPERATOR_TABLE
     ]
 
@@ -42,7 +48,9 @@ def test_fig1_fig2_operator_table(benchmark):
 
     # Fig. 1: four operators, listed in decreasing priority, instance symbols
     # are the set symbols suffixed with '='.
-    assert [row[0] for row in rows] == ["negation", "conjunction", "precedence", "disjunction"]
+    assert [row[0] for row in rows] == [
+        "negation", "conjunction", "precedence", "disjunction"
+    ]
     assert [row[1] for row in rows] == ["-", "+", "<", ","]
     assert [row[2] for row in rows] == ["-=", "+=", "<=", ",="]
     priorities = [int(row[3]) for row in rows]

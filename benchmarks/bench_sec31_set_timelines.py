@@ -60,7 +60,9 @@ def evaluate_all(window: EventWindow) -> dict[str, list[int]]:
     results: dict[str, list[int]] = {}
     for text, expectations in PAPER_TIMELINES:
         expression = parse_expression(text)
-        results[text] = [ts(expression, window, instant) for instant in sorted(expectations)]
+        results[text] = [
+            ts(expression, window, instant) for instant in sorted(expectations)
+        ]
     return results
 
 
@@ -73,7 +75,9 @@ def test_sec31_set_oriented_timelines(benchmark, window):
     results = benchmark(evaluate_all, window)
 
     traces = [
-        ts_trace(parse_expression(text), window, instants=sorted(expectations), label=text)
+        ts_trace(
+            parse_expression(text), window, instants=sorted(expectations), label=text
+        )
         for text, expectations in PAPER_TIMELINES
     ]
     print()

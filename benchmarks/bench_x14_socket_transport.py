@@ -1,0 +1,120 @@
+"""X14 — socket shard transport behind the ShardTransport seam.
+
+PR 10 extracts the delta-shipping plumbing of the process shard pool into a
+``ShardTransport`` interface (pickle frames / shm-ring descriptors /
+length-prefixed socket frames) and adds the TCP implementation: an asyncio
+coordinator endpoint with localhost workers spawned by the pool, or remote
+workers started via ``chimera-events worker``.  This bench shows:
+
+* **the socket path is priced** — per-block delta-encode cost of frame rows
+  vs ring rows vs snapshot pickling on the X13 check-heavy grid (frame
+  encoding pays a per-delta byte copy the ring avoids, but stays within a
+  small factor of pickle on the localhost path);
+* **the trip protocol survives the seam** — structural facts exact per
+  transport: every rule definition shipped exactly once per
+  ``definition_order`` version, exactly one coordinator message per
+  consulted worker per trip, each transport's deltas riding only its own
+  encoding, zero reconnects in an undisturbed run;
+* **reconnects are absorbed, not absorbed-into-wrongness** — a tcp worker
+  bounced mid-run re-syncs defs + a fresh mirror and the run's triggering
+  counters and consideration sequences stay byte-identical to an
+  uninterrupted run;
+* **behavioral invisibility** — every grid point asserts identical
+  triggering decisions, selections and stats across the single table, the
+  serial coordinator and all three process transports.
+
+Run as a script to execute the full sweep and write machine-readable
+results to ``BENCH_PR10.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_x14_socket_transport.py [--smoke]
+
+``--smoke`` runs a tiny grid (seconds, for CI) and writes nothing unless
+``--out`` is given.  The pytest entry points run reduced configurations and
+assert the structural acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.workloads.socket_transport import (
+    measure_reconnect_resync,
+    measure_socket_transport,
+    render_x14,
+    run_x14_sweeps,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_FILE = REPO_ROOT / "BENCH_PR10.json"
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny grid for CI")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="results file (default: BENCH_PR10.json; smoke writes nowhere)",
+    )
+    args = parser.parse_args(argv)
+    results = run_x14_sweeps(smoke=args.smoke)
+    print(render_x14(results))
+    out = Path(args.out) if args.out else (None if args.smoke else RESULTS_FILE)
+    if out is not None:
+        out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    headline = results["headline"]
+    print(
+        f"headline: frame encoding vs pickle {headline['frame_encode_vs_pickle']}x, "
+        f"vs shm ring {headline['frame_encode_vs_shm']}x; defs shipped once "
+        f"per version on every transport: {headline['defs_shipped_once']}; "
+        f"reconnect re-shipped {headline['reconnect_resync_defs']} defs with "
+        f"byte-identical outcomes"
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (reduced configuration)
+# ---------------------------------------------------------------------------
+
+
+def test_x14_structural_trip_facts_per_transport():
+    # measure_socket_transport asserts triggering + selection + stats
+    # equivalence itself across the single table, serial, and all three
+    # process transports.
+    result = measure_socket_transport(
+        300, workers=2, blocks=12, warmup_blocks=2, events_per_block=8, shapes=8, reps=2
+    )
+    for transport, row in result["transports"].items():
+        # Definitions ship exactly once per definition_order version: with a
+        # stable table that is each rule once, to its single home worker.
+        assert row["defs_shipped"] == result["rules"], (transport, row)
+        # One coordinator message per consulted worker per trip.
+        assert row["worker_round_trips"] == row["parallel_batches"], (transport, row)
+        assert row["reconnects"] == 0, (transport, row)
+    pickled = result["transports"]["pickle"]
+    assert pickled["deltas_pickled"] > 0, pickled
+    assert pickled["deltas_shm"] == pickled["deltas_framed"] == 0, pickled
+    shm = result["transports"]["shm"]
+    assert shm["deltas_shm"] > 0 and shm["deltas_framed"] == 0, shm
+    tcp = result["transports"]["tcp"]
+    assert tcp["deltas_framed"] > 0, tcp
+    assert tcp["deltas_pickled"] == tcp["deltas_shm"] == 0, tcp
+    assert tcp["frame_rows_inline"] > 0 and tcp["frame_rows_fallback"] == 0, tcp
+
+
+def test_x14_reconnect_resyncs_and_outcomes_hold():
+    result = measure_reconnect_resync(
+        rule_count=150, workers=2, blocks=12, events_per_block=6
+    )
+    assert result["reconnects_uninterrupted"] == 0, result
+    assert result["reconnects"] == 1, result
+    # The bounced worker's definitions re-ship at their current version.
+    assert result["resync_defs"] > 0, result
+    assert result["equivalent"] is True, result
+
+
+if __name__ == "__main__":
+    main()

@@ -85,7 +85,14 @@ def test_x1_static_optimization_sweep(benchmark, sweep_rows):
     print()
     print(
         render_table(
-            ["rules", "naive ts comp.", "filtered ts comp.", "skipped", "reduction", "triggerings"],
+            [
+                "rules",
+                "naive ts comp.",
+                "filtered ts comp.",
+                "skipped",
+                "reduction",
+                "triggerings",
+            ],
             rows,
             title=f"X1 — ts recomputations with and without V(E) ({BLOCKS} blocks)",
         )
@@ -101,4 +108,6 @@ def test_x1_static_optimization_sweep(benchmark, sweep_rows):
     # is per-rule, so its effect scales with the number of rules.
     first = sweep_rows[0]
     last = sweep_rows[-1]
-    assert last["naive_ts"] - last["filtered_ts"] >= first["naive_ts"] - first["filtered_ts"]
+    assert last["naive_ts"] - last["filtered_ts"] >= first["naive_ts"] - first[
+        "filtered_ts"
+    ]

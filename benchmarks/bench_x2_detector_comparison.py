@@ -70,7 +70,9 @@ def test_x2_detector_comparison(benchmark, workload):
         elapsed = time.perf_counter() - start
         results[name] = (report.triggerings, elapsed)
 
-    calculus_detector = build_detectors(expressions)["ts calculus + V(E), zero-copy views"]
+    calculus_detector = build_detectors(expressions)[
+        "ts calculus + V(E), zero-copy views"
+    ]
 
     def run_calculus():
         calculus_detector.reset()

@@ -51,7 +51,9 @@ def build_expressions(mix_name: str, operators: int):
     return generator.expressions(EXPRESSIONS_PER_CELL, operators=operators)
 
 
-def measure_cell(window: EventWindow, mix_name: str, operators: int) -> dict[str, float]:
+def measure_cell(
+    window: EventWindow, mix_name: str, operators: int
+) -> dict[str, float]:
     expressions = build_expressions(mix_name, operators)
     latest = window.latest_timestamp() or 1
     stats = EvaluationStats()
@@ -89,7 +91,13 @@ def test_x3_expression_scaling(benchmark, window):
     print()
     print(
         render_table(
-            ["operator mix", "operators", "us / evaluation", "primitive lookups", "nodes visited"],
+            [
+                "operator mix",
+                "operators",
+                "us / evaluation",
+                "primitive lookups",
+                "nodes visited",
+            ],
             rows,
             title="X3 — ts evaluation cost vs. expression size and operator mix",
         )

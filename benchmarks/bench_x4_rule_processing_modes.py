@@ -66,7 +66,10 @@ def run_mode(coupling: str, consumption: str) -> dict[str, float]:
 
 @pytest.fixture(scope="module")
 def mode_results():
-    return {(coupling, consumption): run_mode(coupling, consumption) for coupling, consumption in MODES}
+    return {
+        (coupling, consumption): run_mode(coupling, consumption)
+        for coupling, consumption in MODES
+    }
 
 
 def test_x4_rule_processing_modes(benchmark, mode_results):

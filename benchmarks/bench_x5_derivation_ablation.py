@@ -49,18 +49,24 @@ BLOCKS = 200
 # ---------------------------------------------------------------------------
 
 
-def literal_derive(expression: EventExpression, sign: Sign = Sign.POSITIVE, scope: Scope = Scope.SET):
+def literal_derive(
+    expression: EventExpression, sign: Sign = Sign.POSITIVE, scope: Scope = Scope.SET
+):
     if isinstance(expression, Primitive):
         return {Variation(expression.event_type, sign, scope)}
     if isinstance(expression, (SetNegation, InstanceNegation)):
         next_scope = Scope.OBJECT if isinstance(expression, InstanceNegation) else scope
         return literal_derive(expression.operand, sign.flipped(), next_scope)
     if isinstance(expression, (SetPrecedence, InstancePrecedence)):
-        next_scope = Scope.OBJECT if isinstance(expression, InstancePrecedence) else scope
+        next_scope = (
+            Scope.OBJECT if isinstance(expression, InstancePrecedence) else scope
+        )
         return literal_derive(expression.right, sign, next_scope)
     next_scope = Scope.OBJECT if expression.is_instance_oriented else scope
     left, right = expression.children()
-    return literal_derive(left, sign, next_scope) | literal_derive(right, sign, next_scope)
+    return literal_derive(left, sign, next_scope) | literal_derive(
+        right, sign, next_scope
+    )
 
 
 class LiteralRecomputationFilter(RecomputationFilter):
@@ -120,7 +126,9 @@ def ablation_results():
         lambda subs: _AblationDetector(subs, RecomputationFilter), expressions, stream
     )[1]
     results["literal Fig. 6 rule (unsound)"] = run(
-        lambda subs: _AblationDetector(subs, LiteralRecomputationFilter), expressions, stream
+        lambda subs: _AblationDetector(subs, LiteralRecomputationFilter),
+        expressions,
+        stream,
     )[1]
     return results
 

@@ -112,10 +112,10 @@ def run_old_path(event_base: EventBase, blocks, rules: list[_RuleState]) -> dict
         event_base.extend(block)
         now = block[-1].timestamp
         for rule in rules:
-            window = EventWindow(
-                event_base, after=rule.last_consideration, until=now
+            window = EventWindow(event_base, after=rule.last_consideration, until=now)
+            decision = is_triggered(
+                rule.expression, window, rule.last_consideration, now
             )
-            decision = is_triggered(rule.expression, window, rule.last_consideration, now)
             checks += 1
             if decision.triggered:
                 rule.consume(now)
@@ -213,7 +213,9 @@ def check_equivalence(events: int = 800, rules: int = 12, blocks: int = 12) -> d
 
 def run_sweeps() -> dict:
     """Full grid: event-base size sweep, rule-count sweep, headline point."""
-    event_rows = [measure_configuration(events, HEADLINE_RULES) for events in EVENT_SWEEP]
+    event_rows = [
+        measure_configuration(events, HEADLINE_RULES) for events in EVENT_SWEEP
+    ]
     rule_rows = [measure_configuration(10_000, rules) for rules in RULE_SWEEP]
     headline = next(row for row in event_rows if row["events"] == HEADLINE_EVENTS)
     return {
@@ -296,7 +298,11 @@ def test_x6_view_path_is_at_least_5x_faster(benchmark):
         now = event_base.latest_timestamp() or 1
         for rule in rules:
             is_triggered(
-                rule.expression, event_base, rule.last_consideration, now, memo=rule.memo
+                rule.expression,
+                event_base,
+                rule.last_consideration,
+                now,
+                memo=rule.memo,
             )
 
     for block in blocks:

@@ -52,7 +52,11 @@ RESULTS_FILE = REPO_ROOT / "BENCH_PR2.json"
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="tiny grid for CI")
-    parser.add_argument("--out", default=None, help="results file (default: BENCH_PR2.json; smoke writes nowhere)")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="results file (default: BENCH_PR2.json; smoke writes nowhere)",
+    )
     args = parser.parse_args(argv)
     results = run_x7_sweeps(smoke=args.smoke)
     print(render_x7(results))
@@ -86,7 +90,12 @@ def test_x7_planning_flat_vs_linear(benchmark):
         render_table(
             ["rules", "routed plan µs/blk", "scan plan µs/blk", "plan speedup"],
             [
-                [r["rules"], r["routed_plan_us_per_block"], r["scan_plan_us_per_block"], f"{r['planning_speedup']}x"]
+                [
+                    r["rules"],
+                    r["routed_plan_us_per_block"],
+                    r["scan_plan_us_per_block"],
+                    f"{r['planning_speedup']}x",
+                ]
                 for r in (small, large)
             ],
             title="X7 (reduced) — planning cost",
@@ -97,15 +106,21 @@ def test_x7_planning_flat_vs_linear(benchmark):
     # ...and stay roughly flat while the scan grows with the table: going
     # 200 -> 1500 rules (7.5x) the routed cost may at most triple, while the
     # scan must have grown at least 3x.
-    assert large["routed_plan_us_per_block"] <= 3.0 * max(1.0, small["routed_plan_us_per_block"])
+    assert large["routed_plan_us_per_block"] <= 3.0 * max(
+        1.0, small["routed_plan_us_per_block"]
+    )
     assert large["scan_plan_us_per_block"] >= 3.0 * small["scan_plan_us_per_block"]
 
-    from repro.workloads.rule_scaling import ScalingWorkload, build_scaling_rules, build_scaling_universe
+    from repro.workloads.rule_scaling import (
+        ScalingWorkload, build_scaling_rules, build_scaling_universe
+    )
     from repro.workloads.generator import EventStreamGenerator
 
     universe = build_scaling_universe(1_500)
     workload = ScalingWorkload(build_scaling_rules(1_500, universe))
-    stream = EventStreamGenerator(event_types=universe, seed=5, events_per_block=6).blocks(12)
+    stream = EventStreamGenerator(
+        event_types=universe, seed=5, events_per_block=6
+    ).blocks(12)
     for block in stream:
         workload.feed_block(block)
     signatures = [frozenset(o.event_type for o in block) for block in stream]

@@ -132,7 +132,9 @@ def test_x9_transport_overhead_bounded():
     )
     transport = row["process_transport"]
     check_work = row["check_us_per_block"]["single"]
-    assert transport["dispatch_overhead_us_per_block"] <= max(4_000.0, 4.0 * check_work), row
+    assert transport["dispatch_overhead_us_per_block"] <= max(
+        4_000.0, 4.0 * check_work
+    ), row
     # Steady state ships deltas and work items only — definitions went once
     # during warm-up; a few hundred bytes per block per worker is the regime.
     per_trip = transport["bytes_shipped"] / max(1, transport["worker_round_trips"])

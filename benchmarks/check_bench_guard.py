@@ -319,6 +319,87 @@ def check_x13(
     _check_equivalence(results, failures)
 
 
+def check_x14(
+    results: dict, limits: dict, tolerance: float, failures: list[str]
+) -> None:
+    grid = results["transport"]
+    for transport, row in grid["transports"].items():
+        _check(
+            row["defs_shipped"] == grid["rules"],
+            f"{transport}: every definition shipped exactly once per version "
+            f"({row['defs_shipped']} defs == {grid['rules']} rules)",
+            failures,
+        )
+        _check(
+            row["worker_round_trips"] == row["parallel_batches"],
+            f"{transport}: one coordinator message per consulted worker per "
+            f"trip ({row['worker_round_trips']} round trips == "
+            f"{row['parallel_batches']} worker-batches)",
+            failures,
+        )
+        _check(
+            row["reconnects"] == 0,
+            f"{transport}: undisturbed run absorbed no reconnects",
+            failures,
+        )
+    pickled = grid["transports"]["pickle"]
+    _check(
+        pickled["deltas_pickled"] > 0
+        and pickled["deltas_shm"] == 0
+        and pickled["deltas_framed"] == 0,
+        f"pickle arm shipped only pickled snapshots "
+        f"({pickled['deltas_pickled']} deltas)",
+        failures,
+    )
+    shm = grid["transports"]["shm"]
+    _check(
+        shm["deltas_shm"] > 0 and shm["deltas_framed"] == 0,
+        f"shm arm shipped only ring descriptors ({shm['deltas_shm']} deltas)",
+        failures,
+    )
+    tcp = grid["transports"]["tcp"]
+    _check(
+        tcp["deltas_framed"] > 0
+        and tcp["deltas_pickled"] == 0
+        and tcp["deltas_shm"] == 0,
+        f"tcp arm shipped only row frames ({tcp['deltas_framed']} deltas)",
+        failures,
+    )
+    _check(
+        tcp["frame_rows_inline"] > 0 and tcp["frame_rows_fallback"] == 0,
+        f"payload-free rows rode the frame encoding inline "
+        f"({tcp['frame_rows_inline']} rows)",
+        failures,
+    )
+    minimum = _relax(limits["min_frame_encode_vs_pickle"], tolerance)
+    _check(
+        grid["frame_encode_vs_pickle"] >= minimum,
+        f"frame encoding stays within its pickle budget "
+        f"({grid['frame_encode_vs_pickle']}x >= {minimum:.2f}x)",
+        failures,
+    )
+    reconnect = results["reconnect"]
+    _check(
+        reconnect["reconnects"] == 1 and reconnect["reconnects_uninterrupted"] == 0,
+        f"exactly the injected reconnect was absorbed "
+        f"({reconnect['reconnects']} vs {reconnect['reconnects_uninterrupted']})",
+        failures,
+    )
+    _check(
+        reconnect["resync_defs"] > 0,
+        f"the bounced worker's definitions re-shipped "
+        f"({reconnect['resync_defs']} defs)",
+        failures,
+    )
+    _check(
+        reconnect["equivalent"] is True,
+        "bounced run byte-identical to the uninterrupted run "
+        "(triggerings + consideration order)",
+        failures,
+    )
+    _check_equivalence(results, failures)
+
+
 CHECKERS = {
     "x7_rule_scaling": check_x7,
     "x8_shard_scaling": check_x8,
@@ -327,6 +408,7 @@ CHECKERS = {
     "x11_compiled_check": check_x11,
     "x12_observability_overhead": check_x12,
     "x13_transport_adaptivity": check_x13,
+    "x14_socket_transport": check_x14,
 }
 
 

@@ -2,7 +2,9 @@
 
 from repro.analysis.metrics import Sweep, Timer, speedup, summarize, timed
 from repro.analysis.reporting import render_kv, render_table, render_traces
-from repro.analysis.traces import Trace, TracePoint, ots_trace, sample_instants, ts_trace
+from repro.analysis.traces import (
+    Trace, TracePoint, ots_trace, sample_instants, ts_trace
+)
 
 __all__ = [
     "Sweep",

@@ -80,7 +80,8 @@ def ts_trace(
     """Sample the set-oriented ``ts`` function of ``expression``."""
     sample_points = list(instants) if instants is not None else sample_instants(window)
     points = tuple(
-        TracePoint(instant, ts(expression, window, instant, mode)) for instant in sample_points
+        TracePoint(instant, ts(expression, window, instant, mode))
+        for instant in sample_points
     )
     return Trace(label=label or str(expression), points=points)
 

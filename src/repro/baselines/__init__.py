@@ -1,6 +1,8 @@
 """Baseline composite-event detectors used as benchmark comparison points."""
 
-from repro.baselines.automaton import AutomatonDetector, AutomatonReport, supports_expression
+from repro.baselines.automaton import (
+    AutomatonDetector, AutomatonReport, supports_expression
+)
 from repro.baselines.naive import (
     DetectionReport,
     FilteredDetector,
@@ -9,7 +11,9 @@ from repro.baselines.naive import (
     ViewFilteredDetector,
     ViewNaiveDetector,
 )
-from repro.baselines.snoop_tree import CompositeOccurrence, SnoopReport, SnoopTreeDetector
+from repro.baselines.snoop_tree import (
+    CompositeOccurrence, SnoopReport, SnoopTreeDetector
+)
 
 __all__ = [
     "AutomatonDetector",

@@ -90,9 +90,9 @@ class _CompiledExpression:
         for node in reversed(self.nodes):
             state = self.states[id(node)]
             if isinstance(node, Primitive):
-                if node.event_type.matches(occurrence.event_type) or occurrence.event_type.matches(
-                    node.event_type
-                ):
+                if node.event_type.matches(
+                    occurrence.event_type
+                ) or occurrence.event_type.matches(node.event_type):
                     state.accept(occurrence.timestamp)
                 continue
             if isinstance(node, SetDisjunction):
@@ -186,7 +186,9 @@ class AutomatonDetector:
                 subscription.compiled.reset()
         return fired
 
-    def feed_stream(self, blocks: Sequence[Sequence[EventOccurrence]]) -> AutomatonReport:
+    def feed_stream(
+        self, blocks: Sequence[Sequence[EventOccurrence]]
+    ) -> AutomatonReport:
         """Feed a whole stream of blocks and return the accumulated report."""
         for block in blocks:
             self.feed_block(block)

@@ -145,7 +145,9 @@ class _DetectorBase:
             if window.is_empty():
                 continue
             subscription.had_nonempty_window = True
-            value = ts(subscription.expression, window, now, self.mode, self.report.evaluation)
+            value = ts(
+                subscription.expression, window, now, self.mode, self.report.evaluation
+            )
             if value > 0:
                 subscription.triggered = True
                 subscription.triggerings += 1

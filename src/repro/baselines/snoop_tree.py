@@ -89,7 +89,9 @@ class _DisjunctionNode(_BinaryNode):
     def update(self, occurrence: EventOccurrence) -> None:
         self.left.update(occurrence)
         self.right.update(occurrence)
-        candidates = [c for c in (self.left.current, self.right.current) if c is not None]
+        candidates = [
+            c for c in (self.left.current, self.right.current) if c is not None
+        ]
         if candidates:
             self.current = max(candidates, key=lambda candidate: candidate.timestamp)
 
@@ -162,7 +164,8 @@ class SnoopTreeDetector:
 
     def __init__(self, subscriptions: Sequence[tuple[str, EventExpression]]) -> None:
         self.subscriptions = [
-            _SnoopSubscription(name, _compile(expression)) for name, expression in subscriptions
+            _SnoopSubscription(name, _compile(expression))
+            for name, expression in subscriptions
         ]
         self.report = SnoopReport()
 

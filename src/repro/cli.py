@@ -71,31 +71,55 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     def add_expression(subparser: argparse.ArgumentParser) -> None:
-        subparser.add_argument("expression", help="composite event expression, e.g. 'create(stock) < modify(stock.quantity)'")
+        subparser.add_argument(
+            "expression",
+            help="composite event expression, e.g. 'create(stock) < modify(stock.quantity)'",
+        )
 
     def add_log(subparser: argparse.ArgumentParser) -> None:
-        subparser.add_argument("--log", required=True, help="event log in JSON-lines format (see repro.events.persistence)")
-        subparser.add_argument("--at", type=int, default=None, help="evaluation instant (default: the log's latest time stamp)")
+        subparser.add_argument(
+            "--log",
+            required=True,
+            help="event log in JSON-lines format (see repro.events.persistence)",
+        )
+        subparser.add_argument(
+            "--at",
+            type=int,
+            default=None,
+            help="evaluation instant (default: the log's latest time stamp)",
+        )
 
-    evaluate_parser = commands.add_parser("evaluate", help="evaluate an expression over an event log")
+    evaluate_parser = commands.add_parser(
+        "evaluate", help="evaluate an expression over an event log"
+    )
     add_expression(evaluate_parser)
     add_log(evaluate_parser)
-    evaluate_parser.add_argument("--oid", default=None, help="evaluate the instance-oriented ots for this object")
+    evaluate_parser.add_argument(
+        "--oid", default=None, help="evaluate the instance-oriented ots for this object"
+    )
 
-    explain_parser = commands.add_parser("explain", help="explain an activation over an event log")
+    explain_parser = commands.add_parser(
+        "explain", help="explain an activation over an event log"
+    )
     add_expression(explain_parser)
     add_log(explain_parser)
 
-    variations_parser = commands.add_parser("variations", help="print the V(E) variation set")
+    variations_parser = commands.add_parser(
+        "variations", help="print the V(E) variation set"
+    )
     add_expression(variations_parser)
 
-    simplify_parser = commands.add_parser("simplify", help="print the exact simplification")
+    simplify_parser = commands.add_parser(
+        "simplify", help="print the exact simplification"
+    )
     add_expression(simplify_parser)
 
     replay_parser = commands.add_parser("replay", help="print an event log as a table")
     replay_parser.add_argument("--log", required=True)
 
-    demo_parser = commands.add_parser("stock-demo", help="run the stock-management workload")
+    demo_parser = commands.add_parser(
+        "stock-demo", help="run the stock-management workload"
+    )
     demo_parser.add_argument("--days", type=int, default=3)
     demo_parser.add_argument("--operations", type=int, default=40)
     demo_parser.add_argument("--items", type=int, default=15)
@@ -107,7 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     workload_parser = commands.add_parser(
-        "workload", help="run a synthetic rule/stream workload through the block pipeline"
+        "workload",
+        help="run a synthetic rule/stream workload through the block pipeline",
     )
     workload_parser.add_argument("--rules", type=int, default=200)
     workload_parser.add_argument("--blocks", type=int, default=100)
@@ -169,11 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     workload_parser.add_argument(
         "--transport",
-        choices=["pickle", "shm"],
+        choices=["pickle", "shm", "tcp"],
         default=None,
         help=(
-            "delta transport of the processes shard mode: pickled snapshots "
-            "or the shared-memory row ring "
+            "delta transport of the processes shard mode: pickled snapshots, "
+            "the shared-memory row ring, or length-prefixed socket frames "
             "(default: the $CHIMERA_TRANSPORT ambient setting, then pickle)"
         ),
     )
@@ -205,11 +230,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = commands.add_parser("bench", help="run a benchmark sweep")
     bench_parser.add_argument(
         "which",
-        choices=["x7", "x8", "x9", "x10", "x11", "x12", "x13"],
+        choices=["x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14"],
         help="benchmark to run",
     )
-    bench_parser.add_argument("--smoke", action="store_true", help="tiny grid (seconds)")
+    bench_parser.add_argument(
+        "--smoke", action="store_true", help="tiny grid (seconds)"
+    )
     bench_parser.add_argument("--out", default=None, help="write the JSON results here")
+
+    worker_parser = commands.add_parser(
+        "worker",
+        help="run one TCP shard worker against a remote coordinator",
+        description=(
+            "Connect to a coordinator endpoint (chimera workload --transport "
+            "tcp with $CHIMERA_TCP_SPAWN=0) and serve shard checks until the "
+            "coordinator stops it.  The worker id and token must match what "
+            "the coordinator printed at startup."
+        ),
+    )
+    worker_parser.add_argument("--host", required=True, help="coordinator host")
+    worker_parser.add_argument(
+        "--port", type=int, required=True, help="coordinator port"
+    )
+    worker_parser.add_argument(
+        "--worker-id", type=int, required=True, help="shard worker id (0-based)"
+    )
+    worker_parser.add_argument(
+        "--token", required=True, help="pool token printed by the coordinator"
+    )
+    worker_parser.add_argument(
+        "--retry-seconds",
+        type=float,
+        default=10.0,
+        help="keep retrying the connection this long (default: 10)",
+    )
     return parser
 
 
@@ -263,10 +317,17 @@ def _command_simplify(args: argparse.Namespace) -> int:
 def _command_replay(args: argparse.Namespace) -> int:
     event_base = _load_log(args.log)
     rows = [
-        [f"e{occurrence.eid}", str(occurrence.event_type), str(occurrence.oid), f"t{occurrence.timestamp}"]
+        [
+            f"e{occurrence.eid}",
+            str(occurrence.event_type),
+            str(occurrence.oid),
+            f"t{occurrence.timestamp}",
+        ]
         for occurrence in event_base.occurrences
     ]
-    print(render_table(["EID", "event type", "OID", "time stamp"], rows, title=args.log))
+    print(
+        render_table(["EID", "event type", "OID", "time stamp"], rows, title=args.log)
+    )
     return 0
 
 
@@ -283,8 +344,13 @@ def _command_stock_demo(args: argparse.Namespace) -> int:
         [name, counters["triggered"], counters["considered"], counters["executed"]]
         for name, counters in db.rule_statistics().items()
     ]
-    print(render_table(["rule", "triggered", "considered", "executed"], rows,
-                       title=f"stock demo: {args.days} days x {args.operations} operations"))
+    print(
+        render_table(
+            ["rule", "triggered", "considered", "executed"],
+            rows,
+            title=f"stock demo: {args.days} days x {args.operations} operations",
+        )
+    )
     print(render_kv(db.trigger_statistics(), title="Trigger Support"))
     return 0
 
@@ -358,7 +424,9 @@ def _command_workload(args: argparse.Namespace) -> int:
                     "rules": args.rules,
                     "blocks": outcome.blocks,
                     "events": outcome.events,
-                    "ingest mode": "bulk extend" if args.bulk_ingest else "per-append loop",
+                    "ingest mode": (
+                        "bulk extend" if args.bulk_ingest else "per-append loop"
+                    ),
                     "planning": planning,
                     "batch blocks": args.batch_blocks,
                     "exact checks": (
@@ -386,7 +454,9 @@ def _command_workload(args: argparse.Namespace) -> int:
             population = table.shard_population()
             mean_population = sum(population) / max(1, len(population))
             cluster["shard_population"] = "/".join(str(count) for count in population)
-            cluster["shard_skew"] = round(max(population) / max(1.0, mean_population), 2)
+            cluster["shard_skew"] = round(
+                max(population) / max(1.0, mean_population), 2
+            )
             # Dispatch amortization: with --batch-blocks N the trips stay
             # roughly flat while blocks grow, so blocks_per_trip -> N.
             cluster["blocks_per_trip"] = round(
@@ -413,7 +483,12 @@ def _command_workload(args: argparse.Namespace) -> int:
 def _command_bench(args: argparse.Namespace) -> int:
     import json
 
-    if args.which == "x13":
+    if args.which == "x14":
+        from repro.workloads.socket_transport import render_x14, run_x14_sweeps
+
+        results = run_x14_sweeps(smoke=args.smoke)
+        print(render_x14(results))
+    elif args.which == "x13":
         from repro.workloads.transport_adaptivity import render_x13, run_x13_sweeps
 
         results = run_x13_sweeps(smoke=args.smoke)
@@ -456,6 +531,19 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    from repro.cluster.net import run_worker
+
+    run_worker(
+        args.host,
+        args.port,
+        args.worker_id,
+        args.token,
+        retry_seconds=args.retry_seconds,
+    )
+    return 0
+
+
 _COMMANDS = {
     "evaluate": _command_evaluate,
     "explain": _command_explain,
@@ -465,6 +553,7 @@ _COMMANDS = {
     "stock-demo": _command_stock_demo,
     "workload": _command_workload,
     "bench": _command_bench,
+    "worker": _command_worker,
 }
 
 

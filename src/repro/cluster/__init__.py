@@ -30,7 +30,9 @@ BENCH_PR3.json / BENCH_PR4.json / BENCH_PR5.json
 ``benchmarks/bench_x10_dispatch_amortization.py``) for numbers.
 """
 
-from repro.cluster.coordinator import ShardCoordinator, ShardCoordinatorStats, ShardedPlan
+from repro.cluster.coordinator import (
+    ShardCoordinator, ShardCoordinatorStats, ShardedPlan
+)
 from repro.cluster.process_pool import ProcessShardPool
 from repro.cluster.sharding import (
     DEFAULT_PLAN_CACHE_SIZE,

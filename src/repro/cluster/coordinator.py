@@ -481,9 +481,7 @@ class ShardCoordinator(TriggerSupport):
             ]
             results = [future.result() for future in futures]
         else:
-            results = [
-                self._evaluate_home_batch(batch, nows) for batch in home_batches
-            ]
+            results = [self._evaluate_home_batch(batch, nows) for batch in home_batches]
         for rows, local_stats in results:
             self.stats.evaluation.merge(local_stats)
             for index, state, decision in rows:
@@ -694,9 +692,7 @@ class ShardCoordinator(TriggerSupport):
             )
             # Transport health (messages, bytes, worker restarts) folds into
             # the same snapshot as everything else.
-            self.metrics.register_source(
-                "pool", self._process_pool.transport_stats
-            )
+            self.metrics.register_source("pool", self._process_pool.transport_stats)
         return self._process_pool
 
     @property

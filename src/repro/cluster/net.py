@@ -1,0 +1,635 @@
+"""TCP shard workers: the socket transport of the process shard pool.
+
+The trip protocol was transport-shaped from PR 5 on — one combined delta
+plus N ordered work segments per consulted worker, per-block decision
+replies, definitions shipped once per ``definition_order`` version — and
+:mod:`repro.cluster.transport` gave it a seam.  This module plugs sockets
+into that seam so shard workers can live **outside the coordinator's
+process tree**, on the same host or another one:
+
+* **Framing** — every message is one length-prefixed frame (magic +
+  ``uint32`` length + pickled payload).  A frame that does not start with
+  the magic word means the byte stream desynced (or was corrupted); both
+  sides refuse to resynchronize and raise :class:`SnapshotError` loudly,
+  mirroring the shm ring's corrupt-header contract.
+* **Deltas** — mirror slices ship as :class:`~repro.cluster.transport._RowLog`
+  frames: the same fixed-width :class:`~repro.events.event_base.SnapshotRowCodec`
+  rows the shm ring uses, encoded once per EB position into an append-only
+  log and sliced per worker offset (``("rows", start, count, bytes, ...)``).
+* **Endpoint** — the coordinator runs an asyncio ``start_server`` loop on a
+  background thread; the pool keeps its synchronous trip protocol and talks
+  to each worker through a thin channel facade
+  (``run_coroutine_threadsafe``).  Workers handshake with a per-pool token
+  (``("hello", worker_id, token)``) and receive the engine config
+  (evaluation mode, compiled checks, metrics flag) in the reply — a remote
+  ``chimera-events worker`` needs the address and token, nothing else.
+* **Reconnects** — a new hello for an already-registered worker id replaces
+  the channel and is reported through ``poll_refreshed()``: the pool resets
+  that worker's shipping bookkeeping, so its next message re-ships every
+  definition and a fresh mirror snapshot from position 0 (the row log never
+  evicts).  A worker that dies *mid-trip* cannot be replaced retroactively —
+  the failed send/receive poisons the pool, exactly like a dead pipe.
+
+By default the transport binds ``127.0.0.1`` on an ephemeral port and forks
+its own localhost workers — single-host testing needs no setup.  Multi-host
+deployments set ``$CHIMERA_TCP_HOST`` / ``$CHIMERA_TCP_PORT``, disable
+spawning with ``$CHIMERA_TCP_SPAWN=0``, and start workers on other machines
+with ``chimera-events worker --host ... --port ... --worker-id K --token T``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import pickle
+import secrets
+import socket
+import struct
+import sys
+import threading
+import time
+
+from repro.cluster.transport import (
+    ShardTransport,
+    WorkerConfig,
+    _RowLog,
+)
+from repro.errors import ShardWorkerError, SnapshotError
+from repro.events.event_base import EventBase
+
+__all__ = [
+    "TCP_HOST_ENV_VAR",
+    "TCP_PORT_ENV_VAR",
+    "TCP_SPAWN_ENV_VAR",
+    "TCP_TIMEOUT_ENV_VAR",
+    "SocketFrameConnection",
+    "TcpCoordinatorEndpoint",
+    "TcpTransport",
+    "run_worker",
+]
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Frame header: magic word + payload length.  The magic is re-validated on
+#: every frame, so a desynced or corrupted stream fails loudly instead of
+#: feeding pickle garbage.
+_FRAME_HEADER = struct.Struct("<4sI")
+_FRAME_MAGIC = b"CHF1"
+
+#: Refuse absurd frame lengths outright — a length field this large is a
+#: corrupt header, not a real message.
+_MAX_FRAME_BYTES = 1 << 31
+
+#: Coordinator bind address (workers connect here).
+TCP_HOST_ENV_VAR = "CHIMERA_TCP_HOST"
+#: Coordinator port; 0 (the default) picks an ephemeral port.
+TCP_PORT_ENV_VAR = "CHIMERA_TCP_PORT"
+#: "0" stops the transport from forking localhost workers (multi-host mode:
+#: the pool then waits for external ``chimera-events worker`` processes).
+TCP_SPAWN_ENV_VAR = "CHIMERA_TCP_SPAWN"
+#: Per-operation socket timeout (seconds) before the pool declares a worker
+#: unreachable and poisons itself.
+TCP_TIMEOUT_ENV_VAR = "CHIMERA_TCP_TIMEOUT"
+
+_DEFAULT_TIMEOUT = 120.0
+_HANDSHAKE_TIMEOUT = 30.0
+
+
+def _default_timeout() -> float:
+    raw = os.environ.get(TCP_TIMEOUT_ENV_VAR, "").strip()
+    if not raw:
+        return _DEFAULT_TIMEOUT
+    try:
+        return max(0.1, float(raw))
+    except ValueError:
+        return _DEFAULT_TIMEOUT
+
+
+def _corrupt_frame_error(magic: bytes, length: int) -> SnapshotError:
+    return SnapshotError(
+        f"socket frame header is corrupt (magic={magic!r} length={length}); "
+        "the byte stream desynced — refusing to resynchronize, close the "
+        "pool and let the coordinator spawn a fresh one"
+    )
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> bytes:
+    """One length-prefixed frame off an asyncio stream (coordinator side)."""
+    header = await reader.readexactly(_FRAME_HEADER.size)
+    magic, length = _FRAME_HEADER.unpack(header)
+    if magic != _FRAME_MAGIC or length > _MAX_FRAME_BYTES:
+        raise _corrupt_frame_error(magic, length)
+    return await reader.readexactly(length)
+
+
+class SocketFrameConnection:
+    """Blocking frame codec over one socket (the worker side of a channel).
+
+    Implements the same ``send_bytes`` / ``recv_bytes`` surface as a
+    ``multiprocessing.Connection``, with the same failure idiom: ``EOFError``
+    when the peer is gone, ``OSError`` for transport faults — so the shard
+    worker loop runs on it unchanged.
+    """
+
+    __slots__ = ("_sock",)
+
+    def __init__(self, sock: socket.socket) -> None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # non-TCP stream socket (tests run the codec over AF_UNIX)
+        self._sock = sock
+
+    def send_bytes(self, payload: bytes) -> None:
+        self._sock.sendall(_FRAME_HEADER.pack(_FRAME_MAGIC, len(payload)))
+        self._sock.sendall(payload)
+
+    def recv_bytes(self) -> bytes:
+        header = self._recv_exact(_FRAME_HEADER.size)
+        magic, length = _FRAME_HEADER.unpack(header)
+        if magic != _FRAME_MAGIC or length > _MAX_FRAME_BYTES:
+            raise _corrupt_frame_error(magic, length)
+        return self._recv_exact(length)
+
+    def _recv_exact(self, count: int) -> bytes:
+        buffer = bytearray(count)
+        view = memoryview(buffer)
+        received = 0
+        while received < count:
+            chunk = self._sock.recv_into(view[received:])
+            if chunk == 0:
+                raise EOFError("socket closed by peer")
+            received += chunk
+        return bytes(buffer)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+class _TcpChannel:
+    """Coordinator side of one worker channel: a sync facade over the loop.
+
+    ``send_bytes`` / ``recv_bytes`` submit coroutines to the endpoint's
+    event loop and block on the result with the transport timeout.  Failure
+    types line up with the pipe transports — ``EOFError`` (via asyncio's
+    ``IncompleteReadError``) for a vanished peer, ``OSError`` (including the
+    built-in ``TimeoutError``) for transport faults — so the pool's
+    poisoning logic needs no per-transport cases.
+    """
+
+    __slots__ = ("_loop", "_reader", "_writer", "_timeout")
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        timeout: float,
+    ) -> None:
+        self._loop = loop
+        self._reader = reader
+        self._writer = writer
+        self._timeout = timeout
+
+    def send_bytes(self, payload: bytes) -> None:
+        self._call(self._send(payload), "send")
+
+    def recv_bytes(self) -> bytes:
+        return self._call(_read_frame(self._reader), "receive")
+
+    async def _send(self, payload: bytes) -> None:
+        self._writer.write(_FRAME_HEADER.pack(_FRAME_MAGIC, len(payload)))
+        self._writer.write(payload)
+        await self._writer.drain()
+
+    def _call(self, coroutine, verb: str):
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        try:
+            return future.result(self._timeout)
+        except TimeoutError:
+            future.cancel()
+            raise TimeoutError(
+                f"tcp worker did not {verb} within {self._timeout:.0f}s"
+            ) from None
+
+    def close(self) -> None:
+        writer = self._writer
+
+        def _close() -> None:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+        try:
+            self._loop.call_soon_threadsafe(_close)
+        except RuntimeError:
+            pass  # loop already stopped: the writer died with it
+
+
+class TcpCoordinatorEndpoint:
+    """The coordinator's asyncio server, on a dedicated background thread.
+
+    Accepts worker connections, validates the handshake, replies with the
+    engine config, and registers one channel per worker id.  A second hello
+    for a registered id *replaces* the channel (the reconnect path) and the
+    id is queued for :meth:`take_refreshed`.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        token: str,
+        config: WorkerConfig,
+        sock: socket.socket,
+        timeout: float,
+    ) -> None:
+        self._num_workers = num_workers
+        self._token = token
+        self._config = config
+        self._sock = sock
+        self._timeout = timeout
+        self._channels: dict[int, _TcpChannel] = {}
+        self._refreshed: set[int] = set()
+        self._registry = threading.Condition()
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._stop_requested = False
+        self._stopped: asyncio.Event | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="tcp-coordinator-endpoint", daemon=True
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        self._thread.start()
+        self._ready.wait(_HANDSHAKE_TIMEOUT)
+        if self._startup_error is not None:
+            raise ShardWorkerError(
+                f"tcp coordinator endpoint failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if not self._ready.is_set():
+            raise ShardWorkerError("tcp coordinator endpoint failed to start")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve())
+        finally:
+            self._loop.close()
+
+    async def _serve(self) -> None:
+        self._stopped = asyncio.Event()
+        try:
+            server = await asyncio.start_server(self._handle, sock=self._sock)
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        if self._stop_requested:
+            self._stopped.set()
+        await self._stopped.wait()
+        server.close()
+        await server.wait_closed()
+        with self._registry:
+            channels = list(self._channels.values())
+        for channel in channels:
+            try:
+                channel._writer.close()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        def _request_stop() -> None:
+            self._stop_requested = True
+            if self._stopped is not None:
+                self._stopped.set()
+
+        try:
+            self._loop.call_soon_threadsafe(_request_stop)
+        except RuntimeError:
+            return  # loop already gone
+        self._thread.join(timeout=5.0)
+
+    # -- handshake ----------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = pickle.loads(
+                await asyncio.wait_for(_read_frame(reader), _HANDSHAKE_TIMEOUT)
+            )
+            accepted = (
+                isinstance(hello, tuple)
+                and len(hello) == 3
+                and hello[0] == "hello"
+                and isinstance(hello[1], int)
+                and 0 <= hello[1] < self._num_workers
+                and hello[2] == self._token
+            )
+            if not accepted:
+                reject = pickle.dumps(
+                    ("reject", "bad hello (unknown worker id or token)"), _PROTOCOL
+                )
+                writer.write(_FRAME_HEADER.pack(_FRAME_MAGIC, len(reject)))
+                writer.write(reject)
+                await writer.drain()
+                writer.close()
+                return
+            config = self._config
+            reply_payload = pickle.dumps(
+                (
+                    "config",
+                    config.mode_value,
+                    config.use_compiled_checks,
+                    config.metrics_enabled,
+                ),
+                _PROTOCOL,
+            )
+            writer.write(_FRAME_HEADER.pack(_FRAME_MAGIC, len(reply_payload)))
+            writer.write(reply_payload)
+            await writer.drain()
+        except Exception:
+            try:
+                writer.close()
+            except Exception:
+                pass
+            return
+        worker_id = hello[1]
+        channel = _TcpChannel(self._loop, reader, writer, self._timeout)
+        with self._registry:
+            previous = self._channels.get(worker_id)
+            self._channels[worker_id] = channel
+            if previous is not None:
+                # A replaced channel is a reconnect: the pool must re-ship
+                # defs + a fresh mirror before consulting this worker again.
+                self._refreshed.add(worker_id)
+            self._registry.notify_all()
+        if previous is not None:
+            previous.close()
+
+    # -- registry -----------------------------------------------------------
+    def wait_for_workers(self, count: int, timeout: float) -> None:
+        with self._registry:
+            if not self._registry.wait_for(
+                lambda: len(self._channels) >= count, timeout
+            ):
+                raise ShardWorkerError(
+                    f"only {len(self._channels)} of {count} tcp shard workers "
+                    f"connected within {timeout:.0f}s"
+                )
+
+    def channel(self, worker_id: int) -> _TcpChannel:
+        with self._registry:
+            channel = self._channels.get(worker_id)
+        if channel is None:
+            raise ShardWorkerError(
+                f"tcp shard worker {worker_id} has no registered channel"
+            )
+        return channel
+
+    def take_refreshed(self) -> tuple[int, ...]:
+        with self._registry:
+            refreshed = tuple(sorted(self._refreshed))
+            self._refreshed.clear()
+        return refreshed
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def run_worker(
+    host: str,
+    port: int,
+    worker_id: int,
+    token: str,
+    retry_seconds: float = 10.0,
+) -> None:
+    """Connect to a coordinator endpoint and serve trips until stopped.
+
+    The remote entrypoint behind ``chimera-events worker``: evaluation mode,
+    compiled checks and the metrics flag all arrive in the handshake reply,
+    so the worker command needs no engine flags — the coordinator is the
+    single source of configuration truth.
+    """
+    deadline = time.monotonic() + max(0.0, retry_seconds)
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=_HANDSHAKE_TIMEOUT)
+            break
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+    sock.settimeout(None)
+    connection = SocketFrameConnection(sock)
+    try:
+        connection.send_bytes(pickle.dumps(("hello", int(worker_id), token), _PROTOCOL))
+        reply = pickle.loads(connection.recv_bytes())
+        if not isinstance(reply, tuple) or not reply:
+            raise ShardWorkerError(f"malformed handshake reply: {reply!r}")
+        if reply[0] == "reject":
+            raise ShardWorkerError(
+                f"coordinator rejected worker {worker_id}: {reply[1]}"
+            )
+        if reply[0] != "config":
+            raise ShardWorkerError(f"unexpected handshake reply: {reply[0]!r}")
+        _, mode_value, use_compiled_checks, metrics_enabled = reply
+        from repro.cluster.process_pool import _worker_main
+
+        _worker_main(connection, mode_value, use_compiled_checks, metrics_enabled)
+    finally:
+        connection.close()
+
+
+def _spawned_worker_entry(host: str, port: int, worker_id: int, token: str) -> None:
+    """Process target of the transport's own localhost workers."""
+    run_worker(host, port, worker_id, token)
+
+
+# ---------------------------------------------------------------------------
+# The transport
+# ---------------------------------------------------------------------------
+
+
+class TcpTransport(ShardTransport):
+    """Socket-framed shard workers behind an asyncio coordinator endpoint."""
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        start_method: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        spawn_workers: bool | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self.host = host if host is not None else os.environ.get(
+            TCP_HOST_ENV_VAR, "127.0.0.1"
+        )
+        if port is None:
+            raw = os.environ.get(TCP_PORT_ENV_VAR, "").strip()
+            port = int(raw) if raw.isdigit() else 0
+        self.port = port
+        if spawn_workers is None:
+            spawn_workers = os.environ.get(TCP_SPAWN_ENV_VAR, "1").strip() != "0"
+        self.spawn_workers = spawn_workers
+        self.timeout = timeout if timeout is not None else _default_timeout()
+        self.token: str | None = None
+        self._endpoint: TcpCoordinatorEndpoint | None = None
+        self._sock: socket.socket | None = None
+        self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._num_workers = 0
+        self._row_log = _RowLog()
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def launch(self, num_workers: int, config: WorkerConfig) -> None:
+        self._num_workers = num_workers
+        self.token = secrets.token_hex(16)
+        # Bind before anything else: spawned workers connect immediately (the
+        # kernel parks them in the backlog) and the server thread — with its
+        # event loop — starts only after every fork, so no worker is ever
+        # forked from a threaded parent at launch.
+        self._sock = socket.create_server(
+            (self.host, self.port), backlog=max(8, num_workers * 2)
+        )
+        self.port = self._sock.getsockname()[1]
+        self._endpoint = TcpCoordinatorEndpoint(
+            num_workers, self.token, config, self._sock, self.timeout
+        )
+        if self.spawn_workers:
+            for worker_id in range(num_workers):
+                self.spawn_worker(worker_id)
+        else:
+            # Remote deployment: the operator starts workers by hand and
+            # needs the rendezvous coordinates.
+            print(
+                f"tcp shard coordinator listening on {self.host}:{self.port} "
+                f"(token {self.token}); start workers 0..{num_workers - 1} with: "
+                f"chimera-events worker --host {self.host} --port {self.port} "
+                f"--worker-id K --token {self.token}",
+                file=sys.stderr,
+                flush=True,
+            )
+        self._endpoint.start()
+        self._endpoint.wait_for_workers(
+            num_workers, _HANDSHAKE_TIMEOUT if self.spawn_workers else self.timeout
+        )
+        # Launch-time registrations are first contacts, not reconnects.
+        self._endpoint.take_refreshed()
+
+    def spawn_worker(self, worker_id: int):
+        """Fork one localhost worker process for ``worker_id``."""
+        context = multiprocessing.get_context(self.start_method)
+        process = context.Process(
+            target=_spawned_worker_entry,
+            args=(self.host, self.port, worker_id, self.token),
+            name=f"tcp-shard-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        self._processes[worker_id] = process
+        return process
+
+    def respawn_worker(self, worker_id: int, timeout: float = _HANDSHAKE_TIMEOUT):
+        """Kill a localhost worker and bring up a replacement (test hook).
+
+        Waits until the replacement's channel is registered, so the next
+        trip is guaranteed to see the reconnect via :meth:`poll_refreshed`.
+        """
+        previous = self._processes.get(worker_id)
+        if previous is not None and previous.is_alive():
+            previous.kill()
+            previous.join(timeout=5.0)
+        process = self.spawn_worker(worker_id)
+        endpoint = self._endpoint
+        assert endpoint is not None
+        with endpoint._registry:
+            if not endpoint._registry.wait_for(
+                lambda: worker_id in endpoint._refreshed, timeout
+            ):
+                raise ShardWorkerError(
+                    f"respawned tcp worker {worker_id} did not reconnect "
+                    f"within {timeout:.0f}s"
+                )
+        return process
+
+    def channel(self, worker_id: int) -> _TcpChannel:
+        endpoint = self._endpoint
+        if endpoint is None:
+            raise ShardWorkerError("tcp transport was never launched")
+        return endpoint.channel(worker_id)
+
+    def process(self, worker_id: int):
+        return self._processes.get(worker_id)
+
+    def poll_refreshed(self) -> tuple[int, ...]:
+        if self._endpoint is None:
+            return ()
+        return self._endpoint.take_refreshed()
+
+    # -- deltas -------------------------------------------------------------
+    def begin_trip(self, event_base: EventBase, total: int, offsets: list[int]) -> None:
+        if offsets:
+            self._row_log.encode_through(event_base, total)
+
+    def delta_for(
+        self, event_base: EventBase, total: int, offset: int, shipped_types: int
+    ) -> tuple:
+        log = self._row_log
+        return log.delta(offset, shipped_types), len(log.codec.type_snapshots)
+
+    def note_reset(self) -> None:
+        self._row_log.reset()
+
+    def extra_stats(self) -> dict:
+        return {
+            "frame_rows_inline": self._row_log.rows_inline,
+            "frame_rows_fallback": self._row_log.rows_fallback,
+        }
+
+    # -- teardown -----------------------------------------------------------
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        endpoint = self._endpoint
+        if endpoint is not None:
+            stop = pickle.dumps(("stop",), _PROTOCOL)
+            for worker_id in range(self._num_workers):
+                try:
+                    endpoint.channel(worker_id).send_bytes(stop)
+                except Exception:
+                    pass
+        for process in self._processes.values():
+            try:
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+            except Exception:
+                pass
+        if endpoint is not None:
+            endpoint.close()
+            self._endpoint = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None

@@ -56,7 +56,9 @@ Three design points make the equivalence exact rather than approximate:
 Workers are daemonic and additionally reaped by a ``weakref.finalize``
 shutdown, so an abandoned pool cannot leak processes past its coordinator.
 
-Two delta **transports** ship the mirror slices (PR 9):
+Three delta **transports** ship the mirror slices, behind the
+:class:`~repro.cluster.transport.ShardTransport` seam (PR 9 added the ring,
+PR 10 extracted the interface and added sockets):
 
 * ``pickle`` — the original path: the coordinator pickles a
   :class:`WindowSnapshot` of the unseen EB slice into each worker's message;
@@ -73,33 +75,44 @@ Two delta **transports** ship the mirror slices (PR 9):
   before sending the descriptor, so there are no torn reads.  Header or
   codec divergence (a corrupted ring, a type index the worker never
   received) raises :class:`SnapshotError` in the worker and poisons the
-  pool, exactly like a mirror divergence.
+  pool, exactly like a mirror divergence;
+* ``tcp`` — :mod:`repro.cluster.net`: the same fixed-width rows shipped *by
+  value* as length-prefixed socket frames through an asyncio coordinator
+  endpoint, so workers can run outside the coordinator's process tree (or
+  on other hosts).  A worker that reconnects between trips re-syncs its
+  definitions and a fresh mirror from position 0 before rejoining
+  (:meth:`ShardTransport.poll_refreshed`); one that vanishes mid-trip
+  poisons the pool exactly like a dead pipe.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import pickle
-import struct
 import time
 import traceback
 import weakref
-from multiprocessing import shared_memory
 from typing import Sequence
 
+from repro.cluster.transport import (
+    DEFAULT_TRANSPORT_ENV_VAR,
+    RING_ROWS_ENV_VAR,
+    TRANSPORTS,
+    WorkerConfig,
+    _destroy_ring,
+    _FrameReader,
+    _RingReader,
+    _SnapshotRing,
+    create_transport,
+    default_ring_rows,
+    default_transport,
+)
 from repro.core.compile import compile_check
 from repro.core.evaluation import EvaluationMode, EvaluationStats
 from repro.core.triggering import TriggerMemo, TriggeringDecision, is_triggered
 from repro.errors import ShardWorkerError, SnapshotError
 from repro.events.clock import Timestamp
-from repro.events.event import EventOccurrence, EventType
-from repro.events.event_base import (
-    ROW_WIDTH,
-    EventBase,
-    SnapshotRowCodec,
-    WindowSnapshot,
-)
+from repro.events.event import EventType
+from repro.events.event_base import EventBase, WindowSnapshot
 from repro.obs.registry import MetricsRegistry
 from repro.rules.rule import RuleState
 
@@ -107,272 +120,25 @@ __all__ = [
     "ProcessShardPool",
     "TRANSPORTS",
     "DEFAULT_TRANSPORT_ENV_VAR",
+    "RING_ROWS_ENV_VAR",
     "default_transport",
     "default_ring_rows",
 ]
 
 _PROTOCOL = pickle.HIGHEST_PROTOCOL
 
-#: Delta transports the pool understands.
-TRANSPORTS = ("pickle", "shm")
-
-#: Environment variable consulted when ``transport`` is not given explicitly
-#: (mirrors ``$CHIMERA_SHARDS`` / ``$CHIMERA_SHARD_MODE``).
-DEFAULT_TRANSPORT_ENV_VAR = "CHIMERA_TRANSPORT"
-
-#: Environment variable sizing the shared-memory ring, in rows.
-RING_ROWS_ENV_VAR = "CHIMERA_SHM_ROWS"
-
-_DEFAULT_RING_ROWS = 65536
-
-#: Ring header: magic, format version, row width, capacity (rows).  Workers
-#: re-validate it on every descriptor read, so corruption fails loudly.
-_RING_HEADER = struct.Struct("<IIII")
-_RING_HEADER_SIZE = 64
-_RING_MAGIC = 0x43484D52  # "CHMR"
-_RING_VERSION = 1
-
-
-def default_transport() -> str:
-    """The ambient delta transport: ``$CHIMERA_TRANSPORT`` or ``pickle``."""
-    raw = os.environ.get(DEFAULT_TRANSPORT_ENV_VAR, "").strip().lower()
-    return raw if raw in TRANSPORTS else "pickle"
-
-
-def default_ring_rows() -> int:
-    """The ambient ring capacity: ``$CHIMERA_SHM_ROWS`` or 65536 rows."""
-    raw = os.environ.get(RING_ROWS_ENV_VAR, "").strip()
-    if not raw:
-        return _DEFAULT_RING_ROWS
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return _DEFAULT_RING_ROWS
-
-
-# ---------------------------------------------------------------------------
-# Shared-memory ring (coordinator writes, workers read)
-# ---------------------------------------------------------------------------
-
-
-def _destroy_ring(shm) -> None:
-    """Best-effort ring teardown (idempotent; also runs via weakref.finalize)."""
-    try:
-        shm.close()
-    except Exception:
-        pass
-    try:
-        shm.unlink()
-    except Exception:
-        pass
-
-
-class _SnapshotRing:
-    """Coordinator side of the shared-memory row ring.
-
-    EB position ``p`` lives at slot ``p % capacity``; every position is
-    encoded exactly once (per EB log), so any worker whose unseen slice fits
-    inside the last ``capacity`` rows reads it with zero re-encoding.  Rows
-    that cannot inline-encode keep their full snapshot tuples in
-    ``fallback_rows`` for as long as their slots stay live.
-    """
-
-    __slots__ = (
-        "capacity",
-        "shm",
-        "name",
-        "codec",
-        "encoded",
-        "fallback_rows",
-        "rows_inline",
-        "rows_fallback",
-    )
-
-    def __init__(self, capacity_rows: int) -> None:
-        self.capacity = capacity_rows
-        self.shm = shared_memory.SharedMemory(
-            create=True, size=_RING_HEADER_SIZE + capacity_rows * ROW_WIDTH
-        )
-        self.name = self.shm.name
-        _RING_HEADER.pack_into(
-            self.shm.buf, 0, _RING_MAGIC, _RING_VERSION, ROW_WIDTH, capacity_rows
-        )
-        self.codec = SnapshotRowCodec()
-        #: EB positions ``[0, encoded)`` hold encoded rows (modulo capacity).
-        self.encoded = 0
-        #: position -> snapshot tuple for rows that did not inline-encode.
-        self.fallback_rows: dict[int, tuple] = {}
-        self.rows_inline = 0
-        self.rows_fallback = 0
-
-    def encode_through(self, event_base: EventBase, total: int) -> None:
-        """Encode EB positions ``[encoded, total)`` into their ring slots."""
-        if total <= self.encoded:
-            return
-        buf = self.shm.buf
-        capacity = self.capacity
-        encode = self.codec.encode_into
-        occurrences = event_base.occurrences
-        inline = fallback = 0
-        position = self.encoded
-        try:
-            while position < total:
-                # Slots of a run up to the ring edge are contiguous — walk
-                # them with one add per row instead of a modulo + multiply.
-                slot = position % capacity
-                run_end = min(total, position + capacity - slot)
-                offset = _RING_HEADER_SIZE + slot * ROW_WIDTH
-                for position in range(position, run_end):
-                    occurrence = occurrences[position]
-                    if encode(buf, offset, occurrence):
-                        inline += 1
-                    else:
-                        row = occurrence.snapshot()
-                        # Same synchronous-failure contract as
-                        # WindowSnapshot.pickled: an unpicklable user payload
-                        # surfaces here, naming the occurrence, instead of
-                        # crashing a worker.
-                        try:
-                            pickle.dumps(row, _PROTOCOL)
-                        except Exception as exc:
-                            raise SnapshotError(
-                                "window snapshot is not picklable — event "
-                                "payloads and OIDs must be picklable to cross "
-                                "a process boundary (first offender: "
-                                f"occurrence eid={row[0]}): {exc}"
-                            ) from exc
-                        self.fallback_rows[position] = row
-                        fallback += 1
-                    offset += ROW_WIDTH
-                position = run_end
-        finally:
-            self.rows_inline += inline
-            self.rows_fallback += fallback
-        self.encoded = total
-        horizon = total - capacity
-        if horizon > 0 and self.fallback_rows:
-            for position in [p for p in self.fallback_rows if p < horizon]:
-                del self.fallback_rows[position]
-
-    def descriptor(self, start: int, shipped_types: int) -> tuple | None:
-        """The ``("shm", ...)`` delta for positions ``[start, encoded)``.
-
-        ``None`` when the range no longer fits the ring (the lagging worker
-        falls back to a pickled snapshot for this trip).
-        """
-        if self.encoded - start > self.capacity:
-            return None
-        fallbacks: tuple = ()
-        if self.fallback_rows:
-            fallbacks = tuple(
-                sorted(
-                    (position, row)
-                    for position, row in self.fallback_rows.items()
-                    if position >= start
-                )
-            )
-        return (
-            "shm",
-            self.name,
-            start,
-            self.encoded - start,
-            fallbacks,
-            tuple(self.codec.type_snapshots[shipped_types:]),
-        )
-
-    def reset(self) -> None:
-        """Forget the encoded log (the coordinator's EB was rebound)."""
-        self.codec = SnapshotRowCodec()
-        self.encoded = 0
-        self.fallback_rows.clear()
-
-
-class _RingReader:
-    """Worker side: attach once, decode ``(offset, count)`` descriptors."""
-
-    __slots__ = ("_shm", "name", "codec")
-
-    def __init__(self) -> None:
-        self._shm = None
-        self.name: str | None = None
-        self.codec = SnapshotRowCodec()
-
-    def read(self, descriptor: tuple, type_cache: dict) -> list[EventOccurrence]:
-        """The occurrences of one descriptor, in log order."""
-        _, name, start, count, fallback_items, new_types = descriptor
-        self._attach(name)
-        buf = self._shm.buf
-        magic, version, row_width, capacity = _RING_HEADER.unpack_from(buf, 0)
-        if (
-            magic != _RING_MAGIC
-            or version != _RING_VERSION
-            or row_width != ROW_WIDTH
-            or capacity <= 0
-            or len(buf) != _RING_HEADER_SIZE + capacity * ROW_WIDTH
-        ):
-            raise SnapshotError(
-                "shared-memory ring header is corrupt (magic="
-                f"{magic:#x} version={version} row_width={row_width} "
-                f"capacity={capacity}); refusing to decode — close the pool "
-                "and let the coordinator spawn a fresh one"
-            )
-        if new_types:
-            self.codec.extend_types(new_types)
-        fallbacks = dict(fallback_items)
-        decode = self.codec.decode_from
-        from_snapshot = EventOccurrence.from_snapshot
-        occurrences: list[EventOccurrence] = []
-        for position in range(start, start + count):
-            offset = _RING_HEADER_SIZE + (position % capacity) * ROW_WIDTH
-            row = decode(buf, offset)
-            if row is None:
-                row = fallbacks.pop(position, None)
-                if row is None:
-                    raise SnapshotError(
-                        "shared-memory row codec divergence: position "
-                        f"{position} is a fallback placeholder with no "
-                        "out-of-band row"
-                    )
-            occurrences.append(from_snapshot(row, type_cache=type_cache))
-        if fallbacks:
-            raise SnapshotError(
-                "shared-memory row codec divergence: "
-                f"{len(fallbacks)} out-of-band rows matched no placeholder "
-                f"(positions {sorted(fallbacks)[:5]}...)"
-            )
-        return occurrences
-
-    def _attach(self, name: str) -> None:
-        if self.name == name and self._shm is not None:
-            return
-        self.detach()
-        shm = shared_memory.SharedMemory(name=name)
-        # Attaching re-registers the segment with the resource tracker on
-        # 3.8-3.12 (there is no track=False before 3.13).  Workers are forked,
-        # so they share the coordinator's tracker process and the re-register
-        # is an idempotent no-op there — an explicit unregister here would
-        # instead erase the coordinator's own registration and make its
-        # unlink complain.
-        self._shm = shm
-        self.name = name
-
-    def reset(self) -> None:
-        """New EB log: the positions (and type table) restart from zero."""
-        self.codec = SnapshotRowCodec()
-
-    def detach(self) -> None:
-        if self._shm is not None:
-            try:
-                self._shm.close()
-            except Exception:
-                pass
-            self._shm = None
-            self.name = None
+# Ring internals stay importable from here (tests/events/test_row_codec.py
+# exercises the codec through them); the implementations moved to
+# repro.cluster.transport with the rest of the delta machinery.
+_SnapshotRing = _SnapshotRing
+_RingReader = _RingReader
+_destroy_ring = _destroy_ring
 
 
 # ---------------------------------------------------------------------------
 # Worker side (runs in the child process; must stay module-level so the pool
-# also works under the "spawn" start method)
+# also works under the "spawn" start method — and so the TCP entrypoint in
+# repro.cluster.net can run the identical loop over a socket channel)
 # ---------------------------------------------------------------------------
 
 
@@ -404,6 +170,7 @@ def _worker_main(
     rules: dict[str, list] = {}
     type_cache: dict[tuple, EventType] = {}
     ring_reader = _RingReader()
+    frame_reader = _FrameReader()
     try:
         _worker_loop(
             connection,
@@ -416,6 +183,7 @@ def _worker_main(
             rules,
             type_cache,
             ring_reader,
+            frame_reader,
             mirror,
         )
     finally:
@@ -435,6 +203,7 @@ def _worker_loop(
     rules,
     type_cache,
     ring_reader,
+    frame_reader,
     mirror,
 ) -> None:
     while True:
@@ -458,6 +227,7 @@ def _worker_loop(
                 mirror = EventBase()
                 type_cache.clear()
                 ring_reader.reset()
+                frame_reader.reset()
                 for entry in rules.values():
                     entry[2].clear()
                     if entry[3] is not None:
@@ -469,8 +239,10 @@ def _worker_loop(
                 if isinstance(delta, bytes):
                     snapshot = WindowSnapshot.from_pickled(delta)
                     mirror.extend(snapshot.occurrences(type_cache=type_cache))
-                else:
+                elif delta[0] == "shm":
                     mirror.extend(ring_reader.read(delta, type_cache))
+                else:
+                    mirror.extend(frame_reader.read(delta, type_cache))
             # Drops before defs: a removed-then-re-added name must end up
             # with the fresh definition, not the stale entry.
             for name in drops:
@@ -585,36 +357,17 @@ def _worker_loop(
             # have surfaced; fall back to the traceback text otherwise.
             formatted = traceback.format_exc()
             try:
-                payload = pickle.dumps(("error", exc, formatted, state_applied), _PROTOCOL)
+                payload = pickle.dumps(
+                    ("error", exc, formatted, state_applied), _PROTOCOL
+                )
             except Exception:
-                payload = pickle.dumps(("error", None, formatted, state_applied), _PROTOCOL)
+                payload = pickle.dumps(
+                    ("error", None, formatted, state_applied), _PROTOCOL
+                )
             try:
                 connection.send_bytes(payload)
             except Exception:
                 return
-
-
-def _shutdown_workers(members: list[tuple]) -> None:
-    """Best-effort worker teardown (idempotent; also runs via weakref.finalize)."""
-    stop = pickle.dumps(("stop",), _PROTOCOL)
-    for process, connection in members:
-        try:
-            if process.is_alive():
-                connection.send_bytes(stop)
-        except Exception:
-            pass
-    for process, connection in members:
-        try:
-            process.join(timeout=2.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=1.0)
-        except Exception:
-            pass
-        try:
-            connection.close()
-        except Exception:
-            pass
 
 
 # ---------------------------------------------------------------------------
@@ -641,8 +394,8 @@ class _WorkerHandle:
         self.connection = connection
         #: How much of the current EB log this worker's mirror holds.
         self.shipped_events = 0
-        #: How much of the ring codec's type table this worker holds (shm
-        #: transport; new types piggyback on each descriptor).
+        #: How much of the row codec's type table this worker holds (shm and
+        #: tcp transports; new types piggyback on each delta).
         self.shipped_types = 0
         #: rule name -> definition order of the definition last shipped.
         self.shipped_defs: dict[str, int] = {}
@@ -650,13 +403,27 @@ class _WorkerHandle:
         #: on the next message, so churn costs no extra round trip).
         self.pending_drops: list[str] = []
 
+    def forget_shipments(self) -> None:
+        """Reset to never-contacted (the reconnect re-sync path)."""
+        self.shipped_events = 0
+        self.shipped_types = 0
+        self.shipped_defs.clear()
+        self.pending_drops.clear()
+
+
+#: One staged send of ``evaluate_trip``: the consulted handle, its encoded
+#: request, the definitions riding along and the type watermark to advance to.
+_PreparedSend = tuple[_WorkerHandle, bytes, list[tuple[str, int]], int | None]
+
 
 class ProcessShardPool:
     """N long-lived processes evaluating shard batches against mirror EBs.
 
-    The pool is transport + residency bookkeeping only; *which* rules are
-    candidates for a block is decided by the coordinator's plan, and every
-    state mutation happens back in the coordinator.  See the module
+    The pool is protocol + residency bookkeeping only: *which* rules are
+    candidates for a block is decided by the coordinator's plan, every state
+    mutation happens back in the coordinator, and worker launch / byte
+    channels / delta encoding live behind the
+    :class:`~repro.cluster.transport.ShardTransport` seam.  See the module
     docstring for the protocol.
     """
 
@@ -671,12 +438,15 @@ class ProcessShardPool:
         ring_rows: int | None = None,
     ) -> None:
         if num_workers < 1:
-            raise ValueError(f"a process shard pool needs at least 1 worker (got {num_workers})")
+            raise ValueError(
+                f"a process shard pool needs at least 1 worker (got {num_workers})"
+            )
         if transport is None:
             transport = default_transport()
         if transport not in TRANSPORTS:
             raise ValueError(
-                f"unknown transport {transport!r}; expected one of {', '.join(TRANSPORTS)}"
+                f"unknown transport {transport!r}; expected one of "
+                f"{', '.join(TRANSPORTS)}"
             )
         if ring_rows is None:
             ring_rows = default_ring_rows()
@@ -687,43 +457,31 @@ class ProcessShardPool:
         self.use_compiled_checks = use_compiled_checks
         self.transport = transport
         self.ring_rows = ring_rows
-        #: The shared-memory ring, created lazily on the first shm dispatch.
-        self._ring: _SnapshotRing | None = None
-        self._ring_finalizer = None
         #: Coordinator-side registry the workers' reply deltas merge into
         #: (None = discard them).  Workers receive only the enabled *flag* —
         #: registries do not cross the process boundary.
         self.metrics = metrics
         metrics_enabled = metrics is not None and metrics.enabled
-        if start_method is None:
-            # fork keeps startup in the low milliseconds and needs no
-            # re-imports; the worker main stays spawn-compatible for
-            # platforms without it.
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else methods[0]
-        context = multiprocessing.get_context(start_method)
-        self.start_method = start_method
-        if transport == "shm" and start_method == "fork":
-            # Spawn the resource tracker *before* forking: the children then
-            # inherit its pipe, so a worker's shm attach re-registers the
-            # ring with the coordinator's tracker (an idempotent no-op)
-            # instead of spawning a private tracker that would try to unlink
-            # the coordinator's live segment when the worker exits.
-            from multiprocessing import resource_tracker
-
-            resource_tracker.ensure_running()
-        self._workers: list[_WorkerHandle] = []
-        for worker_id in range(num_workers):
-            parent_end, child_end = context.Pipe()
-            process = context.Process(
-                target=_worker_main,
-                args=(child_end, mode.value, use_compiled_checks, metrics_enabled),
-                name=f"shard-worker-{worker_id}",
-                daemon=True,
+        self._transport = create_transport(
+            transport, start_method=start_method, ring_rows=ring_rows
+        )
+        self.start_method = self._transport.start_method
+        try:
+            self._transport.launch(
+                num_workers,
+                WorkerConfig(mode.value, use_compiled_checks, metrics_enabled),
             )
-            process.start()
-            child_end.close()
-            self._workers.append(_WorkerHandle(worker_id, process, parent_end))
+        except BaseException:
+            self._transport.shutdown()
+            raise
+        self._workers: list[_WorkerHandle] = [
+            _WorkerHandle(
+                worker_id,
+                self._transport.process(worker_id),
+                self._transport.channel(worker_id),
+            )
+            for worker_id in range(num_workers)
+        ]
         self._closed = False
         #: Set when a worker died mid-protocol or diverged from the
         #: coordinator's bookkeeping — the pool then refuses further work.
@@ -738,21 +496,33 @@ class ProcessShardPool:
         self.blocks_dispatched = 0
         self.bytes_shipped = 0
         self.bytes_received = 0
+        #: Rule definitions shipped to workers, cumulatively.  With a stable
+        #: table this equals "each live rule once per owning worker" however
+        #: many trips run — the defs-shipped-once-per-version fact the X14
+        #: bench guard pins per transport.
+        self.defs_shipped = 0
+        #: Worker channels replaced by a reconnect (tcp transport), each
+        #: followed by a defs + mirror re-sync on the next contact.
+        self.reconnects = 0
         #: Coordinator-side serialization cost (snapshot + message pickling):
         #: the "snapshot cost" side of the crossover PERFORMANCE.md discusses.
         self.encode_seconds = 0.0
-        #: The delta-only share of ``encode_seconds`` (ring rows or pickled
-        #: snapshots) — the number the X13 transport bench compares.
+        #: The delta-only share of ``encode_seconds`` (ring rows, frame rows
+        #: or pickled snapshots) — the number the X13/X14 transport benches
+        #: compare.
         self.delta_encode_seconds = 0.0
         #: Per-worker deltas shipped by each path (pickle transport counts
-        #: everything under ``deltas_pickled``; the shm transport splits).
+        #: everything under ``deltas_pickled``; shm splits descriptor vs
+        #: fallback; tcp counts row frames under ``deltas_framed``).
         self.deltas_shm = 0
         self.deltas_pickled = 0
-        self._finalizer = weakref.finalize(
-            self,
-            _shutdown_workers,
-            [(handle.process, handle.connection) for handle in self._workers],
-        )
+        self.deltas_framed = 0
+        self._finalizer = weakref.finalize(self, self._transport.shutdown)
+
+    @property
+    def _ring(self):
+        """The shm transport's ring (None before first dispatch / elsewhere)."""
+        return getattr(self._transport, "ring", None)
 
     # -- the per-trip round trip ------------------------------------------------
     def evaluate(
@@ -806,24 +576,26 @@ class ProcessShardPool:
         sorts by definition order before applying) plus the merged stats.
         """
         self._require_usable()
+        self._absorb_reconnects()
+        transport = self._transport
         total = len(event_base.occurrences)
         by_name: dict[str, RuleState] = {}
-        encoded_deltas: dict[int, bytes] = {}
-        prepared: list[tuple[_WorkerHandle, bytes, list[tuple[str, int]], int | None]] = []
+        prepared: list[_PreparedSend] = []
         covered_blocks: set[int] = set()
         started = time.perf_counter()
-        ring: _SnapshotRing | None = None
-        if self.transport == "shm" and any(
-            self._workers[worker_id].shipped_events < total
-            for worker_id in assignments
-        ):
-            # Encode the unseen tail of the log once, into its ring slots —
-            # every lagging worker then ships an (offset, count) descriptor
-            # instead of a pickled snapshot.
-            ring = self._ensure_ring()
-            encode_started = time.perf_counter()
-            ring.encode_through(event_base, total)
-            self.delta_encode_seconds += time.perf_counter() - encode_started
+        lagging = sorted(
+            {
+                self._workers[worker_id].shipped_events
+                for worker_id in assignments
+                if self._workers[worker_id].shipped_events < total
+            }
+        )
+        # Encode the unseen tail of the log once (ring slots, frame rows, or
+        # nothing for the pickle transport) — every lagging worker's delta is
+        # then a descriptor or slice of the same encoded log.
+        encode_started = time.perf_counter()
+        transport.begin_trip(event_base, total, lagging)
+        self.delta_encode_seconds += time.perf_counter() - encode_started
         for worker_id in sorted(assignments):
             handle = self._workers[worker_id]
             segment_items = assignments[worker_id]
@@ -836,7 +608,10 @@ class ProcessShardPool:
                 for state, window_start, pending_only in segment_items[segment_index]:
                     name = state.rule.name
                     order = state.definition_order
-                    if handle.shipped_defs.get(name) != order and name not in shipping_now:
+                    if (
+                        handle.shipped_defs.get(name) != order
+                        and name not in shipping_now
+                    ):
                         defs.append((name, order, state.rule.events))
                         new_defs.append((name, order))
                         shipping_now.add(name)
@@ -848,24 +623,17 @@ class ProcessShardPool:
             delta: bytes | tuple | None = None
             advance_types: int | None = None
             if handle.shipped_events < total:
-                offset = handle.shipped_events
-                if ring is not None:
-                    delta = ring.descriptor(offset, handle.shipped_types)
-                if delta is not None:
-                    advance_types = len(ring.codec.type_snapshots)
+                encode_started = time.perf_counter()
+                delta, advance_types = transport.delta_for(
+                    event_base, total, handle.shipped_events, handle.shipped_types
+                )
+                self.delta_encode_seconds += time.perf_counter() - encode_started
+                if isinstance(delta, bytes):
+                    self.deltas_pickled += 1
+                elif delta[0] == "shm":
                     self.deltas_shm += 1
                 else:
-                    # Pickle transport, or a worker lagging past the ring
-                    # capacity: ship the classic snapshot.
-                    delta = encoded_deltas.get(offset)
-                    if delta is None:
-                        encode_started = time.perf_counter()
-                        delta = event_base.delta_snapshot(offset).pickled()
-                        self.delta_encode_seconds += (
-                            time.perf_counter() - encode_started
-                        )
-                        encoded_deltas[offset] = delta
-                    self.deltas_pickled += 1
+                    self.deltas_framed += 1
             message = (
                 "check",
                 delta,
@@ -885,6 +653,7 @@ class ProcessShardPool:
                 handle.shipped_types = advance_types
             for name, order in new_defs:
                 handle.shipped_defs[name] = order
+            self.defs_shipped += len(new_defs)
         self.dispatches += 1
         self.worker_round_trips += len(prepared)
         self.blocks_dispatched += len(covered_blocks)
@@ -943,6 +712,7 @@ class ProcessShardPool:
         if self._closed or not self._workers:
             return
         self._require_usable()
+        self._absorb_reconnects()
         payload = pickle.dumps(("reset",), _PROTOCOL)
         for handle in self._workers:
             self._send(handle, payload)
@@ -950,8 +720,7 @@ class ProcessShardPool:
             self._receive(handle)
             handle.shipped_events = 0
             handle.shipped_types = 0
-        if self._ring is not None:
-            self._ring.reset()
+        self._transport.note_reset()
 
     # -- transport ------------------------------------------------------------
     def _require_usable(self) -> None:
@@ -964,15 +733,29 @@ class ProcessShardPool:
                 "coordinator spawn a fresh one"
             )
 
+    def _absorb_reconnects(self) -> None:
+        """Fold channel replacements into the shipping bookkeeping.
+
+        A worker that reconnected since the last trip (tcp transport) starts
+        from an empty mirror and an empty rule table: resetting its handle
+        makes the next message re-ship every definition it needs plus a full
+        mirror snapshot from position 0 — the epoch-gated re-sync that lets
+        it rejoin without a coordinator restart.
+        """
+        for worker_id in self._transport.poll_refreshed():
+            handle = self._workers[worker_id]
+            handle.process = self._transport.process(worker_id)
+            handle.connection = self._transport.channel(worker_id)
+            handle.forget_shipments()
+            self.reconnects += 1
+
     def _encode(self, message: tuple) -> bytes:
         try:
             return pickle.dumps(message, _PROTOCOL)
         except SnapshotError:
             raise
         except Exception as exc:
-            raise SnapshotError(
-                f"shard work item is not picklable: {exc}"
-            ) from exc
+            raise SnapshotError(f"shard work item is not picklable: {exc}") from exc
 
     def _send(self, handle: _WorkerHandle, payload: bytes) -> None:
         try:
@@ -995,6 +778,11 @@ class ProcessShardPool:
             raise ShardWorkerError(
                 f"shard worker {handle.worker_id} died before replying: {exc}"
             ) from exc
+        except SnapshotError:
+            # A corrupt frame means the byte stream desynced — the channel
+            # can never be trusted again, exactly like a dead peer.
+            self._broken = True
+            raise
         self.bytes_received += len(raw)
         reply = pickle.loads(raw)
         if reply[0] == "error":
@@ -1016,43 +804,35 @@ class ProcessShardPool:
         return reply[1], reply[2], (reply[3] if len(reply) > 3 else None)
 
     # -- lifecycle ------------------------------------------------------------
-    def _ensure_ring(self) -> _SnapshotRing:
-        if self._ring is None:
-            self._ring = _SnapshotRing(self.ring_rows)
-            # The ring outlives any single trip but never its pool: the
-            # finalizer unlinks the segment even when the pool is abandoned
-            # (or poisoned) without a close().
-            self._ring_finalizer = weakref.finalize(
-                self, _destroy_ring, self._ring.shm
-            )
-        return self._ring
-
     def transport_stats(self) -> dict[str, int | float]:
         """Wire-level counters (merged into the workload reports)."""
-        ring = self._ring
-        return {
+        stats = {
             "workers": self.num_workers,
             "dispatches": self.dispatches,
             "worker_round_trips": self.worker_round_trips,
             "blocks_dispatched": self.blocks_dispatched,
             "bytes_shipped": self.bytes_shipped,
             "bytes_received": self.bytes_received,
+            "defs_shipped": self.defs_shipped,
+            "reconnects": self.reconnects,
             "encode_ms": round(1e3 * self.encode_seconds, 2),
             "delta_encode_ms": round(1e3 * self.delta_encode_seconds, 2),
             "deltas_shm": self.deltas_shm,
             "deltas_pickled": self.deltas_pickled,
-            "shm_rows_inline": 0 if ring is None else ring.rows_inline,
-            "shm_rows_fallback": 0 if ring is None else ring.rows_fallback,
+            "deltas_framed": self.deltas_framed,
+            "shm_rows_inline": 0,
+            "shm_rows_fallback": 0,
+            "frame_rows_inline": 0,
+            "frame_rows_fallback": 0,
         }
+        stats.update(self._transport.extra_stats())
+        return stats
 
     def close(self) -> None:
-        """Stop and reap the workers, then unlink the ring (idempotent)."""
+        """Stop and reap the workers, then release the transport (idempotent)."""
         if not self._closed:
             self._closed = True
             self._finalizer()
-            if self._ring_finalizer is not None:
-                self._ring_finalizer()
-                self._ring = None
 
     def __enter__(self) -> "ProcessShardPool":
         return self

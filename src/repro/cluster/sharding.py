@@ -135,11 +135,15 @@ class ShardedRuleTable(RuleTable):
 
     def __init__(self, num_shards: int, plan_cache_size: int | None = None) -> None:
         if num_shards < 1:
-            raise ValueError(f"a sharded rule table needs at least 1 shard (got {num_shards})")
+            raise ValueError(
+                f"a sharded rule table needs at least 1 shard (got {num_shards})"
+            )
         if plan_cache_size is None:
             plan_cache_size = DEFAULT_PLAN_CACHE_SIZE
         if plan_cache_size < 1:
-            raise ValueError(f"plan_cache_size must be positive (got {plan_cache_size})")
+            raise ValueError(
+                f"plan_cache_size must be positive (got {plan_cache_size})"
+            )
         super().__init__()
         self.num_shards = num_shards
         #: Per-shard LRU capacity of the sub-signature plan caches (the

@@ -365,7 +365,9 @@ class StreamIngestor:
         self._raise_pending_error()
         if self._closed or self._failed:
             raise RuntimeError(
-                "StreamIngestor has failed" if self._failed else "StreamIngestor is closed"
+                "StreamIngestor has failed"
+                if self._failed
+                else "StreamIngestor is closed"
             )
         if self._thread is None:
             self.start()

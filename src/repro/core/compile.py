@@ -209,9 +209,7 @@ class _Compiler:
                         position = _bisect(times, instant)
                         if position:
                             candidate = times[position - 1]
-                            if candidate > after and (
-                                best is None or candidate > best
-                            ):
+                            if candidate > after and (best is None or candidate > best):
                                 best = candidate
                 return best if best is not None else -instant
 

@@ -297,9 +297,7 @@ def expand_event_type(event_type: EventType, schema) -> tuple[EventType, ...]:
         return (event_type,)
     expanded = [event_type]
     for ancestor in schema.ancestors(event_type.class_name):
-        expanded.append(
-            EventType(event_type.operation, ancestor, event_type.attribute)
-        )
+        expanded.append(EventType(event_type.operation, ancestor, event_type.attribute))
     return tuple(expanded)
 
 

@@ -114,7 +114,9 @@ class _TypeIndex:
             return None
         return self.timestamps[position - 1]
 
-    def last_on_oid_at_or_before(self, oid: Any, instant: Timestamp) -> Timestamp | None:
+    def last_on_oid_at_or_before(
+        self, oid: Any, instant: Timestamp
+    ) -> Timestamp | None:
         times = self.per_oid.get(oid)
         if not times:
             return None
@@ -335,7 +337,9 @@ class _OccurrenceStore:
         return resolved
 
     # -- queries used by the calculus ------------------------------------
-    def last_timestamp(self, event_type: EventType, instant: Timestamp) -> Timestamp | None:
+    def last_timestamp(
+        self, event_type: EventType, instant: Timestamp
+    ) -> Timestamp | None:
         """Time stamp of the most recent occurrence of ``event_type`` at/before ``instant``."""
         best: Timestamp | None = None
         for index in self._indexes_matching(event_type):
@@ -457,7 +461,9 @@ class EventBase(_OccurrenceStore):
         EB untouched (the old per-append loop applied a prefix before
         failing).
         """
-        batch = occurrences if isinstance(occurrences, (list, tuple)) else list(occurrences)
+        batch = occurrences if isinstance(occurrences, (list, tuple)) else list(
+            occurrences
+        )
         if not batch:
             return
         if len(batch) == 1:
@@ -606,6 +612,11 @@ class EventWindow(_OccurrenceStore):
         return WindowSnapshot.of(self.occurrences, after=self.after, until=self.until)
 
 
+#: ``BoundedView``'s memo of the parent's index resolution: the parent's
+#: epoch when resolved, plus the per-type index tuples resolved so far.
+_ResolvedIndexes = tuple[int, dict[EventType, tuple[_TypeIndex, ...]]]
+
+
 class BoundedView:
     """A zero-copy lazy window over a shared occurrence store.
 
@@ -638,7 +649,7 @@ class BoundedView:
         self._parent = parent
         self.after = after
         self.until = until
-        self._resolved: tuple[int, dict[EventType, tuple[_TypeIndex, ...]]] | None = None
+        self._resolved: _ResolvedIndexes | None = None
 
     def _indexes_for(self, event_type: EventType) -> tuple[_TypeIndex, ...]:
         """View-local memo of the parent's ``_indexes_matching`` resolution.
@@ -676,7 +687,9 @@ class BoundedView:
         """Index range ``[start, stop)`` of the view inside the parent log."""
         stamps = self._parent._all_timestamps
         start = 0 if self.after is None else bisect.bisect_right(stamps, self.after)
-        stop = len(stamps) if self.until is None else bisect.bisect_right(stamps, self.until)
+        stop = len(stamps) if self.until is None else bisect.bisect_right(
+            stamps, self.until
+        )
         return start, max(start, stop)
 
     # -- basic introspection ------------------------------------------------
@@ -724,7 +737,9 @@ class BoundedView:
         affected: set[Any] = set()
         for index in self._parent._by_type.values():
             for oid in index.per_oid:
-                if oid not in affected and index.oid_in_bounds(oid, self.after, self.until):
+                if oid not in affected and index.oid_in_bounds(
+                    oid, self.after, self.until
+                ):
                     affected.add(oid)
         return affected
 
@@ -732,7 +747,9 @@ class BoundedView:
         """Distinct time stamps inside the bounds, sorted."""
         distinct = self._parent._distinct_timestamps
         start = 0 if self.after is None else bisect.bisect_right(distinct, self.after)
-        stop = len(distinct) if self.until is None else bisect.bisect_right(distinct, self.until)
+        stop = len(distinct) if self.until is None else bisect.bisect_right(
+            distinct, self.until
+        )
         return distinct[start:stop]
 
     def timestamps_after(self, lower: Timestamp) -> list[Timestamp]:
@@ -741,11 +758,15 @@ class BoundedView:
             lower = self.after
         distinct = self._parent._distinct_timestamps
         start = bisect.bisect_right(distinct, lower)
-        stop = len(distinct) if self.until is None else bisect.bisect_right(distinct, self.until)
+        stop = len(distinct) if self.until is None else bisect.bisect_right(
+            distinct, self.until
+        )
         return distinct[start:stop]
 
     # -- queries used by the calculus ----------------------------------------
-    def last_timestamp(self, event_type: EventType, instant: Timestamp) -> Timestamp | None:
+    def last_timestamp(
+        self, event_type: EventType, instant: Timestamp
+    ) -> Timestamp | None:
         """Most recent in-bounds occurrence of ``event_type`` at/before ``instant``."""
         bound = self._effective_until(instant)
         best: Timestamp | None = None
@@ -792,7 +813,9 @@ class BoundedView:
         for event_type in event_types:
             for index in self._indexes_for(event_type):
                 for oid in index.per_oid:
-                    if oid not in affected and index.oid_in_bounds(oid, self.after, bound):
+                    if oid not in affected and index.oid_in_bounds(
+                        oid, self.after, bound
+                    ):
                         affected.add(oid)
         return affected
 
@@ -873,7 +896,11 @@ class WindowSnapshot:
             return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             culprit = self._first_unpicklable()
-            where = f" (first offender: occurrence eid={culprit})" if culprit is not None else ""
+            where = (
+                f" (first offender: occurrence eid={culprit})"
+                if culprit is not None
+                else ""
+            )
             raise SnapshotError(
                 "window snapshot is not picklable — event payloads and OIDs "
                 "must be picklable to cross a process boundary"
@@ -934,13 +961,14 @@ _OID_BYTES = 26
 class SnapshotRowCodec:
     """Fixed-width encoder/decoder for :class:`WindowSnapshot`-style rows.
 
-    The shared-memory transport (``repro.cluster.process_pool``) ships the
-    Event Base delta as fixed-width rows instead of a pickled snapshot:
+    The shared-memory transport (``repro.cluster.process_pool``) and the
+    socket transport (``repro.cluster.net``) ship the Event Base delta as
+    fixed-width rows instead of a pickled snapshot:
     payload-free occurrences with small-int or short-string OIDs pack into
     one :data:`ROW_WIDTH`-byte slot each, with the event type interned into a
-    side table that crosses the pipe once per new type.  Decoded rows are the
-    exact ``EventOccurrence.snapshot()`` tuples the pickle path produces, so
-    both transports rebuild byte-identical mirrors
+    side table that crosses to the worker once per new type.  Decoded rows
+    are the exact ``EventOccurrence.snapshot()`` tuples the pickle path
+    produces, so every transport rebuilds byte-identical mirrors
     (``tests/events/test_row_codec.py`` pins the round trip).
 
     Encoder and decoder each hold one codec: the encoder grows

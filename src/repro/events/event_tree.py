@@ -33,7 +33,10 @@ class EventLeaf:
     def add(self, occurrence: EventOccurrence) -> None:
         """Append an occurrence and refresh the cached latest time stamp."""
         self.occurrences.append(occurrence)
-        if self.latest_timestamp is None or occurrence.timestamp > self.latest_timestamp:
+        if (
+            self.latest_timestamp is None
+            or occurrence.timestamp > self.latest_timestamp
+        ):
             self.latest_timestamp = occurrence.timestamp
 
     def occurrences_since(self, after: Timestamp | None) -> list[EventOccurrence]:
@@ -128,10 +131,14 @@ class OccurredEventsTree:
         leaves = self._classes.get(class_name)
         if not leaves:
             return None
-        stamps = [leaf.latest_timestamp for leaf in leaves.values() if leaf.latest_timestamp]
+        stamps = [
+            leaf.latest_timestamp for leaf in leaves.values() if leaf.latest_timestamp
+        ]
         return max(stamps) if stamps else None
 
-    def anything_since(self, event_types: Iterable[EventType], after: Timestamp | None) -> bool:
+    def anything_since(
+        self, event_types: Iterable[EventType], after: Timestamp | None
+    ) -> bool:
         """True if any occurrence of ``event_types`` is newer than ``after``.
 
         This is the cheap pre-check the Trigger Support performs before a full

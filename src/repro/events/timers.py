@@ -108,9 +108,7 @@ class TemporalEventPlanner:
         if period <= 0:
             raise EventCalculusError("the period of a periodic event must be positive")
         if start <= 0 or until < start:
-            raise EventCalculusError(
-                f"invalid periodic interval [{start}, {until}]"
-            )
+            raise EventCalculusError(f"invalid periodic interval [{start}, {until}]")
         return [
             self._occurrence(name, timestamp)
             for timestamp in range(start, until + 1, period)
@@ -149,7 +147,9 @@ class TemporalEventPlanner:
         return planned
 
     @staticmethod
-    def merge_into(event_base: EventBase, occurrences: Sequence[EventOccurrence]) -> EventBase:
+    def merge_into(
+        event_base: EventBase, occurrences: Sequence[EventOccurrence]
+    ) -> EventBase:
         """Merge planned occurrences with an existing EB into a new, ordered EB."""
         merged = EventBase()
         combined = sorted(

@@ -105,7 +105,8 @@ class ChimeraDatabase:
             metrics=metrics,
             # transport=None defers to the ambient default
             # ($CHIMERA_TRANSPORT): how the processes shard mode ships EB
-            # deltas — "pickle" snapshots or the "shm" row ring.
+            # deltas — "pickle" snapshots, the "shm" row ring or "tcp"
+            # socket frames.
             transport=transport,
         )
         # batch_blocks=None defers to the ambient default

@@ -117,7 +117,9 @@ class ObjectStore:
         self._extents.get(obj.class_name, set()).discard(oid)
         return obj
 
-    def reclassify(self, oid: OID, new_class: str, timestamp: Timestamp) -> ChimeraObject:
+    def reclassify(
+        self, oid: OID, new_class: str, timestamp: Timestamp
+    ) -> ChimeraObject:
         """Move an object to another class (``generalize``/``specialize``)."""
         obj = self.get(oid)
         self._extents.get(obj.class_name, set()).discard(oid)

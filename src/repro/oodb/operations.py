@@ -81,7 +81,9 @@ class OperationExecutor:
         return self.event_base.record(event_type, oid, self.clock.tick(), payload)
 
     # -- operations ----------------------------------------------------------
-    def create(self, class_name: str, values: Mapping[str, Any] | None = None) -> OperationResult:
+    def create(
+        self, class_name: str, values: Mapping[str, Any] | None = None
+    ) -> OperationResult:
         """Create an object of ``class_name`` and emit a ``create`` event."""
         complete = self.schema.validate_values(class_name, dict(values or {}))
         oid = self.store.new_oid(class_name)
@@ -154,7 +156,10 @@ class OperationExecutor:
                 f"{superclass!r} is not an ancestor of {obj.class_name!r}; cannot generalize"
             )
         occurrence = self._record(
-            Operation.GENERALIZE, superclass, oid, payload={"from_class": obj.class_name}
+            Operation.GENERALIZE,
+            superclass,
+            oid,
+            payload={"from_class": obj.class_name},
         )
         self.store.reclassify(oid, superclass, occurrence.timestamp)
         return OperationResult((obj,), (occurrence,))
@@ -172,6 +177,7 @@ class OperationExecutor:
         occurrences: tuple[EventOccurrence, ...] = ()
         if self.emit_select_events:
             occurrences = tuple(
-                self._record(Operation.SELECT, obj.class_name, obj.oid) for obj in objects
+                self._record(Operation.SELECT, obj.class_name, obj.oid)
+                for obj in objects
             )
         return OperationResult(objects, occurrences)

@@ -27,7 +27,9 @@ __all__ = ["Predicate", "Attr", "Const", "always", "never"]
 class Predicate:
     """A boolean predicate over an object, composable with ``&``, ``|`` and ``~``."""
 
-    def __init__(self, test: Callable[[ChimeraObject], bool], description: str = "") -> None:
+    def __init__(
+        self, test: Callable[[ChimeraObject], bool], description: str = ""
+    ) -> None:
         self._test = test
         self.description = description or getattr(test, "__name__", "predicate")
 
@@ -67,7 +69,9 @@ class _Operand:
         raise NotImplementedError
 
     # comparisons build predicates -----------------------------------------
-    def _compare(self, other: Any, op: Callable[[Any, Any], bool], symbol: str) -> Predicate:
+    def _compare(
+        self, other: Any, op: Callable[[Any, Any], bool], symbol: str
+    ) -> Predicate:
         other_operand = other if isinstance(other, _Operand) else Const(other)
 
         def test(obj: ChimeraObject) -> bool:

@@ -33,7 +33,9 @@ class AttributeDefinition:
         """True when ``value`` is acceptable for this attribute (None is allowed)."""
         if value is None or self.value_type is object:
             return True
-        if self.value_type is float and isinstance(value, int) and not isinstance(value, bool):
+        if self.value_type is float and isinstance(value, int) and not isinstance(
+            value, bool
+        ):
             return True
         return isinstance(value, self.value_type)
 
@@ -112,7 +114,9 @@ class Schema:
             raise SchemaError(f"class {name!r} is already defined")
         if superclass is not None and superclass not in self._classes:
             raise UnknownClassError(superclass)
-        definition = ClassDefinition(name, _normalize_attributes(attributes), superclass)
+        definition = ClassDefinition(
+            name, _normalize_attributes(attributes), superclass
+        )
         self._classes[name] = definition
         self._version += 1
         return definition

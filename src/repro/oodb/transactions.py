@@ -53,7 +53,9 @@ class Transaction:
     # -- control -----------------------------------------------------------
     def _require_active(self) -> None:
         if self.status is not TransactionStatus.ACTIVE:
-            raise TransactionError(f"transaction is {self.status.value}; no further operations")
+            raise TransactionError(
+                f"transaction is {self.status.value}; no further operations"
+            )
 
     def commit(self) -> None:
         """Run deferred rules, make the transaction's effects final."""
@@ -87,18 +89,24 @@ class Transaction:
         rule processing happens only once, after the whole block.
         """
         self._require_active()
-        outcome = self._database._run_line(self, lambda: block(_LineContext(self._database)))
+        outcome = self._database._run_line(
+            self, lambda: block(_LineContext(self._database))
+        )
         self.lines_executed += 1
         return outcome
 
-    def _single_operation(self, operation: Callable[[], OperationResult]) -> OperationResult:
+    def _single_operation(
+        self, operation: Callable[[], OperationResult]
+    ) -> OperationResult:
         self._require_active()
         result = self._database._run_line(self, operation)
         self.lines_executed += 1
         return result
 
     # -- operations (each is one transaction line) -----------------------------
-    def create(self, class_name: str, values: Mapping[str, Any] | None = None) -> ChimeraObject:
+    def create(
+        self, class_name: str, values: Mapping[str, Any] | None = None
+    ) -> ChimeraObject:
         """Create an object; returns it (its OID is ``.oid``)."""
         result = self._single_operation(
             lambda: self._database.operations.create(class_name, values)
@@ -153,7 +161,9 @@ class _LineContext:
     def __init__(self, database: "ChimeraDatabase") -> None:
         self._operations = database.operations
 
-    def create(self, class_name: str, values: Mapping[str, Any] | None = None) -> ChimeraObject:
+    def create(
+        self, class_name: str, values: Mapping[str, Any] | None = None
+    ) -> ChimeraObject:
         return self._operations.create(class_name, values).object
 
     def modify(self, oid: OID, attribute: str, value: Any) -> ChimeraObject:

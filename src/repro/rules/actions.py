@@ -70,7 +70,9 @@ class ModifyStatement(ActionStatement):
         return list(result.occurrences)
 
     def __str__(self) -> str:
-        return f"modify({self.class_name}.{self.attribute}, {self.target}, {self.value})"
+        return (
+            f"modify({self.class_name}.{self.attribute}, {self.target}, {self.value})"
+        )
 
 
 @dataclass(frozen=True)
@@ -174,7 +176,9 @@ class Action:
 
     @classmethod
     def from_callable(
-        cls, function: Callable[[Binding, OperationExecutor], Any], description: str = ""
+        cls,
+        function: Callable[[Binding, OperationExecutor], Any],
+        description: str = "",
     ) -> "Action":
         """Build an action from a plain Python callable."""
         return cls((CallableStatement(function, description or function.__name__),))

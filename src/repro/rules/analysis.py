@@ -58,7 +58,9 @@ def action_event_types(action: Action) -> set[EventType]:
     generated: set[EventType] = set()
     for statement in action.statements:
         if isinstance(statement, ModifyStatement):
-            generated.add(EventType(Operation.MODIFY, statement.class_name, statement.attribute))
+            generated.add(
+                EventType(Operation.MODIFY, statement.class_name, statement.attribute)
+            )
         elif isinstance(statement, CreateStatement):
             generated.add(EventType(Operation.CREATE, statement.class_name))
         elif isinstance(statement, DeleteStatement):
@@ -97,7 +99,8 @@ def can_trigger(source: Rule, target: Rule) -> bool:
     """True when ``source``'s action may generate an event that triggers ``target``."""
     generated = action_event_types(source.action)
     if not generated and not any(
-        isinstance(statement, CallableStatement) for statement in source.action.statements
+        isinstance(statement, CallableStatement)
+        for statement in source.action.statements
     ):
         return False
     if _is_vacuously_activatable(target):
@@ -154,7 +157,9 @@ class TriggeringGraph:
         cycles: list[list[str]] = []
         names = [rule.name for rule in self.rules]
 
-        def search(start: str, current: str, path: list[str], visited: set[str]) -> None:
+        def search(
+            start: str, current: str, path: list[str], visited: set[str]
+        ) -> None:
             for successor in sorted(self._adjacency.get(current, set())):
                 if successor == start:
                     cycles.append(path[:])
@@ -219,7 +224,9 @@ class TriggeringGraph:
 
         graph = networkx.DiGraph()
         for rule in self.rules:
-            graph.add_node(rule.name, priority=rule.priority, coupling=rule.coupling.value)
+            graph.add_node(
+                rule.name, priority=rule.priority, coupling=rule.coupling.value
+            )
         for edge in self.edges:
             graph.add_edge(edge.source, edge.target, via=[str(t) for t in edge.via])
         return graph
@@ -269,4 +276,6 @@ def analyze_rules(rules: Sequence[Rule] | Iterable[Rule]) -> TriggeringGraph:
                     )
                 )
             edges.append(TriggeringEdge(source.name, target.name, via))
-    return TriggeringGraph(rules=rule_list, edges=tuple(edges), has_opaque_actions=has_opaque)
+    return TriggeringGraph(
+        rules=rule_list, edges=tuple(edges), has_opaque_actions=has_opaque
+    )

@@ -66,7 +66,9 @@ class ConditionAtom:
     that survive (and possibly grow) after this atom.
     """
 
-    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+    def extend(
+        self, bindings: list[dict[str, Any]], context: ConditionContext
+    ) -> list[dict[str, Any]]:
         raise NotImplementedError
 
     def variables(self) -> set[str]:
@@ -82,9 +84,13 @@ class ClassRange(ConditionAtom):
     class_name: str
     include_subclasses: bool = True
 
-    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+    def extend(
+        self, bindings: list[dict[str, Any]], context: ConditionContext
+    ) -> list[dict[str, Any]]:
         subclasses = (
-            context.schema.descendants(self.class_name) if self.include_subclasses else None
+            context.schema.descendants(self.class_name)
+            if self.include_subclasses
+            else None
         )
         members = context.store.objects_of_class(self.class_name, subclasses)
         extended: list[dict[str, Any]] = []
@@ -125,7 +131,9 @@ class OccurredFormula(ConditionAtom):
                 f"operators (got {self.expression})"
             )
 
-    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+    def extend(
+        self, bindings: list[dict[str, Any]], context: ConditionContext
+    ) -> list[dict[str, Any]]:
         affected = active_objects(self.expression, context.window, context.now)
         extended: list[dict[str, Any]] = []
         for binding in bindings:
@@ -161,13 +169,17 @@ class AtFormula(ConditionAtom):
                 f"operators (got {self.expression})"
             )
 
-    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+    def extend(
+        self, bindings: list[dict[str, Any]], context: ConditionContext
+    ) -> list[dict[str, Any]]:
         affected = active_objects(self.expression, context.window, context.now)
         extended: list[dict[str, Any]] = []
         for binding in bindings:
             if self.variable in binding:
                 candidates: Iterable[Any] = (
-                    [binding[self.variable]] if binding[self.variable] in affected else []
+                    [binding[self.variable]]
+                    if binding[self.variable] in affected
+                    else []
                 )
             else:
                 candidates = sorted(affected, key=str)
@@ -213,7 +225,9 @@ class Comparison(ConditionAtom):
         if self.op not in _COMPARATORS:
             raise ConditionError(f"unsupported comparison operator {self.op!r}")
 
-    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+    def extend(
+        self, bindings: list[dict[str, Any]], context: ConditionContext
+    ) -> list[dict[str, Any]]:
         compare = _COMPARATORS[self.op]
         kept: list[dict[str, Any]] = []
         for binding in bindings:
@@ -246,7 +260,9 @@ class CallableAtom(ConditionAtom):
     function: Callable[[Binding, ConditionContext], Any]
     description: str = "callable"
 
-    def extend(self, bindings: list[dict[str, Any]], context: ConditionContext) -> list[dict[str, Any]]:
+    def extend(
+        self, bindings: list[dict[str, Any]], context: ConditionContext
+    ) -> list[dict[str, Any]]:
         extended: list[dict[str, Any]] = []
         for binding in bindings:
             outcome = self.function(binding, context)

@@ -89,8 +89,9 @@ class RuleEngine:
     #: ``MetricsRegistry(enabled=False)`` to run uninstrumented.
     metrics: MetricsRegistry | None = None
     #: Delta transport of the processes shard mode — "pickle" (snapshot
-    #: pickling) or "shm" (shared-memory row ring).  ``None`` defers to the
-    #: ambient ``$CHIMERA_TRANSPORT`` default.
+    #: pickling), "shm" (shared-memory row ring) or "tcp" (length-prefixed
+    #: socket frames to spawned workers).  ``None`` defers to the ambient
+    #: ``$CHIMERA_TRANSPORT`` default.
     transport: str | None = None
 
     def __post_init__(self) -> None:

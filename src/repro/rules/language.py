@@ -153,7 +153,9 @@ def _parse_header(text: str) -> _Header:
         index += 1
     if name is None:
         raise RuleDefinitionError("the define clause is missing the rule name")
-    return _Header(name=name, coupling=coupling, consumption=consumption, target_class=target)
+    return _Header(
+        name=name, coupling=coupling, consumption=consumption, target_class=target
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -189,7 +191,9 @@ def _qualify_events(text: str, target_class: str | None) -> str:
         return f"{operation}({inner})"
 
     pattern = re.compile(
-        r"\b(?P<op>" + "|".join(sorted(_OPERATION_NAMES)) + r")\b\s*(?:\(\s*(?P<arg>[A-Za-z_][A-Za-z_0-9.]*)\s*\))?"
+        r"\b(?P<op>"
+        + "|".join(sorted(_OPERATION_NAMES))
+        + r")\b\s*(?:\(\s*(?P<arg>[A-Za-z_][A-Za-z_0-9.]*)\s*\))?"
     )
     return pattern.sub(qualify, text)
 
@@ -289,13 +293,17 @@ def _parse_condition_atom(text: str, target_class: str | None) -> ConditionAtom:
         return AtFormula(expression, variable, time_variable)
     range_match = _CLASS_RANGE_PATTERN.match(stripped)
     if range_match and not _COMPARISON_PATTERN.search(stripped):
-        return ClassRange(variable=range_match.group(2), class_name=range_match.group(1))
+        return ClassRange(
+            variable=range_match.group(2), class_name=range_match.group(1)
+        )
     comparison_match = _COMPARISON_PATTERN.search(stripped)
     if comparison_match:
         operator_symbol = comparison_match.group(1)
         left_text = stripped[: comparison_match.start()].strip()
         right_text = stripped[comparison_match.end() :].strip()
-        return Comparison(_parse_term(left_text), operator_symbol, _parse_term(right_text))
+        return Comparison(
+            _parse_term(left_text), operator_symbol, _parse_term(right_text)
+        )
     raise RuleDefinitionError(f"cannot parse condition atom {stripped!r}")
 
 
@@ -334,11 +342,16 @@ def _parse_action_statement(text: str) -> ActionStatement:
                 f"modify needs a class.attribute path, got {path!r}"
             )
         return ModifyStatement(
-            class_name.strip(), attribute.strip(), _parse_term(variable), _parse_term(value)
+            class_name.strip(),
+            attribute.strip(),
+            _parse_term(variable),
+            _parse_term(value),
         )
     if head == "create":
         if not arguments:
-            raise RuleDefinitionError(f"create needs at least a class name: {stripped!r}")
+            raise RuleDefinitionError(
+                f"create needs at least a class name: {stripped!r}"
+            )
         class_name = arguments[0].strip()
         bind_as: str | None = None
         if " as " in class_name:
@@ -356,7 +369,9 @@ def _parse_action_statement(text: str) -> ActionStatement:
         return CreateStatement(class_name, tuple(values), bind_as=bind_as)
     if head == "delete":
         if len(arguments) != 1:
-            raise RuleDefinitionError(f"delete needs exactly one variable: {stripped!r}")
+            raise RuleDefinitionError(
+                f"delete needs exactly one variable: {stripped!r}"
+            )
         return DeleteStatement(_parse_term(arguments[0]))
     raise RuleDefinitionError(f"unknown action statement {lowered!r}")
 

@@ -129,7 +129,9 @@ class RuleState:
     #: the interpreted path).  Holds pre-resolved per-type index handles, so
     #: it must be invalidated whenever those could go stale — see
     #: :meth:`invalidate_compiled`.
-    compiled_check: "CompiledCheck | None" = field(default=None, repr=False, compare=False)
+    compiled_check: "CompiledCheck | None" = field(
+        default=None, repr=False, compare=False
+    )
     #: Set by the owning Rule Table; notified whenever the triggered flag or
     #: the window bookkeeping changes so derived indexes stay in sync.
     observer: RuleStateObserver | None = field(default=None, repr=False, compare=False)

@@ -47,6 +47,9 @@ from repro.rules.rule import ECCoupling, Rule, RuleState
 
 __all__ = ["RuleTable", "match_subscribers"]
 
+#: A subscription bucket: the subscribed states keyed by rule name.
+_StatesByName = dict[str, RuleState]
+
 #: A heap entry: ``(-priority, definition_order, token, rule name)``.  The
 #: token makes entries of superseded pushes (rule re-triggered after a
 #: consideration) detectably stale.
@@ -97,8 +100,8 @@ class RuleTable:
         self._states: dict[str, RuleState] = {}
         self._definition_counter = 0
         # -- inverted subscription index (event type -> subscribed states) --
-        self._subscriptions_exact: dict[EventType, dict[str, RuleState]] = {}
-        self._subscriptions_class: dict[tuple[Operation, str], dict[str, RuleState]] = {}
+        self._subscriptions_exact: dict[EventType, _StatesByName] = {}
+        self._subscriptions_class: dict[tuple[Operation, str], _StatesByName] = {}
         #: Rules that must be visited on *every* non-empty block because their
         #: V(E) filter is not applicable yet (window never evaluated non-empty
         #: since the last consideration).  Over-approximating: entries whose
@@ -142,7 +145,9 @@ class RuleTable:
             raise DuplicateRuleError(rule.name)
         state = RuleState(rule=rule, definition_order=self._definition_counter)
         self._definition_counter += 1
-        state.recomputation_filter = RecomputationFilter(rule.events, schema=self._schema)
+        state.recomputation_filter = RecomputationFilter(
+            rule.events, schema=self._schema
+        )
         state.observer = self
         self._states[rule.name] = state
         self._index_subscriptions(state)
@@ -188,7 +193,9 @@ class RuleTable:
             # routing change; drop them so the next check re-binds.
             state.invalidate_compiled()
 
-    def expand_signature(self, type_signature: Iterable[EventType]) -> tuple[EventType, ...]:
+    def expand_signature(
+        self, type_signature: Iterable[EventType]
+    ) -> tuple[EventType, ...]:
         """The signature plus superclass retargets of each type (deduplicated).
 
         With no schema bound this is the signature itself.  Expansions are
@@ -400,7 +407,9 @@ class RuleTable:
             and state.triggered
             and (coupling is None or state.rule.coupling is coupling)
         ]
-        candidates.sort(key=lambda state: (-state.rule.priority, state.definition_order))
+        candidates.sort(
+            key=lambda state: (-state.rule.priority, state.definition_order)
+        )
         return candidates
 
     def _entry_valid(self, entry: _HeapEntry) -> bool:
@@ -458,7 +467,9 @@ class RuleTable:
             self._stale_counts[coupling] -= 1
         return None
 
-    def select_for_consideration(self, coupling: ECCoupling | None = None) -> RuleState | None:
+    def select_for_consideration(
+        self, coupling: ECCoupling | None = None
+    ) -> RuleState | None:
         """The highest-priority triggered rule, or None when nothing is triggered.
 
         O(log k) amortized via the per-coupling heaps (k = triggered rules);

@@ -455,7 +455,9 @@ class TriggerSupport:
             decisions.append(decision)
         return decisions
 
-    def recheck_all(self, now: Timestamp, transaction_start: Timestamp) -> list[RuleState]:
+    def recheck_all(
+        self, now: Timestamp, transaction_start: Timestamp
+    ) -> list[RuleState]:
         """Force a full re-evaluation of every untriggered rule (no filter).
 
         Used at commit time to make sure deferred processing starts from an

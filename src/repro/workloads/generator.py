@@ -88,7 +88,8 @@ class EventStreamGenerator:
 
     def _object_pool(self, event_type: EventType) -> list[str]:
         return [
-            f"{event_type.class_name}#{index}" for index in range(1, self.objects_per_class + 1)
+            f"{event_type.class_name}#{index}"
+            for index in range(1, self.objects_per_class + 1)
         ]
 
     def next_block(self) -> list[EventOccurrence]:

@@ -103,7 +103,9 @@ def build_scaling_rules(
     )
     monitors = int(rule_count * monitor_fraction)
     rules: list[Rule] = []
-    for index, expression in enumerate(generator.expressions(rule_count, operators=operators)):
+    for index, expression in enumerate(
+        generator.expressions(rule_count, operators=operators)
+    ):
         if index < monitors:
             expression = SetConjunction(expression, Primitive(GHOST))
         rules.append(

@@ -211,7 +211,9 @@ def measure_shard_scaling(
     # Snapshot the plan-cache counters now: the dry planning loops below
     # replay the same warm signatures and would inflate the live hit rate.
     live_cache_stats = {
-        shards: (workload.rule_table.plan_cache_hits, workload.rule_table.plan_cache_misses)
+        shards: (
+            workload.rule_table.plan_cache_hits, workload.rule_table.plan_cache_misses
+        )
         for shards, (workload, _) in sharded.items()
     }
     if check_equivalence:

@@ -152,7 +152,9 @@ class StockScenario:
         )
         db.define_class("show", {"name": str, "quantity": int, "item": object})
         db.define_class("order", {"customer": str, "amount": int})
-        db.define_class("notFilledOrder", {"customer": str, "amount": int}, superclass="order")
+        db.define_class(
+            "notFilledOrder", {"customer": str, "amount": int}, superclass="order"
+        )
         db.define_class("stockOrder", {"item": object, "delquantity": int})
 
     def install_paper_rules(self) -> None:
@@ -207,7 +209,10 @@ class StockScenario:
                 elif kind < 0.92:
                     tx.create(
                         "order",
-                        {"customer": f"customer-{rng.randint(0, 9)}", "amount": rng.randint(1, 5)},
+                        {
+                            "customer": f"customer-{rng.randint(0, 9)}",
+                            "amount": rng.randint(1, 5),
+                        },
                     )
                 else:
                     obj = tx.create(

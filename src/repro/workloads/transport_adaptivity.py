@@ -373,9 +373,7 @@ def measure_bursty_adaptivity(
     for arm, config in arm_configs.items():
         engine = _build_stream_engine(rules, shards, shard_mode, transport)
         try:
-            with StreamIngestor(
-                engine, max_pending=max_pending, **config
-            ) as ingestor:
+            with StreamIngestor(engine, max_pending=max_pending, **config) as ingestor:
                 for block in phases["warmup"]:
                     ingestor.submit(block)
                 ingestor.flush()

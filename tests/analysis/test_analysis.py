@@ -16,7 +16,9 @@ MODIFY_QTY = EventType(Operation.MODIFY, "stock", "quantity")
 
 @pytest.fixture
 def window():
-    return history((CREATE_STOCK, "o1", 1), (CREATE_STOCK, "o2", 3), (MODIFY_QTY, "o1", 5))
+    return history(
+        (CREATE_STOCK, "o1", 1), (CREATE_STOCK, "o2", 3), (MODIFY_QTY, "o1", 5)
+    )
 
 
 class TestTraces:
@@ -41,7 +43,9 @@ class TestTraces:
         assert trace.values() == [-1, 3, 3, 3]
 
     def test_trace_custom_instants_and_label(self, window):
-        trace = ts_trace(parse_expression("create(stock)"), window, instants=[2, 4], label="A")
+        trace = ts_trace(
+            parse_expression("create(stock)"), window, instants=[2, 4], label="A"
+        )
         assert trace.label == "A"
         assert [point.instant for point in trace] == [2, 4]
 

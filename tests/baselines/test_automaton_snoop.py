@@ -17,7 +17,9 @@ CREATE_ORDER = EventType(Operation.CREATE, "order")
 
 def block(*entries):
     return [
-        EventOccurrence(eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp)
+        EventOccurrence(
+            eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp
+        )
         for index, (event_type, oid, timestamp) in enumerate(entries)
     ]
 
@@ -97,7 +99,9 @@ class TestSnoopTreeDetector:
         fired = detector.feed_block(block((MODIFY_QTY, "o1", 2)))
         assert fired == ["r"]
         composite = detector.report.composites[0]
-        assert [occ.event_type for occ in composite.constituents] == [CREATE_STOCK, MODIFY_QTY]
+        assert [occ.event_type for occ in composite.constituents] == [
+            CREATE_STOCK, MODIFY_QTY
+        ]
         assert composite.timestamp == 2
 
     def test_recent_context_uses_latest_initiator(self):
@@ -128,7 +132,10 @@ class TestDetectorAgreement:
 
     def test_agreement_on_random_streams(self):
         expression_generator = ExpressionGenerator(
-            seed=5, allow_negation=False, instance_probability=0.0, precedence_weight=0.5
+            seed=5,
+            allow_negation=False,
+            instance_probability=0.0,
+            precedence_weight=0.5,
         )
         expressions = expression_generator.expressions(4, operators=2)
         stream_generator = EventStreamGenerator(seed=6, events_per_block=2)

@@ -11,7 +11,9 @@ CREATE_ORDER = EventType(Operation.CREATE, "order")
 
 def block(*entries):
     return [
-        EventOccurrence(eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp)
+        EventOccurrence(
+            eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp
+        )
         for index, (event_type, oid, timestamp) in enumerate(entries)
     ]
 
@@ -37,7 +39,8 @@ class TestNaiveDetector:
 
     def test_consume_on_trigger_resets_the_window(self):
         detector = NaiveDetector(
-            [Subscription("r", parse_expression("create(stock)"))], consume_on_trigger=True
+            [Subscription("r", parse_expression("create(stock)"))],
+            consume_on_trigger=True,
         )
         detector.feed_block(block((CREATE_STOCK, "o1", 1)))
         detector.feed_block(block((CREATE_ORDER, "o2", 2)))
@@ -47,7 +50,8 @@ class TestNaiveDetector:
 
     def test_without_consumption_subscription_stays_triggered(self):
         detector = NaiveDetector(
-            [Subscription("r", parse_expression("create(stock)"))], consume_on_trigger=False
+            [Subscription("r", parse_expression("create(stock)"))],
+            consume_on_trigger=False,
         )
         detector.feed_block(block((CREATE_STOCK, "o1", 1)))
         detector.feed_block(block((CREATE_STOCK, "o2", 2)))
@@ -70,7 +74,9 @@ class TestNaiveDetector:
 
 class TestFilteredDetector:
     def test_skips_irrelevant_blocks_after_first_nonempty_window(self):
-        detector = FilteredDetector([Subscription("r", parse_expression("create(stock)"))])
+        detector = FilteredDetector(
+            [Subscription("r", parse_expression("create(stock)"))]
+        )
         detector.feed_block(block((CREATE_ORDER, "o1", 1)))  # evaluated (first window)
         detector.feed_block(block((CREATE_ORDER, "o2", 2)))  # skipped by the filter
         assert detector.report.ts_computations == 1
@@ -91,15 +97,23 @@ class TestFilteredDetector:
             block((CREATE_ORDER, "o4", 5)),
         ]
         naive = NaiveDetector(
-            [Subscription(f"r{i}", parse_expression(text)) for i, text in enumerate(expressions)]
+            [
+                Subscription(f"r{i}", parse_expression(text))
+                for i, text in enumerate(expressions)
+            ]
         )
         filtered = FilteredDetector(
-            [Subscription(f"r{i}", parse_expression(text)) for i, text in enumerate(expressions)]
+            [
+                Subscription(f"r{i}", parse_expression(text))
+                for i, text in enumerate(expressions)
+            ]
         )
         naive_report = naive.feed_stream(stream)
         filtered_report = filtered.feed_stream(stream)
         assert naive_report.triggerings == filtered_report.triggerings
-        per_rule_naive = [subscription.triggerings for subscription in naive.subscriptions]
+        per_rule_naive = [
+            subscription.triggerings for subscription in naive.subscriptions
+        ]
         per_rule_filtered = [
             subscription.triggerings for subscription in filtered.subscriptions
         ]
@@ -107,7 +121,11 @@ class TestFilteredDetector:
         assert filtered_report.ts_computations <= naive_report.ts_computations
 
     def test_report_as_dict(self):
-        detector = FilteredDetector([Subscription("r", parse_expression("create(stock)"))])
+        detector = FilteredDetector(
+            [Subscription("r", parse_expression("create(stock)"))]
+        )
         detector.feed_block(block((CREATE_STOCK, "o1", 1)))
         report = detector.report.as_dict()
-        assert {"blocks", "ts_computations", "filter_skips", "triggerings"} <= set(report)
+        assert {"blocks", "ts_computations", "filter_skips", "triggerings"} <= set(
+            report
+        )

@@ -35,9 +35,7 @@ def watcher(name: str, expression: str) -> Rule:
 
 
 def block(eid: int, stamp: int, event_type: EventType = ALPHA) -> list[EventOccurrence]:
-    return [
-        EventOccurrence(eid=eid, event_type=event_type, oid="o1", timestamp=stamp)
-    ]
+    return [EventOccurrence(eid=eid, event_type=event_type, oid="o1", timestamp=stamp)]
 
 
 class _Pipeline:
@@ -66,7 +64,9 @@ class _Pipeline:
 
 class TestTripTransport:
     def test_one_worker_message_per_trip(self):
-        pipeline = _Pipeline([watcher("w0", "create(alpha)"), watcher("w1", "create(beta)")])
+        pipeline = _Pipeline(
+            [watcher("w0", "create(alpha)"), watcher("w1", "create(beta)")]
+        )
         try:
             segments = pipeline.segments(
                 [block(1, 1), block(2, 2, BETA), block(3, 3), block(4, 4, BETA)]
@@ -111,7 +111,9 @@ class TestTripTransport:
             pipeline.support.check_after_blocks(segments, 0)
             pool = pipeline.support.process_pool
             (handle,) = pool._workers
-            assert handle.shipped_defs == {"w0": pipeline.table.get("w0").definition_order}
+            assert handle.shipped_defs == {
+                "w0": pipeline.table.get("w0").definition_order
+            }
         finally:
             pipeline.close()
 
@@ -161,9 +163,7 @@ class TestTripLocalSkip:
                 [watcher("w0", "create(alpha)")], shard_mode=shard_mode
             )
             try:
-                segments = pipeline.segments(
-                    [block(1, 1), block(2, 2), block(3, 3)]
-                )
+                segments = pipeline.segments([block(1, 1), block(2, 2), block(3, 3)])
                 newly = pipeline.support.check_after_blocks(segments, 0)
                 assert [state.rule.name for state in newly] == ["w0"]
                 state = pipeline.table.get("w0")
@@ -186,7 +186,9 @@ class TestTripLocalSkip:
         # The per-block reference.
         reference = _Pipeline([watcher("w0", "create(beta)")], shard_mode="serial")
         try:
-            for batch, now in reference.segments([block(1, 1), block(2, 2), block(3, 3)]):
+            for batch, now in reference.segments(
+                [block(1, 1), block(2, 2), block(3, 3)]
+            ):
                 reference.support.check_after_block(
                     batch, now, 0, type_signature=batch.type_signature
                 )
@@ -293,7 +295,9 @@ class TestEngineStreamBlocks:
         def drive(shards, shard_mode):
             engine = self.make_engine(shards, shard_mode)
             engine.rule_table.add(watcher("w0", "create(alpha)")).reset(0)
-            engine.rule_table.add(watcher("w1", "create(alpha) + create(beta)")).reset(0)
+            engine.rule_table.add(watcher("w1", "create(alpha) + create(beta)")).reset(
+                0
+            )
             try:
                 for chunk in chunks:
                     engine.run_stream_blocks(chunk)

@@ -57,7 +57,9 @@ def test_process_mode_across_shard_counts():
     scenario = build_scenario(7)
     reference = run_scenario(scenario)
     for shards in (1, 3, 5, 8):
-        assert run_scenario(scenario, shards=shards, shard_mode="processes") == reference
+        assert (
+            run_scenario(scenario, shards=shards, shard_mode="processes") == reference
+        )
 
 
 def test_modes_identical_with_periodic_exhaustive_recheck():
@@ -124,7 +126,10 @@ def test_batched_dispatch_across_shard_counts():
         reference = run_scenario(scenario, batch_blocks=batch_blocks)
         for shards in (1, 2, 5, 8):
             result = run_scenario(
-                scenario, shards=shards, shard_mode="processes", batch_blocks=batch_blocks
+                scenario,
+                shards=shards,
+                shard_mode="processes",
+                batch_blocks=batch_blocks,
             )
             assert result == reference, (
                 f"batch {batch_blocks}, {shards} shards: batched dispatch diverged"
@@ -155,7 +160,7 @@ def test_batched_dispatch_with_periodic_exhaustive_recheck():
 # Bursty arrivals (PR 9): variable trips x transports x modes byte-identical
 # ---------------------------------------------------------------------------
 
-TRANSPORTS = ("pickle", "shm")
+TRANSPORTS = ("pickle", "shm", "tcp")
 
 
 def _bursty_trip_sizes(seed: int, max_batch: int = 8) -> tuple[int, ...]:
@@ -227,6 +232,39 @@ def test_bursty_trips_with_recheck_and_compiled_checks():
                 f"compiled={use_compiled_checks}, {transport}: bursty "
                 f"partition with rechecks diverged"
             )
+
+
+def test_tcp_transport_across_modes_shard_counts_and_batch_sizes():
+    """The socket transport is pinned exactly like its in-process peers.
+
+    ``--transport tcp`` over localhost workers must produce byte-identical
+    traces / per-rule counters / stats to the unsharded reference (and hence
+    to ``pickle`` and ``shm``, which earlier tests pin against the same
+    reference) across coordinator modes, shard counts 1-8 and batch sizes
+    1-8.
+    """
+    scenario = build_scenario(9)
+    for batch_blocks in range(1, 9):
+        reference = run_scenario(scenario, batch_blocks=batch_blocks)
+        result = run_scenario(
+            scenario,
+            shards=4,
+            shard_mode="processes",
+            transport="tcp",
+            batch_blocks=batch_blocks,
+        )
+        assert result == reference, f"tcp: batch {batch_blocks} diverged"
+    reference = run_scenario(scenario, batch_blocks=3)
+    for shards in (1, 2, 5, 8):
+        for mode in MODES:
+            result = run_scenario(
+                scenario,
+                shards=shards,
+                shard_mode=mode,
+                transport="tcp",
+                batch_blocks=3,
+            )
+            assert result == reference, f"tcp: {mode} x {shards} shards diverged"
 
 
 def test_adaptive_ingestor_matches_unsharded_replay_of_realized_trips():
@@ -380,7 +418,9 @@ def test_zero_candidate_trip_merges_empty_stats_in_process_mode():
 
         def feed(class_name: str, stamp: int) -> list:
             event_base.record(
-                EventType(Operation.CREATE, class_name), oid=f"{class_name}#1", timestamp=stamp
+                EventType(Operation.CREATE, class_name),
+                oid=f"{class_name}#1",
+                timestamp=stamp,
             )
             batch = handler.flush_block()
             return support.check_after_block(
@@ -439,7 +479,9 @@ def test_worker_definitions_pruned_on_rule_removal():
                 EventType(Operation.CREATE, "alpha"), oid="alpha#1", timestamp=stamp
             )
             batch = handler.flush_block()
-            support.check_after_block(batch, stamp, 0, type_signature=batch.type_signature)
+            support.check_after_block(
+                batch, stamp, 0, type_signature=batch.type_signature
+            )
             for state in table.states():
                 if state.triggered:
                     state.mark_considered(stamp, executed=False)
@@ -501,7 +543,9 @@ def _run_database_scenario(shard_mode: str | None, shards: int) -> dict:
         for _ in range(2):
             with db.transaction() as tx:
                 items = [
-                    tx.create("stock", {"quantity": rng.randint(1, 30), "maxquantity": 50})
+                    tx.create(
+                        "stock", {"quantity": rng.randint(1, 30), "maxquantity": 50}
+                    )
                     for _ in range(4)
                 ]
                 for _ in range(6):

@@ -121,7 +121,9 @@ def test_bounded_caches_do_not_change_decisions():
             table.disable(name) if state.enabled else table.enable(name)
         batch = handler.store_external(block)
         now = block[-1].timestamp if block else (event_base.latest_timestamp() or 1)
-        newly = support.check_after_block(batch, now, 0, type_signature=batch.type_signature)
+        newly = support.check_after_block(
+            batch, now, 0, type_signature=batch.type_signature
+        )
         considered = []
         while (selected := table.select_for_consideration()) is not None:
             considered.append(selected.rule.name)

@@ -61,7 +61,9 @@ def build_support(rule_count: int = 4, transport: str | None = None):
 def feed_block(event_base, handler, support, stamp: int):
     event_base.record(CREATE_ALPHA, oid="alpha#1", timestamp=stamp)
     batch = handler.flush_block()
-    newly = support.check_after_block(batch, stamp, 0, type_signature=batch.type_signature)
+    newly = support.check_after_block(
+        batch, stamp, 0, type_signature=batch.type_signature
+    )
     for state in newly:
         state.mark_considered(stamp, executed=False)
     return newly
@@ -201,7 +203,9 @@ def test_rule_free_database_never_spawns_workers():
         for stamp in (1, 2, 3):
             event_base.record(CREATE_ALPHA, oid="alpha#1", timestamp=stamp)
             batch = handler.flush_block()
-            support.check_after_block(batch, stamp, 0, type_signature=batch.type_signature)
+            support.check_after_block(
+                batch, stamp, 0, type_signature=batch.type_signature
+            )
         assert support.recheck_all(3, 0) == []
         assert support.process_pool is None  # never forked a single process
     finally:

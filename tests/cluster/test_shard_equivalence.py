@@ -85,7 +85,9 @@ def run_scenario(
             transport=transport,
         )
     else:
-        support = TriggerSupport(table, event_base, use_compiled_checks=use_compiled_checks)
+        support = TriggerSupport(
+            table, event_base, use_compiled_checks=use_compiled_checks
+        )
 
     spans: list[tuple[int, int]] = []
     position = 0

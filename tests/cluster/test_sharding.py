@@ -27,7 +27,10 @@ def make_rule(name: str, events: str, priority: int = 0) -> Rule:
 
 def occurrence(eid: int, event_type: EventType, stamp: int = 1) -> EventOccurrence:
     return EventOccurrence(
-        eid=eid, event_type=event_type, oid=f"{event_type.class_name}#1", timestamp=stamp
+        eid=eid,
+        event_type=event_type,
+        oid=f"{event_type.class_name}#1",
+        timestamp=stamp,
     )
 
 
@@ -90,9 +93,7 @@ class TestShardPlanCache:
 
     def plan_names(self, *types: EventType) -> set[str]:
         plan = self.coordinator.plan_sharded(frozenset(types))
-        return {
-            state.rule.name for _, states in plan.per_shard for state in states
-        }
+        return {state.rule.name for _, states in plan.per_shard for state in states}
 
     def test_repeated_signature_hits_the_cache(self):
         self.table.add(make_rule("watcher", "create(stock)"))
@@ -148,9 +149,7 @@ class TestShardPlanCache:
         self.table.add(make_rule("multi", "create(stock) , create(order)"))
         self.table.get("multi").had_nonempty_window = True
         plan = self.coordinator.plan_sharded(frozenset({self.stock, self.order}))
-        names = [
-            state.rule.name for _, states in plan.per_shard for state in states
-        ]
+        names = [state.rule.name for _, states in plan.per_shard for state in states]
         assert names.count("multi") == 1
         assert plan.routed == 1
 
@@ -164,9 +163,7 @@ class TestCoordinatorCheck:
         table.add(make_rule("order_watch", "create(order)"))
         stock = EventType(Operation.CREATE, "stock")
         event_base.append(occurrence(1, stock, stamp=1))
-        newly = coordinator.check_after_block(
-            [occurrence(1, stock, stamp=1)], 1, 0
-        )
+        newly = coordinator.check_after_block([occurrence(1, stock, stamp=1)], 1, 0)
         assert [state.rule.name for state in newly] == ["stock_watch"]
         assert coordinator.cluster_stats.blocks_fanned_out == 1
 

@@ -32,7 +32,9 @@ def history(*entries: tuple[EventType, str, int]) -> EventWindow:
     compactly: ``history((A, "o1", 1), (B, "o2", 3))``.
     """
     occurrences = [
-        EventOccurrence(eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp)
+        EventOccurrence(
+            eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp
+        )
         for index, (event_type, oid, timestamp) in enumerate(
             sorted(entries, key=lambda entry: entry[2])
         )
@@ -60,10 +62,18 @@ def stock_db() -> ChimeraDatabase:
     db = ChimeraDatabase()
     db.define_class(
         "stock",
-        {"name": str, "quantity": int, "minquantity": int, "maxquantity": int, "onorder": int},
+        {
+            "name": str,
+            "quantity": int,
+            "minquantity": int,
+            "maxquantity": int,
+            "onorder": int,
+        },
     )
     db.define_class("show", {"name": str, "quantity": int, "item": object})
     db.define_class("order", {"customer": str, "amount": int})
-    db.define_class("notFilledOrder", {"customer": str, "amount": int}, superclass="order")
+    db.define_class(
+        "notFilledOrder", {"customer": str, "amount": int}, superclass="order"
+    )
     db.define_class("stockOrder", {"item": object, "delquantity": int})
     return db

@@ -71,8 +71,12 @@ def _expression_pool(seed: int = 23, count: int = 24):
         SetPrecedence(SetPrecedence(a, b), SetNegation(c)),  # nested precedence
         SetPrecedence(SetNegation(a), SetConjunction(b, c)),
         SetConjunction(InstanceNegation(a), b),  # universal lift
-        SetNegation(SetNegation(InstanceDisjunction(InstanceNegation(a), InstanceNegation(b)))),
-        SetDisjunction(InstancePrecedence(a, InstanceConjunction(b, c)), SetNegation(b)),
+        SetNegation(
+            SetNegation(InstanceDisjunction(InstanceNegation(a), InstanceNegation(b)))
+        ),
+        SetDisjunction(
+            InstancePrecedence(a, InstanceConjunction(b, c)), SetNegation(b)
+        ),
         InstanceConjunction(a, b),  # instance-oriented roots (ots defined)
         InstanceNegation(InstanceNegation(a)),
         InstancePrecedence(InstanceNegation(a), b),
@@ -304,7 +308,9 @@ class TestRecompilationInvariants:
                 EventType(Operation.CREATE, "alpha"), oid="alpha#1", timestamp=stamp
             )
             batch = handler.flush_block()
-            support.check_after_block(batch, stamp, 0, type_signature=batch.type_signature)
+            support.check_after_block(
+                batch, stamp, 0, type_signature=batch.type_signature
+            )
             if state.triggered:
                 state.mark_considered(stamp, executed=False)
 

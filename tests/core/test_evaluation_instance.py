@@ -116,7 +116,9 @@ class TestInstanceNegation:
         window = history((CREATE_STOCK, "o1", 1), (MODIFY_QTY, "o2", 2))
         set_negation = parse_expression("-create(stock)")
         for instant in range(1, 5):
-            assert ts(self.expression, window, instant) == ts(set_negation, window, instant)
+            assert ts(self.expression, window, instant) == ts(
+                set_negation, window, instant
+            )
 
     def test_negated_instance_conjunction_vs_pair_of_negations(self):
         """The paper's §3.2 pair of 'no stock created and modified' examples."""

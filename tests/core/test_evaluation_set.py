@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.core.evaluation import EvaluationMode, EvaluationStats, evaluate, is_active, ts
+from repro.core.evaluation import (
+    EvaluationMode, EvaluationStats, evaluate, is_active, ts
+)
 from repro.core.expressions import (
     SetConjunction,
     SetDisjunction,

@@ -49,7 +49,9 @@ class TestCompositeExplanations:
             expression = parse_expression(text)
             for instant in (1, 3, 5, 7):
                 explanation = explain(expression, WINDOW, instant)
-                assert explanation.value == ts(expression, WINDOW, instant), (text, instant)
+                assert explanation.value == ts(expression, WINDOW, instant), (
+                    text, instant
+                )
 
     def test_children_follow_the_expression_structure(self):
         explanation = explain(
@@ -88,7 +90,9 @@ class TestCompositeExplanations:
 
     def test_leaves_cover_every_primitive(self):
         explanation = explain(
-            parse_expression("(create(stock) , delete(stock)) + -create(order)"), WINDOW, 5
+            parse_expression("(create(stock) , delete(stock)) + -create(order)"),
+            WINDOW,
+            5,
         )
         assert len(explanation.leaves()) == 3
 

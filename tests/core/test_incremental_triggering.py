@@ -118,7 +118,9 @@ def test_ts_agrees_between_view_and_window(expression, pair, instant):
     view = event_base.view(after=after, until=until)
     window = event_base.window(after=after, until=until)
     for mode in EvaluationMode:
-        assert ts(expression, view, instant, mode) == ts(expression, window, instant, mode)
+        assert ts(expression, view, instant, mode) == ts(
+            expression, window, instant, mode
+        )
 
 
 @settings(max_examples=150, deadline=None)
@@ -195,9 +197,7 @@ def _run_simulation(seed: int, expressions, blocks: int = 40) -> int:
         for _ in range(rng.randint(0, 3)):
             if now == 0 or rng.random() < 0.7:
                 now += rng.randint(1, 2)
-            event_base.record(
-                rng.choice(universe), rng.choice(OIDS), max(now, 1)
-            )
+            event_base.record(rng.choice(universe), rng.choice(OIDS), max(now, 1))
             now = max(now, 1)
         if now == 0:
             continue

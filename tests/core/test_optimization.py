@@ -61,7 +61,9 @@ class TestDerivationRules:
         assert derive_variations(PA) == {Variation(A, Sign.POSITIVE, Scope.SET)}
 
     def test_negation_flips_sign(self):
-        assert derive_variations(SetNegation(PA)) == {Variation(A, Sign.NEGATIVE, Scope.SET)}
+        assert derive_variations(SetNegation(PA)) == {
+            Variation(A, Sign.NEGATIVE, Scope.SET)
+        }
 
     def test_double_negation_restores_sign(self):
         assert derive_variations(SetNegation(SetNegation(PA))) == {
@@ -132,13 +134,19 @@ class TestDerivationRules:
 class TestSimplificationRules:
     def test_opposite_signs_merge_to_both(self):
         merged = simplify_variations(
-            {Variation(A, Sign.POSITIVE, Scope.SET), Variation(A, Sign.NEGATIVE, Scope.SET)}
+            {
+                Variation(A, Sign.POSITIVE, Scope.SET),
+                Variation(A, Sign.NEGATIVE, Scope.SET),
+            }
         )
         assert merged == {Variation(A, Sign.BOTH, Scope.SET)}
 
     def test_set_scope_absorbs_object_scope(self):
         merged = simplify_variations(
-            {Variation(A, Sign.POSITIVE, Scope.SET), Variation(A, Sign.POSITIVE, Scope.OBJECT)}
+            {
+                Variation(A, Sign.POSITIVE, Scope.SET),
+                Variation(A, Sign.POSITIVE, Scope.OBJECT),
+            }
         )
         assert merged == {Variation(A, Sign.POSITIVE, Scope.SET)}
 
@@ -153,13 +161,19 @@ class TestSimplificationRules:
 
     def test_cross_scope_opposite_signs(self):
         merged = simplify_variations(
-            {Variation(B, Sign.POSITIVE, Scope.SET), Variation(B, Sign.NEGATIVE, Scope.OBJECT)}
+            {
+                Variation(B, Sign.POSITIVE, Scope.SET),
+                Variation(B, Sign.NEGATIVE, Scope.OBJECT),
+            }
         )
         assert merged == {Variation(B, Sign.BOTH, Scope.SET)}
 
     def test_different_types_are_kept_apart(self):
         merged = simplify_variations(
-            {Variation(A, Sign.POSITIVE, Scope.SET), Variation(B, Sign.POSITIVE, Scope.SET)}
+            {
+                Variation(A, Sign.POSITIVE, Scope.SET),
+                Variation(B, Sign.POSITIVE, Scope.SET),
+            }
         )
         assert len(merged) == 2
 
@@ -214,7 +228,9 @@ class TestPaperExample:
 
 class TestRecomputationFilter:
     def occurrence(self, event_type: EventType, oid: str = "o1", timestamp: int = 1):
-        return EventOccurrence(eid=1, event_type=event_type, oid=oid, timestamp=timestamp)
+        return EventOccurrence(
+            eid=1, event_type=event_type, oid=oid, timestamp=timestamp
+        )
 
     def test_irrelevant_types_are_skipped(self):
         filter_ = RecomputationFilter(SetConjunction(PA, PB))
@@ -266,7 +282,9 @@ class TestSchemaAwareMatching:
     """Subclass-aware matching and its memo invalidation (the stale-cache fix)."""
 
     def occurrence(self, event_type: EventType, timestamp: int = 1):
-        return EventOccurrence(eid=1, event_type=event_type, oid="o1", timestamp=timestamp)
+        return EventOccurrence(
+            eid=1, event_type=event_type, oid="o1", timestamp=timestamp
+        )
 
     def _schema(self):
         from repro.oodb.schema import Schema
@@ -295,7 +313,9 @@ class TestSchemaAwareMatching:
         watch = EventType(Operation.MODIFY, "order", "amount")
         filter_ = RecomputationFilter(Primitive(watch), schema=schema)
         assert filter_.matches(EventType(Operation.MODIFY, "notFilledOrder", "amount"))
-        assert not filter_.matches(EventType(Operation.MODIFY, "notFilledOrder", "other"))
+        assert not filter_.matches(
+            EventType(Operation.MODIFY, "notFilledOrder", "other")
+        )
 
     def test_memo_invalidated_when_schema_gains_subclass_after_first_use(self):
         """Regression: a verdict cached before the subclass existed must not stick."""

@@ -45,11 +45,17 @@ instants = st.integers(min_value=1, max_value=30)
 def histories(draw, min_size: int = 0, max_size: int = 12) -> EventWindow:
     """A random event window with non-decreasing, possibly repeated time stamps."""
     entries = draw(
-        st.lists(st.tuples(event_types, oids, instants), min_size=min_size, max_size=max_size)
+        st.lists(
+            st.tuples(event_types, oids, instants),
+            min_size=min_size,
+            max_size=max_size,
+        )
     )
     entries.sort(key=lambda entry: entry[2])
     occurrences = [
-        EventOccurrence(eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp)
+        EventOccurrence(
+            eid=index + 1, event_type=event_type, oid=oid, timestamp=timestamp
+        )
         for index, (event_type, oid, timestamp) in enumerate(entries)
     ]
     return EventWindow.of(occurrences)
@@ -114,7 +120,9 @@ def test_logical_and_algebraic_ots_agree(expression, window, instant, oid):
 @given(expression=set_expressions, window=histories(), instant=instants)
 def test_negation_flips_the_sign(expression, window, instant):
     """ts(-E, t) == -ts(E, t) for every expression, window and instant."""
-    assert ts(SetNegation(expression), window, instant) == -ts(expression, window, instant)
+    assert ts(SetNegation(expression), window, instant) == -ts(
+        expression, window, instant
+    )
 
 
 @settings(max_examples=120, deadline=None)
@@ -142,7 +150,9 @@ def test_primitive_ts_is_last_occurrence_or_minus_t(window, instant):
     instant=instants,
     oid=oids,
 )
-def test_instance_activation_never_exceeds_set_activation(expression, window, instant, oid):
+def test_instance_activation_never_exceeds_set_activation(
+    expression, window, instant, oid
+):
     """ots(E, t, oid) <= ts(E, t) for negation-free instance expressions."""
     if any(isinstance(node, InstanceNegation) for node in expression.walk()):
         return
@@ -221,7 +231,8 @@ def test_variation_set_is_sound_for_triggering(expression, window, new_type, new
         if variation.sign.includes_positive()
     }
     matches = any(
-        watched.matches(new_type) or new_type.matches(watched) for watched in positive_types
+        watched.matches(new_type) or new_type.matches(watched)
+        for watched in positive_types
     )
     if matches:
         return  # The filter would recompute; nothing to check.

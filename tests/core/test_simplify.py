@@ -60,7 +60,9 @@ class TestRewrites:
 
     def test_chain_deduplication_and_canonical_order(self):
         left_heavy = parse_expression("create(A) + create(B) + create(A) + create(C)")
-        right_heavy = parse_expression("create(C) + (create(B) + (create(C) + create(A)))")
+        right_heavy = parse_expression(
+            "create(C) + (create(B) + (create(C) + create(A)))"
+        )
         assert simplify_expression(left_heavy) == simplify_expression(right_heavy)
 
     def test_instance_chain_deduplication(self):

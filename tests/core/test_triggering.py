@@ -81,7 +81,9 @@ class TestBasicTriggering:
     def test_accepts_prebuilt_window(self):
         eb = event_base_from((CREATE_STOCK, "o1", 2))
         window = eb.full_window()
-        assert is_triggered(parse_expression("create(stock)"), window, None, 3).triggered
+        assert is_triggered(
+            parse_expression("create(stock)"), window, None, 3
+        ).triggered
 
 
 class TestExistentialSemantics:

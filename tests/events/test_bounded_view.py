@@ -89,20 +89,26 @@ def test_view_and_window_agree_on_calculus_queries(pair, instant, oid):
         assert view.last_timestamp(event_type, instant) == window.last_timestamp(
             event_type, instant
         )
-        assert view.last_timestamp_on(event_type, oid, instant) == window.last_timestamp_on(
-            event_type, oid, instant
+        assert (
+            view.last_timestamp_on(event_type, oid, instant)
+            == window.last_timestamp_on(event_type, oid, instant)
         )
         assert [occurrence.eid for occurrence in view.occurrences_of(event_type)] == [
             occurrence.eid for occurrence in window.occurrences_of(event_type)
         ]
         assert [
-            occurrence.eid for occurrence in view.occurrences_of(event_type, until=instant)
+            occurrence.eid
+            for occurrence in view.occurrences_of(event_type, until=instant)
         ] == [
-            occurrence.eid for occurrence in window.occurrences_of(event_type, until=instant)
+            occurrence.eid
+            for occurrence in window.occurrences_of(event_type, until=instant)
         ]
-    assert view.objects_affected_by(QUERY_TYPES) == window.objects_affected_by(QUERY_TYPES)
-    assert view.objects_affected_by(QUERY_TYPES, until=instant) == window.objects_affected_by(
-        QUERY_TYPES, until=instant
+    assert view.objects_affected_by(QUERY_TYPES) == window.objects_affected_by(
+        QUERY_TYPES
+    )
+    assert (
+        view.objects_affected_by(QUERY_TYPES, until=instant)
+        == window.objects_affected_by(QUERY_TYPES, until=instant)
     )
     assert [
         occurrence.eid for occurrence in view.select(lambda o: o.oid == oid)

@@ -40,9 +40,7 @@ class TestEventBaseRecording:
 
     def test_extend(self):
         eb = EventBase()
-        eb.extend(
-            [EventOccurrence(1, A, "o1", 1), EventOccurrence(2, B, "o2", 2)]
-        )
+        eb.extend([EventOccurrence(1, A, "o1", 1), EventOccurrence(2, B, "o2", 2)])
         assert len(eb) == 2
 
     def test_len_and_bool(self):

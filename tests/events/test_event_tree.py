@@ -11,7 +11,9 @@ MODIFY_STOCK = EventType(Operation.MODIFY, "stock")
 CREATE_STOCK = EventType(Operation.CREATE, "stock")
 
 
-def occurrence(eid: int, event_type: EventType, oid: str, timestamp: int) -> EventOccurrence:
+def occurrence(
+    eid: int, event_type: EventType, oid: str, timestamp: int
+) -> EventOccurrence:
     return EventOccurrence(eid=eid, event_type=event_type, oid=oid, timestamp=timestamp)
 
 
@@ -25,7 +27,11 @@ class TestStorage:
     def test_len_counts_occurrences(self):
         tree = OccurredEventsTree()
         tree.store_all(
-            [occurrence(1, A, "o1", 1), occurrence(2, A, "o2", 2), occurrence(3, B, "o1", 3)]
+            [
+                occurrence(1, A, "o1", 1),
+                occurrence(2, A, "o2", 2),
+                occurrence(3, B, "o1", 3),
+            ]
         )
         assert len(tree) == 3
 

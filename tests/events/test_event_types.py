@@ -107,7 +107,9 @@ class TestParseEventType:
 class TestEventOccurrence:
     def test_accessor_functions(self):
         event_type = EventType(Operation.MODIFY, "stock", "quantity")
-        occurrence = EventOccurrence(eid=5, event_type=event_type, oid="o1", timestamp=7)
+        occurrence = EventOccurrence(
+            eid=5, event_type=event_type, oid="o1", timestamp=7
+        )
         assert occurrence.type == event_type
         assert occurrence.obj == "o1"
         assert occurrence.event_on_class == "stock"
@@ -116,19 +118,28 @@ class TestEventOccurrence:
     def test_positive_timestamp_required(self):
         with pytest.raises(EventCalculusError):
             EventOccurrence(
-                eid=1, event_type=EventType(Operation.CREATE, "stock"), oid="o1", timestamp=0
+                eid=1,
+                event_type=EventType(Operation.CREATE, "stock"),
+                oid="o1",
+                timestamp=0,
             )
 
     def test_str_shows_eid_and_timestamp(self):
         occurrence = EventOccurrence(
-            eid=3, event_type=EventType(Operation.CREATE, "stock"), oid="o2", timestamp=4
+            eid=3,
+            event_type=EventType(Operation.CREATE, "stock"),
+            oid="o2",
+            timestamp=4,
         )
         assert "e3" in str(occurrence)
         assert "t4" in str(occurrence)
 
     def test_payload_defaults_to_empty(self):
         occurrence = EventOccurrence(
-            eid=1, event_type=EventType(Operation.CREATE, "stock"), oid="o1", timestamp=1
+            eid=1,
+            event_type=EventType(Operation.CREATE, "stock"),
+            oid="o1",
+            timestamp=1,
         )
         assert dict(occurrence.payload) == {}
 

@@ -22,7 +22,9 @@ MODIFY_QTY = EventType(Operation.MODIFY, "stock", "quantity")
 
 class TestRecordConversion:
     def test_round_trip_with_string_oid(self):
-        occurrence = EventOccurrence(3, MODIFY_QTY, "o1", 7, {"old_value": 1, "new_value": 2})
+        occurrence = EventOccurrence(
+            3, MODIFY_QTY, "o1", 7, {"old_value": 1, "new_value": 2}
+        )
         restored = occurrence_from_dict(occurrence_to_dict(occurrence))
         assert restored == occurrence
         assert dict(restored.payload) == {"old_value": 1, "new_value": 2}

@@ -8,7 +8,9 @@ from repro.errors import EventCalculusError
 from repro.events.clock import TransactionClock
 from repro.events.event import EventType, Operation
 from repro.events.event_base import EventBase
-from repro.events.timers import ExternalEventSource, TemporalEventPlanner, external_event_type
+from repro.events.timers import (
+    ExternalEventSource, TemporalEventPlanner, external_event_type
+)
 
 from tests.conftest import event_base_from
 
@@ -37,7 +39,9 @@ class TestExternalEventSource:
         event_base = EventBase()
         clock = TransactionClock()
         source = ExternalEventSource(event_base, clock)
-        occurrence = source.raise_event("alarm", subject="sensor-1", payload={"level": 3})
+        occurrence = source.raise_event(
+            "alarm", subject="sensor-1", payload={"level": 3}
+        )
         assert occurrence.event_type == external_event_type("alarm")
         assert occurrence.oid == "sensor-1"
         assert occurrence.payload["level"] == 3
@@ -116,7 +120,8 @@ class TestTemporalEventPlanner:
         assert ts(watchdog, merged.full_window(), 8) > 0
 
         answered = event_base_from(
-            (CREATE_STOCK, "o1", 2), (EventType(Operation.MODIFY, "stock", "quantity"), "o1", 4)
+            (CREATE_STOCK, "o1", 2),
+            (EventType(Operation.MODIFY, "stock", "quantity"), "o1", 4),
         )
         merged_answered = TemporalEventPlanner.merge_into(
             answered,

@@ -68,7 +68,9 @@ def test_snapshot_pickle_restore_round_trip_property():
 
         assert snapshot.after == after and snapshot.until == until
         assert restored.occurrences == view.occurrences, f"seed {seed}: occurrences"
-        assert restored.timestamps() == view.timestamps(), f"seed {seed}: distinct stamps"
+        assert restored.timestamps() == view.timestamps(), (
+            f"seed {seed}: distinct stamps"
+        )
         assert restored.latest_timestamp() == view.latest_timestamp()
         assert restored.event_types() == view.event_types()
         assert restored.oids() == view.oids()
@@ -92,7 +94,9 @@ def test_snapshot_pickle_restore_round_trip_property():
 def test_snapshot_payloads_and_eids_survive():
     event_base = EventBase()
     event_type = EventType(Operation.MODIFY, "alpha", "size")
-    event_base.record(event_type, oid="alpha#1", timestamp=3, payload={"old": 1, "new": 2})
+    event_base.record(
+        event_type, oid="alpha#1", timestamp=3, payload={"old": 1, "new": 2}
+    )
     restored = event_base.full_view().snapshot().restore()
     (occurrence,) = restored.occurrences
     assert occurrence.eid == 1
@@ -158,7 +162,9 @@ def test_unpicklable_payload_fails_at_dispatch_not_in_worker():
         with pytest.raises(SnapshotError, match="picklable"):
             support.check_after_block(batch, 1, 0, type_signature=batch.type_signature)
         # The pool survives the failure and keeps serving picklable blocks.
-        event_base.record(EventType(Operation.CREATE, "alpha"), oid="alpha#2", timestamp=2)
+        event_base.record(
+            EventType(Operation.CREATE, "alpha"), oid="alpha#2", timestamp=2
+        )
         batch = handler.flush_block()
         with pytest.raises(SnapshotError):
             # The unpicklable occurrence is still part of the unshipped slice.

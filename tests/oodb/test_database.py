@@ -79,7 +79,9 @@ class TestIntrospection:
         stats = stock_db.rule_statistics()["checkStockQty"]
         assert stats["triggered"] >= 1
         assert stats["executed"] == 1
-        assert any(record.rule_name == "checkStockQty" for record in stock_db.considerations)
+        assert any(
+            record.rule_name == "checkStockQty" for record in stock_db.considerations
+        )
 
     def test_trigger_statistics_shape(self, stock_db):
         stock_db.define_rule(CHECK_STOCK_QTY_RULE)

@@ -136,7 +136,11 @@ class TestSelect:
         schema = Schema()
         schema.define("stock", {"quantity": int})
         executor = OperationExecutor(
-            schema, ObjectStore(), EventBase(), TransactionClock(), emit_select_events=False
+            schema,
+            ObjectStore(),
+            EventBase(),
+            TransactionClock(),
+            emit_select_events=False,
         )
         executor.create("stock")
         assert executor.select("stock").occurrences == ()

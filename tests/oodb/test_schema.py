@@ -42,7 +42,14 @@ class TestDefinition:
 
     def test_attribute_declaration_shapes(self):
         s = Schema()
-        s.define("mixed", {"typed": int, "defined": AttributeDefinition("defined", str), "defaulted": 5})
+        s.define(
+            "mixed",
+            {
+                "typed": int,
+                "defined": AttributeDefinition("defined", str),
+                "defaulted": 5,
+            },
+        )
         attributes = s.all_attributes("mixed")
         assert attributes["typed"].value_type is int
         assert attributes["defined"].value_type is str

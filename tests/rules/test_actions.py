@@ -30,7 +30,9 @@ def operations() -> OperationExecutor:
 
 @pytest.fixture
 def stock_object(operations):
-    return operations.create("stock", {"quantity": 150, "maxquantity": 100, "onorder": 0}).object
+    return operations.create(
+        "stock", {"quantity": 150, "maxquantity": 100, "onorder": 0}
+    ).object
 
 
 class TestModifyStatement:
@@ -77,7 +79,9 @@ class TestCreateStatement:
     def test_bind_as_makes_the_new_oid_available(self, operations, stock_object):
         action = Action(
             (
-                CreateStatement("stockOrder", (("delquantity", Const(0)),), bind_as="N"),
+                CreateStatement(
+                    "stockOrder", (("delquantity", Const(0)),), bind_as="N"
+                ),
                 ModifyStatement("stockOrder", "delquantity", VarRef("N"), Const(5)),
             )
         )
@@ -102,9 +106,15 @@ class TestDeleteStatement:
 class TestActionComposition:
     def test_action_runs_once_per_binding(self, operations):
         first = operations.create("stock", {"quantity": 150, "maxquantity": 100}).object
-        second = operations.create("stock", {"quantity": 130, "maxquantity": 100}).object
+        second = operations.create(
+            "stock", {"quantity": 130, "maxquantity": 100}
+        ).object
         action = Action(
-            (ModifyStatement("stock", "quantity", VarRef("S"), AttrRef("S", "maxquantity")),)
+            (
+                ModifyStatement(
+                    "stock", "quantity", VarRef("S"), AttrRef("S", "maxquantity")
+                ),
+            )
         )
         occurrences = action.execute([{"S": first.oid}, {"S": second.oid}], operations)
         assert operations.store.get(first.oid).get("quantity") == 100

@@ -25,13 +25,20 @@ from repro.workloads.stock import CHECK_STOCK_QTY_RULE, REORDER_RULE, SHELF_REFI
 
 
 def rule(name: str, events: str, action: Action = NO_ACTION) -> Rule:
-    return Rule(name=name, events=parse_expression(events), condition=TRUE_CONDITION, action=action)
+    return Rule(
+        name=name,
+        events=parse_expression(events),
+        condition=TRUE_CONDITION,
+        action=action,
+    )
 
 
 MODIFY_QTY_ACTION = Action(
     (ModifyStatement("stock", "quantity", VarRef("S"), Const(0)),)
 )
-CREATE_ORDER_ACTION = Action((CreateStatement("stockOrder", (("delquantity", Const(0)),)),))
+CREATE_ORDER_ACTION = Action(
+    (CreateStatement("stockOrder", (("delquantity", Const(0)),)),)
+)
 
 
 class TestActionEventTypes:
@@ -179,7 +186,9 @@ class TestTriggeringGraph:
     def test_describe_mentions_cycles_or_termination(self):
         acyclic = analyze_rules(self.build())
         assert "terminates" in acyclic.describe()
-        looping = analyze_rules([rule("loop", "modify(stock.quantity)", MODIFY_QTY_ACTION)])
+        looping = analyze_rules(
+            [rule("loop", "modify(stock.quantity)", MODIFY_QTY_ACTION)]
+        )
         assert "cycles:" in looping.describe()
 
 

@@ -73,7 +73,11 @@ class TestOccurredFormula:
     def test_binds_affected_objects(self, environment):
         context, high, low = environment
         condition = Condition(
-            (OccurredFormula(parse_expression("create(stock) += modify(stock.quantity)"), "S"),)
+            (
+                OccurredFormula(
+                    parse_expression("create(stock) += modify(stock.quantity)"), "S"
+                ),
+            )
         )
         bindings = condition.evaluate(context)
         assert [binding["S"] for binding in bindings] == [high.oid]
@@ -106,7 +110,13 @@ class TestAtFormula:
     def test_binds_object_and_instants(self, environment):
         context, high, low = environment
         condition = Condition(
-            (AtFormula(parse_expression("create(stock) <= modify(stock.quantity)"), "S", "T"),)
+            (
+                AtFormula(
+                    parse_expression("create(stock) <= modify(stock.quantity)"),
+                    "S",
+                    "T",
+                ),
+            )
         )
         bindings = condition.evaluate(context)
         assert len(bindings) == 1
@@ -163,14 +173,20 @@ class TestComparison:
     def test_none_values_drop_the_binding(self, environment):
         context, *_ = environment
         condition = Condition(
-            (ClassRange("S", "stock"), Comparison(AttrRef("S", "missing"), ">", Const(1)))
+            (
+                ClassRange("S", "stock"),
+                Comparison(AttrRef("S", "missing"), ">", Const(1)),
+            )
         )
         assert condition.evaluate(context) == []
 
     def test_incomparable_values_raise(self, environment):
         context, *_ = environment
         condition = Condition(
-            (ClassRange("S", "stock"), Comparison(AttrRef("S", "quantity"), ">", Const("x")))
+            (
+                ClassRange("S", "stock"),
+                Comparison(AttrRef("S", "quantity"), ">", Const("x")),
+            )
         )
         with pytest.raises(ConditionError):
             condition.evaluate(context)
@@ -235,7 +251,10 @@ class TestConditionComposition:
 
     def test_str_rendering(self):
         condition = Condition(
-            (ClassRange("S", "stock"), Comparison(AttrRef("S", "quantity"), ">", Const(1)))
+            (
+                ClassRange("S", "stock"),
+                Comparison(AttrRef("S", "quantity"), ">", Const(1)),
+            )
         )
         assert "stock(S)" in str(condition)
         assert str(TRUE_CONDITION) == "true"

@@ -11,7 +11,13 @@ def make_db(**kwargs) -> ChimeraDatabase:
     db = ChimeraDatabase(**kwargs)
     db.define_class(
         "stock",
-        {"name": str, "quantity": int, "minquantity": int, "maxquantity": int, "onorder": int},
+        {
+            "name": str,
+            "quantity": int,
+            "minquantity": int,
+            "maxquantity": int,
+            "onorder": int,
+        },
     )
     db.define_class("show", {"quantity": int})
     db.define_class("order", {"amount": int})
@@ -215,5 +221,8 @@ class TestTransactionIsolationOfRuleState:
         first_considerations = db.rule_state("checkStockQty").times_considered
         with db.transaction() as tx:
             tx.create("stock", {"quantity": 150, "maxquantity": 100})
-        assert db.rule_state("checkStockQty").times_considered == first_considerations + 1
+        assert (
+            db.rule_state("checkStockQty").times_considered
+            == first_considerations + 1
+        )
         assert db.count("stock") == 2

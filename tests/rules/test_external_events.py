@@ -63,7 +63,9 @@ class TestExternalEventRules:
     def test_external_event_payload_reaches_the_event_base(self):
         db = make_db()
         with db.transaction() as tx:
-            occurrence = db.raise_event(tx, "alarm", subject="sensor-7", payload={"level": 2})
+            occurrence = db.raise_event(
+                tx, "alarm", subject="sensor-7", payload={"level": 2}
+            )
             assert occurrence.payload["level"] == 2
             assert occurrence.oid == "sensor-7"
             assert str(occurrence.event_type) == "raise(alarm)"

@@ -8,7 +8,13 @@ def make_db() -> ChimeraDatabase:
     db = ChimeraDatabase()
     db.define_class(
         "stock",
-        {"name": str, "quantity": int, "minquantity": int, "maxquantity": int, "onorder": int},
+        {
+            "name": str,
+            "quantity": int,
+            "minquantity": int,
+            "maxquantity": int,
+            "onorder": int,
+        },
     )
     db.define_class("show", {"name": str, "quantity": int, "item": object})
     db.define_class("order", {"customer": str, "amount": int})
@@ -24,7 +30,8 @@ class TestReorderScenario:
         db.define_rule(REORDER_RULE)
         with db.transaction() as tx:
             item = tx.create(
-                "stock", {"quantity": 20, "minquantity": 5, "maxquantity": 100, "onorder": 0}
+                "stock",
+                {"quantity": 20, "minquantity": 5, "maxquantity": 100, "onorder": 0},
             )
             tx.modify(item.oid, "minquantity", 15)
             tx.modify(item.oid, "quantity", 10)
@@ -36,7 +43,8 @@ class TestReorderScenario:
         db.define_rule(REORDER_RULE)
         with db.transaction() as tx:
             item = tx.create(
-                "stock", {"quantity": 20, "minquantity": 5, "maxquantity": 100, "onorder": 0}
+                "stock",
+                {"quantity": 20, "minquantity": 5, "maxquantity": 100, "onorder": 0},
             )
             tx.modify(item.oid, "quantity", 10)
             tx.modify(item.oid, "minquantity", 15)
@@ -49,10 +57,12 @@ class TestReorderScenario:
         db.define_rule(REORDER_RULE)
         with db.transaction() as tx:
             first = tx.create(
-                "stock", {"quantity": 3, "minquantity": 10, "maxquantity": 100, "onorder": 0}
+                "stock",
+                {"quantity": 3, "minquantity": 10, "maxquantity": 100, "onorder": 0},
             )
             second = tx.create(
-                "stock", {"quantity": 50, "minquantity": 10, "maxquantity": 100, "onorder": 0}
+                "stock",
+                {"quantity": 50, "minquantity": 10, "maxquantity": 100, "onorder": 0},
             )
             tx.modify(first.oid, "minquantity", 12)
             tx.modify(second.oid, "quantity", 40)
@@ -136,11 +146,16 @@ class TestStockScenarioWorkload:
 
     def test_final_object_states_agree_between_optimized_and_naive(self):
         optimized = StockScenario(items=5, shelf_products=2, seed=3)
-        naive = StockScenario(items=5, shelf_products=2, seed=3, use_static_optimization=False)
+        naive = StockScenario(
+            items=5, shelf_products=2, seed=3, use_static_optimization=False
+        )
         optimized.run_day(40)
         naive.run_day(40)
         left = {
-            str(obj.oid): obj.snapshot() for obj in optimized.database.store.all_objects()
+            str(obj.oid): obj.snapshot()
+            for obj in optimized.database.store.all_objects()
         }
-        right = {str(obj.oid): obj.snapshot() for obj in naive.database.store.all_objects()}
+        right = {
+            str(obj.oid): obj.snapshot() for obj in naive.database.store.all_objects()
+        }
         assert left == right

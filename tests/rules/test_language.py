@@ -190,7 +190,9 @@ class TestConditionClause:
             end
             """
         )
-        comparisons = [atom for atom in rule.condition.atoms if isinstance(atom, Comparison)]
+        comparisons = [
+            atom for atom in rule.condition.atoms if isinstance(atom, Comparison)
+        ]
         assert comparisons[0].right.value == "bolt"
         assert comparisons[1].right.value is True
 
@@ -245,7 +247,9 @@ class TestActionClause:
 
     def test_modify_argument_count_checked(self):
         with pytest.raises(RuleDefinitionError):
-            parse_rule("define r events create(stock) action modify(stock.quantity, S) end")
+            parse_rule(
+                "define r events create(stock) action modify(stock.quantity, S) end"
+            )
 
     def test_create_assignments_checked(self):
         with pytest.raises(RuleDefinitionError):

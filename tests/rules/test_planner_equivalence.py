@@ -160,9 +160,7 @@ def build_scenario(seed: int, rule_count: int = 14, block_count: int = 24) -> Sc
     )
 
 
-def run_scenario(
-    scenario: Scenario, use_index: bool, use_filter: bool = True
-) -> dict:
+def run_scenario(scenario: Scenario, use_index: bool, use_filter: bool = True) -> dict:
     """Execute a scenario under one planning configuration; return its trace."""
     event_base = EventBase()
     table = RuleTable()

@@ -11,7 +11,9 @@ from repro.rules.rule import ConsumptionMode, ECCoupling, Rule, RuleState
 from repro.rules.rule_table import RuleTable
 
 
-def make_rule(name: str, events: str = "create(stock)", priority: int = 0, **kwargs) -> Rule:
+def make_rule(
+    name: str, events: str = "create(stock)", priority: int = 0, **kwargs
+) -> Rule:
     return Rule(
         name=name,
         events=parse_expression(events),
@@ -73,7 +75,9 @@ class TestRuleState:
         consuming.mark_considered(7, executed=False)
         assert consuming.observation_window_start(transaction_start=2) == 7
 
-        preserving = RuleState(rule=make_rule("p", consumption=ConsumptionMode.PRESERVING))
+        preserving = RuleState(
+            rule=make_rule("p", consumption=ConsumptionMode.PRESERVING)
+        )
         preserving.reset(transaction_start=2)
         preserving.mark_considered(7, executed=False)
         assert preserving.observation_window_start(transaction_start=2) == 2

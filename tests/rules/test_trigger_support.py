@@ -16,7 +16,12 @@ CREATE_ORDER = EventType(Operation.CREATE, "order")
 
 
 def make_rule(name: str, events: str) -> Rule:
-    return Rule(name=name, events=parse_expression(events), condition=TRUE_CONDITION, action=NO_ACTION)
+    return Rule(
+        name=name,
+        events=parse_expression(events),
+        condition=TRUE_CONDITION,
+        action=NO_ACTION,
+    )
 
 
 def setup(*rules: Rule, optimized: bool = True):
@@ -68,7 +73,9 @@ class TestTriggerSupport:
     def test_rule_becomes_triggered_by_matching_event(self):
         event_base, table, handler, support = setup(make_rule("r", "create(stock)"))
         event_base.record(CREATE_STOCK, "o1", 1)
-        newly = support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
+        newly = support.check_after_block(
+            handler.flush_block(), now=1, transaction_start=0
+        )
         assert [state.rule.name for state in newly] == ["r"]
         assert table.get("r").triggered
 
@@ -90,7 +97,9 @@ class TestTriggerSupport:
         )
         for timestamp in (1, 2, 3):
             event_base.record(CREATE_ORDER, "o9", timestamp)
-            support.check_after_block(handler.flush_block(), now=timestamp, transaction_start=0)
+            support.check_after_block(
+                handler.flush_block(), now=timestamp, transaction_start=0
+            )
         assert support.stats.ts_computations == 3
         assert support.stats.ts_skipped_by_filter == 0
 
@@ -109,7 +118,9 @@ class TestTriggerSupport:
             make_rule("watchdog", "-create(stock)")
         )
         event_base.record(CREATE_ORDER, "o9", 1)  # unrelated event type
-        newly = support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
+        newly = support.check_after_block(
+            handler.flush_block(), now=1, transaction_start=0
+        )
         assert [state.rule.name for state in newly] == ["watchdog"]
 
     def test_empty_block_changes_nothing(self):
@@ -188,8 +199,12 @@ class TestTriggerPlannerRouting:
         support.check_after_block(handler.flush_block(), now=1, transaction_start=0)
         before = support.stats.rules_checked
         event_base.record(MODIFY_QTY, "o1", 2)
-        newly = support.check_after_block(handler.flush_block(), now=2, transaction_start=0)
-        assert sorted(state.rule.name for state in newly) == ["class_watch", "qty_watch"]
+        newly = support.check_after_block(
+            handler.flush_block(), now=2, transaction_start=0
+        )
+        assert sorted(state.rule.name for state in newly) == [
+            "class_watch", "qty_watch"
+        ]
         assert support.stats.rules_checked - before == 2  # "other" bypassed
 
     def test_disabling_the_index_keeps_the_full_scan_path(self):

@@ -64,7 +64,9 @@ class TestEvaluate:
         assert "error:" in capsys.readouterr().err
 
     def test_missing_log_reports_an_error(self, tmp_path, capsys):
-        code = main(["evaluate", "create(stock)", "--log", str(tmp_path / "missing.jsonl")])
+        code = main(
+            ["evaluate", "create(stock)", "--log", str(tmp_path / "missing.jsonl")]
+        )
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
@@ -99,7 +101,17 @@ class TestOtherCommands:
 
     def test_stock_demo(self, capsys):
         code = main(
-            ["stock-demo", "--days", "1", "--operations", "10", "--items", "5", "--seed", "3"]
+            [
+                "stock-demo",
+                "--days",
+                "1",
+                "--operations",
+                "10",
+                "--items",
+                "5",
+                "--seed",
+                "3",
+            ]
         )
         output = capsys.readouterr().out
         assert code == 0

@@ -66,7 +66,9 @@ class TestErrorHierarchy:
         unknown_class = errors.UnknownClassError("ghost")
         assert unknown_class.class_name == "ghost"
         unknown_attribute = errors.UnknownAttributeError("stock", "colour")
-        assert (unknown_attribute.class_name, unknown_attribute.attribute) == ("stock", "colour")
+        assert (unknown_attribute.class_name, unknown_attribute.attribute) == (
+            "stock", "colour"
+        )
         duplicate = errors.DuplicateRuleError("r")
         assert duplicate.name == "r"
         non_termination = errors.NonTerminationError(10)

@@ -83,7 +83,9 @@ class TestEventStreamGenerator:
         assert stamps == sorted(stamps)
 
     def test_shared_block_timestamps(self):
-        generator = EventStreamGenerator(seed=0, events_per_block=3, shared_block_timestamps=True)
+        generator = EventStreamGenerator(
+            seed=0, events_per_block=3, shared_block_timestamps=True
+        )
         block = generator.next_block()
         assert len({occ.timestamp for occ in block}) == 1
 
@@ -107,15 +109,17 @@ class TestExpressionGenerator:
         generator = ExpressionGenerator(seed=0, instance_probability=0.0)
         for operators in (1, 3, 6):
             expression = generator.expression(operators)
-            internal = sum(1 for node in expression.walk() if not isinstance(node, Primitive))
+            internal = sum(
+                1 for node in expression.walk() if not isinstance(node, Primitive)
+            )
             assert internal == operators
 
     def test_negation_free_mode(self):
-        generator = ExpressionGenerator(seed=1, allow_negation=False, instance_probability=0.0)
+        generator = ExpressionGenerator(
+            seed=1, allow_negation=False, instance_probability=0.0
+        )
         for expression in generator.expressions(10, operators=4):
-            assert all(
-                node.operator_name != "negation" for node in expression.walk()
-            )
+            assert all(node.operator_name != "negation" for node in expression.walk())
 
     def test_instance_expressions_are_structurally_valid(self):
         generator = ExpressionGenerator(seed=2, instance_probability=1.0)
